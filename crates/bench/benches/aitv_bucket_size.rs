@@ -1,0 +1,40 @@
+//! Ablation: AIT-V bucket size around the paper's `⌈log₂ n⌉` choice.
+//! Larger buckets shrink the virtual AIT (memory, candidate time) but
+//! loosen virtual intervals, raising the rejection rate; smaller buckets
+//! converge to a plain AIT with linear extra space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irs_ait::AitV;
+use irs_core::{Interval64, RangeSampler};
+use irs_datagen::{QueryWorkload, RENFE};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_bucket_size(c: &mut Criterion) {
+    let n = 100_000;
+    let data = RENFE.generate(n, 42);
+    let queries: Vec<Interval64> =
+        QueryWorkload::new((0, RENFE.domain_size)).generate(32, 8.0, 7);
+    let log_n = (n as f64).log2().ceil() as usize; // = 17, the paper's pick
+
+    let mut g = c.benchmark_group("aitv_bucket_size");
+    g.sample_size(15);
+    for bucket in [1usize, 4, log_n / 2, log_n, 2 * log_n, 8 * log_n] {
+        let aitv = AitV::with_bucket_size(&data, bucket);
+        g.throughput(Throughput::Elements(queries.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(bucket), &aitv, |b, aitv| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    total += aitv.sample(q, 1000, &mut rng).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bucket_size);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: Walker's alias method vs the cumulative-sum method vs naive
+//! linear scan, for both build and draw — justifying §II-C's choices
+//! (alias where many draws amortize the O(n) build; cumulative sum where
+//! per-record prefix arrays already exist).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irs_sampling::{AliasTable, CumulativeSum};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn weights(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n).map(|_| rng.random_range(1.0..100.0)).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weighted_build");
+    g.sample_size(20);
+    for n in [64usize, 1024, 16_384] {
+        let ws = weights(n);
+        g.bench_with_input(BenchmarkId::new("alias", n), &ws, |b, ws| {
+            b.iter(|| black_box(AliasTable::new(ws)))
+        });
+        g.bench_with_input(BenchmarkId::new("cumsum", n), &ws, |b, ws| {
+            b.iter(|| black_box(CumulativeSum::new(ws)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_draw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weighted_draw_1000");
+    g.sample_size(20);
+    for n in [64usize, 1024, 16_384] {
+        let ws = weights(n);
+        let alias = AliasTable::new(&ws);
+        let cum = CumulativeSum::new(&ws);
+        g.bench_with_input(BenchmarkId::new("alias_o1", n), &alias, |b, t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    acc ^= t.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cumsum_logn", n), &cum, |b, t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    acc ^= t.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+        // Naive linear scan over raw weights per draw, the O(n) floor.
+        g.bench_with_input(BenchmarkId::new("linear_scan", n), &ws, |b, ws| {
+            let total: f64 = ws.iter().sum();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    let mut u = rng.random_range(0.0..total);
+                    let mut pick = 0usize;
+                    for (i, &w) in ws.iter().enumerate() {
+                        if u < w {
+                            pick = i;
+                            break;
+                        }
+                        u -= w;
+                    }
+                    acc ^= pick;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_draw);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: KDS leaf bucket size. Small leaves mean deeper trees and more
+//! canonical pieces per query; large leaves mean longer boundary scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irs_core::{Interval64, RangeSampler};
+use irs_datagen::{QueryWorkload, TAXI};
+use irs_kds::Kds;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_leaf_size(c: &mut Criterion) {
+    let n = 100_000;
+    let data = TAXI.generate(n, 42);
+    let queries: Vec<Interval64> =
+        QueryWorkload::new((0, TAXI.domain_size)).generate(32, 8.0, 7);
+
+    let mut g = c.benchmark_group("kds_leaf_size");
+    g.sample_size(15);
+    for leaf in [2usize, 8, 16, 64, 256, 1024] {
+        let kds = Kds::with_leaf_size(&data, leaf);
+        g.throughput(Throughput::Elements(queries.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(leaf), &kds, |b, kds| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    total += kds.sample(q, 1000, &mut rng).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_leaf_size);
+criterion_main!(benches);

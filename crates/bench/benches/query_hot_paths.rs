@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the hot query paths: AIT record computation
+//! (Algorithm 1 lines 1-21), the per-query alias build over `R`, the
+//! per-sample draw, AWIT's weighted draw, and HINTm / interval-tree range
+//! search for context.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_ait::{Ait, Awit};
+use irs_core::{
+    Interval64, PreparedSampler, RangeCount, RangeSampler, RangeSearch, WeightedRangeSampler,
+};
+use irs_datagen::{uniform_weights, QueryWorkload, BOOK};
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_hot_paths(c: &mut Criterion) {
+    let n = 200_000;
+    let data = BOOK.generate(n, 42);
+    let weights = uniform_weights(n, 43);
+    let queries: Vec<Interval64> =
+        QueryWorkload::new((0, BOOK.domain_size)).generate(64, 8.0, 7);
+
+    let ait = Ait::new(&data);
+    let awit = Awit::new(&data, &weights);
+    let hint = HintM::new(&data);
+    let itree = IntervalTree::new(&data);
+
+    let mut g = c.benchmark_group("hot_paths");
+    g.sample_size(20);
+
+    g.bench_function("ait_collect_records", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += ait.prepare(q).candidate_count();
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("ait_range_count", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += ait.range_count(q);
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("ait_sample_1000", |b| {
+        let prepared: Vec<_> = queries.iter().map(|&q| ait.prepare(q)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::with_capacity(1000);
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &prepared {
+                out.clear();
+                p.sample_into(&mut rng, 1000, &mut out);
+                total += out.len();
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("awit_sample_1000_weighted", |b| {
+        let prepared: Vec<_> = queries.iter().map(|&q| awit.prepare_weighted(q)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::with_capacity(1000);
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &prepared {
+                out.clear();
+                p.sample_into(&mut rng, 1000, &mut out);
+                total += out.len();
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("hint_range_search", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                out.clear();
+                hint.range_search_into(q, &mut out);
+                total += out.len();
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("interval_tree_range_search", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                out.clear();
+                itree.range_search_into(q, &mut out);
+                total += out.len();
+            }
+            black_box(total)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hot_paths);
+criterion_main!(benches);

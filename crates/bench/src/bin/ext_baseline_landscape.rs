@@ -1,0 +1,47 @@
+//! Extension experiment: the full interval-structure landscape. Extends
+//! Tables V/VI with the two remaining related-work baselines the paper
+//! discusses but does not bench (timeline index, period index — both were
+//! already shown inferior to HINTm in SIGMOD'22) plus the segment tree's
+//! stabbing-only profile. One table: candidate time, sampling time, and
+//! end-to-end IRS time per structure at the default workload.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+use irs_period_index::PeriodIndex;
+use irs_timeline::TimelineIndex;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Extension: full baseline landscape (candidate / sampling / total, microsec)"));
+    let sets = datasets(&cfg);
+
+    for ds in &sets {
+        println!("\n### {}", ds.name());
+        let queries = ds.queries(&cfg, 8.0);
+        println!(
+            "{}",
+            row("structure", &["candidate".into(), "sampling".into(), "total".into()])
+        );
+        macro_rules! measure {
+            ($name:expr, $idx:expr) => {{
+                let idx = $idx;
+                let cells = vec![
+                    us(avg_candidate_micros(&idx, &queries)),
+                    us(avg_sampling_micros(&idx, &queries, cfg.s, cfg.seed)),
+                    us(avg_total_micros(&idx, &queries, cfg.s, cfg.seed)),
+                ];
+                println!("{}", row($name, &cells));
+            }};
+        }
+        measure!("Interval tree", IntervalTree::new(&ds.data));
+        measure!("Timeline", TimelineIndex::new(&ds.data));
+        measure!("Period index", PeriodIndex::new(&ds.data));
+        measure!("HINTm", HintM::new(&ds.data));
+        measure!("KDS", Kds::new(&ds.data));
+        measure!("AIT", Ait::new(&ds.data));
+        measure!("AIT-V", AitV::new(&ds.data));
+    }
+}

@@ -1,0 +1,72 @@
+//! Extension experiment (beyond the paper): dynamic *weighted* IRS.
+//! §IV leaves weighted updates as future work; `DynamicAwit` closes the
+//! gap with a weighted pool + tombstones + amortized rebuilds. This bench
+//! reports (a) amortized update cost versus the naive rebuild-per-update
+//! strategy and (b) the query-time overhead versus a static AWIT.
+
+use irs_ait::{Awit, DynamicAwit};
+use irs_bench::*;
+use irs_datagen::uniform_weights;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let k = 5_000.min(cfg.scale / 4);
+    println!("{}", cfg.banner("Extension: dynamic weighted IRS (DynamicAwit)"));
+    println!("(k = {k} updates per measurement)");
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("Insert [ms]", vec![]),
+        ("Delete [ms]", vec![]),
+        ("Naive rebuild [ms]", vec![]),
+        ("Query static [us]", vec![]),
+        ("Query dynamic [us]", vec![]),
+    ];
+    for ds in &sets {
+        let weights = uniform_weights(ds.data.len(), cfg.seed ^ 0xA11A5);
+        let (base, tail) = ds.data.split_at(ds.data.len() - k);
+        let (wbase, wtail) = weights.split_at(ds.data.len() - k);
+
+        // Amortized insertion into DynamicAwit.
+        let mut dyn_idx = DynamicAwit::new(base, wbase);
+        let (dt, _) = time(|| {
+            for (&iv, &w) in tail.iter().zip(wtail) {
+                dyn_idx.insert(iv, w);
+            }
+        });
+        rows[0].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+
+        // Amortized deletion (delete what was just inserted).
+        let first = base.len() as u32;
+        let (dt, _) = time(|| {
+            for (off, &iv) in tail.iter().enumerate() {
+                assert!(dyn_idx.delete(iv, first + off as u32));
+            }
+        });
+        rows[1].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+
+        // Naive alternative: one full AWIT rebuild per update (measured as
+        // a single rebuild; per-update cost IS this number).
+        let (dt, awit) = time(|| Awit::new(&ds.data, &weights));
+        rows[2].1.push(format!("{:.1}", dt.as_secs_f64() * 1e3));
+
+        // Query-time comparison at default extent, static vs dynamic with
+        // a half-full pool and tombstone set.
+        let queries = ds.queries(&cfg, 8.0);
+        rows[3].1.push(us(avg_total_micros_weighted(&awit, &queries, cfg.s, cfg.seed)));
+        drop(awit);
+        let mut dyn_idx = DynamicAwit::new(&ds.data, &weights);
+        for (off, (&iv, &w)) in tail.iter().zip(wtail).enumerate().take(200) {
+            dyn_idx.insert(iv, w * 0.5 + 1.0);
+            let _ = off;
+        }
+        for id in 0..200u32 {
+            dyn_idx.delete(ds.data[id as usize], id);
+        }
+        rows[4].1.push(us(avg_total_micros_weighted(&dyn_idx, &queries, cfg.s, cfg.seed)));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

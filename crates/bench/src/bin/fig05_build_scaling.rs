@@ -1,0 +1,49 @@
+//! Fig. 5: pre-processing time and memory of AIT and AIT-V as the dataset
+//! size grows (20%..100% of n, log-scale series in the paper).
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_core::MemoryFootprint;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Fig. 5: AIT / AIT-V build time [sec] and memory [GB] vs n"));
+    let sets = datasets(&cfg);
+
+    println!("\n(a)+(b) pre-processing time [sec]");
+    println!("{}", row("size%", &["AIT".into(), "AIT-V".into(), "dataset".into()]));
+    for ds in &sets {
+        for pct in [20, 40, 60, 80, 100] {
+            let n = ds.data.len() * pct / 100;
+            let slice = &ds.data[..n];
+            let (t_ait, ait) = time(|| Ait::new(slice));
+            let (t_aitv, aitv) = time(|| AitV::new(slice));
+            println!(
+                "{}",
+                row(
+                    &format!("{pct}%"),
+                    &[secs(t_ait), secs(t_aitv), ds.name().into()]
+                )
+            );
+            std::hint::black_box((ait.len(), aitv.len()));
+        }
+    }
+
+    println!("\n(c)+(d) memory usage [GB]");
+    println!("{}", row("size%", &["AIT".into(), "AIT-V".into(), "dataset".into()]));
+    for ds in &sets {
+        for pct in [20, 40, 60, 80, 100] {
+            let n = ds.data.len() * pct / 100;
+            let slice = &ds.data[..n];
+            let ait = Ait::new(slice);
+            let aitv = AitV::new(slice);
+            println!(
+                "{}",
+                row(
+                    &format!("{pct}%"),
+                    &[gb(ait.heap_bytes()), gb(aitv.heap_bytes()), ds.name().into()]
+                )
+            );
+        }
+    }
+}

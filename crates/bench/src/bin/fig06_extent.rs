@@ -1,0 +1,44 @@
+//! Fig. 6: total running time (candidate + sampling) vs query extent
+//! (domain %), non-weighted case. Search baselines grow with the extent;
+//! KDS grows mildly; AIT / AIT-V stay flat.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+const EXTENTS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0];
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Fig. 6: running time [microsec] vs domain extent (non-weighted)"));
+    let sets = datasets(&cfg);
+
+    for ds in &sets {
+        println!("\n### {}", ds.name());
+        let itree = IntervalTree::new(&ds.data);
+        let hint = HintM::new(&ds.data);
+        let kds = Kds::new(&ds.data);
+        let ait = Ait::new(&ds.data);
+        let aitv = AitV::new(&ds.data);
+        println!(
+            "{}",
+            row(
+                "extent%",
+                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AIT".into(), "AIT-V".into()]
+            )
+        );
+        for extent in EXTENTS {
+            let queries = ds.queries(&cfg, extent);
+            let cells = vec![
+                us(avg_total_micros(&itree, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&hint, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&kds, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&ait, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&aitv, &queries, cfg.s, cfg.seed)),
+            ];
+            println!("{}", row(&format!("{extent}%"), &cells));
+        }
+    }
+}

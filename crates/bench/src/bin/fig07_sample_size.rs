@@ -1,0 +1,44 @@
+//! Fig. 7: total running time vs sample size `s` (non-weighted). Search
+//! baselines are flat in `s` (dominated by candidate computation); KDS,
+//! AIT, and AIT-V grow linearly in `s`.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+const SAMPLE_SIZES: [usize; 5] = [100, 300, 1_000, 3_000, 10_000];
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Fig. 7: running time [microsec] vs sample size (non-weighted)"));
+    let sets = datasets(&cfg);
+
+    for ds in &sets {
+        println!("\n### {}", ds.name());
+        let queries = ds.queries(&cfg, 8.0);
+        let itree = IntervalTree::new(&ds.data);
+        let hint = HintM::new(&ds.data);
+        let kds = Kds::new(&ds.data);
+        let ait = Ait::new(&ds.data);
+        let aitv = AitV::new(&ds.data);
+        println!(
+            "{}",
+            row(
+                "s",
+                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AIT".into(), "AIT-V".into()]
+            )
+        );
+        for s in SAMPLE_SIZES {
+            let cells = vec![
+                us(avg_total_micros(&itree, &queries, s, cfg.seed)),
+                us(avg_total_micros(&hint, &queries, s, cfg.seed)),
+                us(avg_total_micros(&kds, &queries, s, cfg.seed)),
+                us(avg_total_micros(&ait, &queries, s, cfg.seed)),
+                us(avg_total_micros(&aitv, &queries, s, cfg.seed)),
+            ];
+            println!("{}", row(&s.to_string(), &cells));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 8: total running time vs dataset size (non-weighted). The search
+//! baselines scale with `n` (`|q ∩ X| = Ω(n)`); AIT and AIT-V are flat.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Fig. 8: running time [microsec] vs dataset size (non-weighted)"));
+    let sets = datasets(&cfg);
+
+    for ds in &sets {
+        println!("\n### {}", ds.name());
+        let queries = ds.queries(&cfg, 8.0);
+        println!(
+            "{}",
+            row(
+                "size%",
+                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AIT".into(), "AIT-V".into()]
+            )
+        );
+        for pct in [20, 40, 60, 80, 100] {
+            let n = ds.data.len() * pct / 100;
+            let slice = &ds.data[..n];
+            let itree = IntervalTree::new(slice);
+            let hint = HintM::new(slice);
+            let kds = Kds::new(slice);
+            let ait = Ait::new(slice);
+            let aitv = AitV::new(slice);
+            let cells = vec![
+                us(avg_total_micros(&itree, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&hint, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&kds, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&ait, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros(&aitv, &queries, cfg.s, cfg.seed)),
+            ];
+            println!("{}", row(&format!("{pct}%"), &cells));
+        }
+    }
+}

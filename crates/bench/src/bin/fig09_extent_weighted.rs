@@ -1,0 +1,44 @@
+//! Fig. 9: total running time vs query extent, *weighted* case. The
+//! search baselines now pay `O(|q ∩ X|)` alias construction per query;
+//! AWIT grows only through the `log` factor of in-record draws.
+
+use irs_ait::Awit;
+use irs_bench::*;
+use irs_datagen::uniform_weights;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+const EXTENTS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0];
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Fig. 9: running time [microsec] vs domain extent (weighted)"));
+    let sets = datasets(&cfg);
+
+    for ds in &sets {
+        println!("\n### {}", ds.name());
+        let weights = uniform_weights(ds.data.len(), cfg.seed ^ 0xA11A5);
+        let itree = IntervalTree::new_weighted(&ds.data, &weights);
+        let hint = HintM::new_weighted(&ds.data, &weights);
+        let kds = Kds::new_weighted(&ds.data, &weights);
+        let awit = Awit::new(&ds.data, &weights);
+        println!(
+            "{}",
+            row(
+                "extent%",
+                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AWIT".into()]
+            )
+        );
+        for extent in EXTENTS {
+            let queries = ds.queries(&cfg, extent);
+            let cells = vec![
+                us(avg_total_micros_weighted(&itree, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros_weighted(&hint, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros_weighted(&kds, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros_weighted(&awit, &queries, cfg.s, cfg.seed)),
+            ];
+            println!("{}", row(&format!("{extent}%"), &cells));
+        }
+    }
+}

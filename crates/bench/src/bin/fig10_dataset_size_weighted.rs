@@ -1,0 +1,43 @@
+//! Fig. 10: total running time vs dataset size, *weighted* case.
+
+use irs_ait::Awit;
+use irs_bench::*;
+use irs_datagen::uniform_weights;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Fig. 10: running time [microsec] vs dataset size (weighted)"));
+    let sets = datasets(&cfg);
+
+    for ds in &sets {
+        println!("\n### {}", ds.name());
+        let queries = ds.queries(&cfg, 8.0);
+        let weights = uniform_weights(ds.data.len(), cfg.seed ^ 0xA11A5);
+        println!(
+            "{}",
+            row(
+                "size%",
+                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AWIT".into()]
+            )
+        );
+        for pct in [20, 40, 60, 80, 100] {
+            let n = ds.data.len() * pct / 100;
+            let slice = &ds.data[..n];
+            let wslice = &weights[..n];
+            let itree = IntervalTree::new_weighted(slice, wslice);
+            let hint = HintM::new_weighted(slice, wslice);
+            let kds = Kds::new_weighted(slice, wslice);
+            let awit = Awit::new(slice, wslice);
+            let cells = vec![
+                us(avg_total_micros_weighted(&itree, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros_weighted(&hint, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros_weighted(&kds, &queries, cfg.s, cfg.seed)),
+                us(avg_total_micros_weighted(&awit, &queries, cfg.s, cfg.seed)),
+            ];
+            println!("{}", row(&format!("{pct}%"), &cells));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Table III: pre-processing (index build) time per structure and dataset,
+//! non-weighted case.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Table III: pre-processing time [sec] (non-weighted)"));
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("Interval tree", vec![]),
+        ("HINTm", vec![]),
+        ("KDS", vec![]),
+        ("AIT", vec![]),
+        ("AIT-V", vec![]),
+    ];
+    for ds in &sets {
+        let (dt, t) = time(|| IntervalTree::new(&ds.data));
+        std::hint::black_box(t.len());
+        rows[0].1.push(secs(dt));
+        let (dt, t) = time(|| HintM::new(&ds.data));
+        std::hint::black_box(t.len());
+        rows[1].1.push(secs(dt));
+        let (dt, t) = time(|| Kds::new(&ds.data));
+        std::hint::black_box(t.len());
+        rows[2].1.push(secs(dt));
+        let (dt, t) = time(|| Ait::new(&ds.data));
+        std::hint::black_box(t.len());
+        rows[3].1.push(secs(dt));
+        let (dt, t) = time(|| AitV::new(&ds.data));
+        std::hint::black_box(t.len());
+        rows[4].1.push(secs(dt));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

@@ -1,0 +1,33 @@
+//! Table IV: memory usage per structure and dataset, non-weighted case.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_core::MemoryFootprint;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Table IV: memory usage [GB] (non-weighted)"));
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("Interval tree", vec![]),
+        ("HINTm", vec![]),
+        ("KDS", vec![]),
+        ("AIT", vec![]),
+        ("AIT-V", vec![]),
+    ];
+    for ds in &sets {
+        rows[0].1.push(gb(IntervalTree::new(&ds.data).heap_bytes()));
+        rows[1].1.push(gb(HintM::new(&ds.data).heap_bytes()));
+        rows[2].1.push(gb(Kds::new(&ds.data).heap_bytes()));
+        rows[3].1.push(gb(Ait::new(&ds.data).heap_bytes()));
+        rows[4].1.push(gb(AitV::new(&ds.data).heap_bytes()));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

@@ -1,0 +1,44 @@
+//! Table V: average candidate computation time per query — the paper's
+//! phase 1 (`q ∩ X` for search baselines, the record set `R` for the AIT
+//! family, the canonical decomposition for KDS). Default 8% extent.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Table V: candidate computation time [microsec]"));
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("Interval tree", vec![]),
+        ("HINTm", vec![]),
+        ("KDS", vec![]),
+        ("AIT", vec![]),
+        ("AIT-V", vec![]),
+    ];
+    for ds in &sets {
+        let queries = ds.queries(&cfg, 8.0);
+        let itree = IntervalTree::new(&ds.data);
+        rows[0].1.push(us(avg_candidate_micros(&itree, &queries)));
+        drop(itree);
+        let hint = HintM::new(&ds.data);
+        rows[1].1.push(us(avg_candidate_micros(&hint, &queries)));
+        drop(hint);
+        let kds = Kds::new(&ds.data);
+        rows[2].1.push(us(avg_candidate_micros(&kds, &queries)));
+        drop(kds);
+        let ait = Ait::new(&ds.data);
+        rows[3].1.push(us(avg_candidate_micros(&ait, &queries)));
+        drop(ait);
+        let aitv = AitV::new(&ds.data);
+        rows[4].1.push(us(avg_candidate_micros(&aitv, &queries)));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

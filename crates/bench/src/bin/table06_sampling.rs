@@ -1,0 +1,48 @@
+//! Table VI: average sampling time per query (phase 2, alias building
+//! included), non-weighted case. Interval tree and HINTm share one row in
+//! the paper (both sample uniformly from a materialized `q ∩ X`); they are
+//! reported separately here and should read nearly identical.
+
+use irs_ait::{Ait, AitV};
+use irs_bench::*;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "{}",
+        cfg.banner("Table VI: sampling time [microsec] (non-weighted, alias build included)")
+    );
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("Interval tree", vec![]),
+        ("HINTm", vec![]),
+        ("KDS", vec![]),
+        ("AIT", vec![]),
+        ("AIT-V", vec![]),
+    ];
+    for ds in &sets {
+        let queries = ds.queries(&cfg, 8.0);
+        let itree = IntervalTree::new(&ds.data);
+        rows[0].1.push(us(avg_sampling_micros(&itree, &queries, cfg.s, cfg.seed)));
+        drop(itree);
+        let hint = HintM::new(&ds.data);
+        rows[1].1.push(us(avg_sampling_micros(&hint, &queries, cfg.s, cfg.seed)));
+        drop(hint);
+        let kds = Kds::new(&ds.data);
+        rows[2].1.push(us(avg_sampling_micros(&kds, &queries, cfg.s, cfg.seed)));
+        drop(kds);
+        let ait = Ait::new(&ds.data);
+        rows[3].1.push(us(avg_sampling_micros(&ait, &queries, cfg.s, cfg.seed)));
+        drop(ait);
+        let aitv = AitV::new(&ds.data);
+        rows[4].1.push(us(avg_sampling_micros(&aitv, &queries, cfg.s, cfg.seed)));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

@@ -1,0 +1,55 @@
+//! Table VII: amortized AIT update time. Builds on `n − k` intervals and
+//! inserts the remaining `k` one-by-one / batched; deletion removes `k`
+//! intervals from the full index. The paper uses k = 5,000.
+
+use irs_ait::Ait;
+use irs_bench::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let k = 5_000.min(cfg.scale / 4);
+    println!("{}", cfg.banner("Table VII: amortized update time of AIT [millisec]"));
+    println!("(k = {k} updates per measurement)");
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> =
+        vec![("Insertion", vec![]), ("Batch insertion", vec![]), ("Deletion", vec![])];
+    for ds in &sets {
+        let (base, tail) = ds.data.split_at(ds.data.len() - k);
+
+        // One-by-one insertion.
+        let mut ait = Ait::new(base);
+        let (dt, _) = time(|| {
+            for &iv in tail {
+                ait.insert(iv);
+            }
+        });
+        rows[0].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+        drop(ait);
+
+        // Batch insertion through the pool.
+        let mut ait = Ait::new(base);
+        let (dt, _) = time(|| {
+            for &iv in tail {
+                ait.insert_buffered(iv);
+            }
+            ait.flush_pool();
+        });
+        rows[1].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+        drop(ait);
+
+        // Deletion from the full index.
+        let mut ait = Ait::new(&ds.data);
+        let first_victim = (ds.data.len() - k) as u32;
+        let (dt, _) = time(|| {
+            for (off, &iv) in tail.iter().enumerate() {
+                assert!(ait.delete(iv, first_victim + off as u32));
+            }
+        });
+        rows[2].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

@@ -1,0 +1,24 @@
+//! Table VIII: AWIT pre-processing time and memory usage (weighted case).
+
+use irs_ait::Awit;
+use irs_bench::*;
+use irs_core::MemoryFootprint;
+use irs_datagen::uniform_weights;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Table VIII: AWIT pre-processing time [sec] and memory [GB]"));
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut prep: Vec<String> = vec![];
+    let mut mem: Vec<String> = vec![];
+    for ds in &sets {
+        let weights = uniform_weights(ds.data.len(), cfg.seed ^ 0xA11A5);
+        let (dt, awit) = time(|| Awit::new(&ds.data, &weights));
+        prep.push(secs(dt));
+        mem.push(gb(awit.heap_bytes()));
+    }
+    println!("{}", row("Pre-processing", &prep));
+    println!("{}", row("Memory", &mem));
+}

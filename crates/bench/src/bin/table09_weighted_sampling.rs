@@ -1,0 +1,47 @@
+//! Table IX: average sampling time per query in the *weighted* case
+//! (alias building included). Interval tree and HINTm must build a
+//! per-query alias over all of `q ∩ X` — the `O(|q ∩ X|)` cost the AWIT
+//! avoids; KDS's weighted mode is included as in the paper even though it
+//! is approximate there (ours is exact thanks to prefix-sum pieces).
+
+use irs_ait::Awit;
+use irs_bench::*;
+use irs_datagen::uniform_weights;
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "{}",
+        cfg.banner("Table IX: sampling time [microsec] (weighted, alias build included)")
+    );
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("Interval tree", vec![]),
+        ("HINTm", vec![]),
+        ("KDS", vec![]),
+        ("AWIT", vec![]),
+    ];
+    for ds in &sets {
+        let weights = uniform_weights(ds.data.len(), cfg.seed ^ 0xA11A5);
+        let queries = ds.queries(&cfg, 8.0);
+        let itree = IntervalTree::new_weighted(&ds.data, &weights);
+        rows[0].1.push(us(avg_sampling_micros_weighted(&itree, &queries, cfg.s, cfg.seed)));
+        drop(itree);
+        let hint = HintM::new_weighted(&ds.data, &weights);
+        rows[1].1.push(us(avg_sampling_micros_weighted(&hint, &queries, cfg.s, cfg.seed)));
+        drop(hint);
+        let kds = Kds::new_weighted(&ds.data, &weights);
+        rows[2].1.push(us(avg_sampling_micros_weighted(&kds, &queries, cfg.s, cfg.seed)));
+        drop(kds);
+        let awit = Awit::new(&ds.data, &weights);
+        rows[3].1.push(us(avg_sampling_micros_weighted(&awit, &queries, cfg.s, cfg.seed)));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

@@ -1,0 +1,43 @@
+//! Table X: range counting time — AIT (`O(log² n)`, Corollary 1) vs the
+//! counting versions of HINTm and the kd-tree (`O(√n)`).
+
+use irs_ait::Ait;
+use irs_bench::*;
+use irs_core::RangeCount;
+use irs_hint::HintM;
+use irs_kds::Kds;
+use std::time::Duration;
+
+fn avg_count_micros<C: RangeCount<i64>>(index: &C, queries: &[irs_core::Interval64]) -> f64 {
+    let mut total = Duration::ZERO;
+    for &q in queries {
+        let (dt, c) = time(|| index.range_count(q));
+        total += dt;
+        std::hint::black_box(c);
+    }
+    total.as_secs_f64() * 1e6 / queries.len() as f64
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Table X: range counting time [microsec]"));
+    let sets = datasets(&cfg);
+    println!("{}", dataset_header(&sets));
+
+    let mut rows: Vec<(&str, Vec<String>)> =
+        vec![("AIT", vec![]), ("HINTm", vec![]), ("kd-tree", vec![])];
+    for ds in &sets {
+        let queries = ds.queries(&cfg, 8.0);
+        let ait = Ait::new(&ds.data);
+        rows[0].1.push(us(avg_count_micros(&ait, &queries)));
+        drop(ait);
+        let hint = HintM::new(&ds.data);
+        rows[1].1.push(us(avg_count_micros(&hint, &queries)));
+        drop(hint);
+        let kds = Kds::new(&ds.data);
+        rows[2].1.push(us(avg_count_micros(&kds, &queries)));
+    }
+    for (label, cells) in rows {
+        println!("{}", row(label, &cells));
+    }
+}

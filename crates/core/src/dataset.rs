@@ -1,0 +1,75 @@
+//! Dataset-level helpers shared by the index structures.
+
+use crate::interval::{Endpoint, Interval, ItemId};
+
+/// Returns `(min lo, max hi)` over the dataset, or `None` if it is empty.
+///
+/// This is the "domain" the paper's query generator draws from.
+pub fn domain_bounds<E: Endpoint>(data: &[Interval<E>]) -> Option<(E, E)> {
+    let first = data.first()?;
+    let mut lo = first.lo;
+    let mut hi = first.hi;
+    for iv in &data[1..] {
+        if iv.lo < lo {
+            lo = iv.lo;
+        }
+        if iv.hi > hi {
+            hi = iv.hi;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Ids of `data` in *pair-sort* order: ascending left endpoint, ties broken
+/// by ascending right endpoint (§III-C of the paper; this is the order
+/// AIT-V buckets along, approximating a z-curve over `(lo, hi)` space).
+pub fn pair_sort_indices<E: Endpoint>(data: &[Interval<E>]) -> Vec<ItemId> {
+    let mut ids: Vec<ItemId> = (0..data.len() as ItemId).collect();
+    ids.sort_unstable_by_key(|&i| {
+        let iv = &data[i as usize];
+        (iv.lo, iv.hi)
+    });
+    ids
+}
+
+/// The dataset's intervals in pair-sort order (copy; see
+/// [`pair_sort_indices`] to keep ids instead).
+pub fn pair_sorted<E: Endpoint>(data: &[Interval<E>]) -> Vec<Interval<E>> {
+    let mut sorted = data.to_vec();
+    sorted.sort_unstable_by_key(|iv| (iv.lo, iv.hi));
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i64, hi: i64) -> Interval<i64> {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn domain_bounds_covers_all_endpoints() {
+        let data = vec![iv(5, 9), iv(-3, 1), iv(0, 42)];
+        assert_eq!(domain_bounds(&data), Some((-3, 42)));
+        assert_eq!(domain_bounds::<i64>(&[]), None);
+    }
+
+    #[test]
+    fn pair_sort_orders_by_lo_then_hi() {
+        let data = vec![iv(2, 9), iv(0, 5), iv(2, 3), iv(0, 1)];
+        let ids = pair_sort_indices(&data);
+        assert_eq!(ids, vec![3, 1, 2, 0]);
+        let sorted = pair_sorted(&data);
+        assert_eq!(sorted, vec![iv(0, 1), iv(0, 5), iv(2, 3), iv(2, 9)]);
+    }
+
+    #[test]
+    fn pair_sort_is_permutation() {
+        let data = vec![iv(1, 2), iv(1, 2), iv(0, 7)];
+        let ids = pair_sort_indices(&data);
+        let mut seen = ids.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic deep-size accounting.
+//!
+//! The paper's Tables IV and VIII report resident memory of each index.
+//! Instead of hooking the global allocator (noisy, allocator-dependent),
+//! every index implements [`MemoryFootprint`] and reports the bytes of heap
+//! memory it retains — capacity, not length, so over-allocation is visible.
+
+/// Deep memory accounting: `heap_bytes` is retained heap memory,
+/// `total_bytes` additionally counts the inline size of `self`.
+pub trait MemoryFootprint {
+    /// Bytes of heap memory retained by `self` (recursively).
+    fn heap_bytes(&self) -> usize;
+
+    /// `size_of_val(self) + heap_bytes()`.
+    fn total_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of_val(self) + self.heap_bytes()
+    }
+}
+
+/// Heap bytes retained by a `Vec` of plain-old-data elements
+/// (elements themselves own no heap memory).
+#[inline]
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Heap bytes retained by a boxed slice of plain-old-data elements.
+#[inline]
+pub fn slice_bytes<T>(s: &[T]) -> usize {
+    std::mem::size_of_val(s)
+}
+
+impl<T> MemoryFootprint for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(self)
+    }
+}
+
+impl<T> MemoryFootprint for Box<[T]> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(&**self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_accounts_capacity_not_length() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(vec_bytes(&v), 16 * 8);
+        assert_eq!(v.heap_bytes(), 16 * 8);
+        assert_eq!(v.total_bytes(), 16 * 8 + std::mem::size_of::<Vec<u64>>());
+    }
+
+    #[test]
+    fn boxed_slice_accounts_exact_len() {
+        let b: Box<[u32]> = vec![1, 2, 3].into_boxed_slice();
+        assert_eq!(b.heap_bytes(), 12);
+    }
+
+    #[test]
+    fn empty_vec_is_free() {
+        let v: Vec<u128> = Vec::new();
+        assert_eq!(v.heap_bytes(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Core types and traits for independent range sampling (IRS) on interval data.
+//!
+//! This crate defines the vocabulary shared by every index structure in the
+//! workspace:
+//!
+//! - [`Interval`] and the [`Endpoint`] trait — closed intervals `[lo, hi]`
+//!   over an ordered scalar, with the overlap predicate used throughout the
+//!   paper (`x ∩ q  ⇔  q.lo ≤ x.hi ∧ x.lo ≤ q.hi`).
+//! - Query traits ([`RangeSearch`], [`RangeCount`], [`RangeSampler`],
+//!   [`WeightedRangeSampler`], [`StabbingQuery`]) implemented by the AIT
+//!   family and by every baseline, so benchmarks and examples can treat all
+//!   of them uniformly.
+//! - [`MemoryFootprint`] — deterministic deep-size accounting used to
+//!   reproduce the paper's memory tables without allocator hooks.
+//! - [`oracle::BruteForce`] — the linear-scan reference implementation each
+//!   index is property-tested against.
+//!
+//! Index structures identify intervals by their position in the dataset
+//! slice they were built from ([`ItemId`]); samples and search results are
+//! returned as ids so callers can recover payloads they keep alongside.
+
+pub mod dataset;
+pub mod footprint;
+pub mod interval;
+pub mod oracle;
+pub mod traits;
+
+pub use dataset::{domain_bounds, pair_sort_indices, pair_sorted};
+pub use footprint::{slice_bytes, vec_bytes, MemoryFootprint};
+pub use interval::{Endpoint, GridEndpoint, Interval, Interval64, ItemId};
+pub use oracle::BruteForce;
+pub use traits::{
+    PreparedSampler, RangeCount, RangeSampler, RangeSearch, StabbingQuery, WeightedRangeSampler,
+};

@@ -1,0 +1,220 @@
+//! Linear-scan reference implementation.
+//!
+//! Every index structure in the workspace is property-tested against this
+//! oracle: its results are trivially correct (a direct transcription of the
+//! problem definitions in §II-A), just slow — `O(n)` per query.
+
+use crate::interval::{Endpoint, Interval, ItemId};
+use crate::traits::{
+    PreparedSampler, RangeCount, RangeSampler, RangeSearch, StabbingQuery, WeightedRangeSampler,
+};
+use rand::Rng;
+
+/// Brute-force oracle over a dataset (and optional per-interval weights).
+///
+/// Owns a copy of the data so tests can freely mutate their own copies.
+#[derive(Clone, Debug)]
+pub struct BruteForce<E> {
+    data: Vec<Interval<E>>,
+    weights: Option<Vec<f64>>,
+}
+
+impl<E: Endpoint> BruteForce<E> {
+    /// Oracle for the unweighted problem.
+    pub fn new(data: &[Interval<E>]) -> Self {
+        Self { data: data.to_vec(), weights: None }
+    }
+
+    /// Oracle for the weighted problem. `weights` must be positive and
+    /// aligned with `data`.
+    pub fn new_weighted(data: &[Interval<E>], weights: &[f64]) -> Self {
+        assert_eq!(data.len(), weights.len(), "weights must align with data");
+        assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()), "weights must be positive");
+        Self { data: data.to_vec(), weights: Some(weights.to_vec()) }
+    }
+
+    /// The dataset the oracle answers over.
+    pub fn data(&self) -> &[Interval<E>] {
+        &self.data
+    }
+
+    /// Exact result-set weight `Σ_{x ∈ q∩X} w(x)` (unweighted intervals
+    /// count 1 each).
+    pub fn result_weight(&self, q: Interval<E>) -> f64 {
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.overlaps(&q))
+            .map(|(i, _)| self.weights.as_ref().map_or(1.0, |w| w[i]))
+            .sum()
+    }
+}
+
+impl<E: Endpoint> RangeSearch<E> for BruteForce<E> {
+    fn range_search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
+        for (i, iv) in self.data.iter().enumerate() {
+            if iv.overlaps(&q) {
+                out.push(i as ItemId);
+            }
+        }
+    }
+}
+
+impl<E: Endpoint> RangeCount<E> for BruteForce<E> {
+    fn range_count(&self, q: Interval<E>) -> usize {
+        self.data.iter().filter(|iv| iv.overlaps(&q)).count()
+    }
+}
+
+impl<E: Endpoint> StabbingQuery<E> for BruteForce<E> {
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>) {
+        for (i, iv) in self.data.iter().enumerate() {
+            if iv.contains_point(p) {
+                out.push(i as ItemId);
+            }
+        }
+    }
+}
+
+/// Phase-2 handle of the oracle: the fully materialized result set, with
+/// per-candidate weights in the weighted case.
+pub struct BruteForcePrepared {
+    candidates: Vec<ItemId>,
+    /// Cumulative weights aligned with `candidates`; `None` for uniform.
+    cum_weights: Option<Vec<f64>>,
+}
+
+impl PreparedSampler for BruteForcePrepared {
+    fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn sample_into<R: rand::RngCore + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<ItemId>) {
+        if self.candidates.is_empty() {
+            return;
+        }
+        match &self.cum_weights {
+            None => {
+                for _ in 0..s {
+                    let k = rng.random_range(0..self.candidates.len());
+                    out.push(self.candidates[k]);
+                }
+            }
+            Some(cum) => {
+                let total = *cum.last().expect("non-empty");
+                for _ in 0..s {
+                    let w = rng.random_range(0.0..total);
+                    let k = cum.partition_point(|&c| c <= w).min(cum.len() - 1);
+                    out.push(self.candidates[k]);
+                }
+            }
+        }
+    }
+}
+
+impl<E: Endpoint> RangeSampler<E> for BruteForce<E> {
+    type Prepared<'a> = BruteForcePrepared;
+
+    fn prepare(&self, q: Interval<E>) -> BruteForcePrepared {
+        BruteForcePrepared { candidates: self.range_search(q), cum_weights: None }
+    }
+}
+
+impl<E: Endpoint> WeightedRangeSampler<E> for BruteForce<E> {
+    type Prepared<'a> = BruteForcePrepared;
+
+    fn prepare_weighted(&self, q: Interval<E>) -> BruteForcePrepared {
+        let weights = self
+            .weights
+            .as_ref()
+            .expect("weighted sampling requires BruteForce::new_weighted");
+        let candidates = self.range_search(q);
+        let mut cum = Vec::with_capacity(candidates.len());
+        let mut acc = 0.0;
+        for &id in &candidates {
+            acc += weights[id as usize];
+            cum.push(acc);
+        }
+        BruteForcePrepared { candidates, cum_weights: Some(cum) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn iv(lo: i64, hi: i64) -> Interval<i64> {
+        Interval::new(lo, hi)
+    }
+
+    fn fixture() -> Vec<Interval<i64>> {
+        vec![iv(0, 10), iv(5, 6), iv(11, 20), iv(-5, -1), iv(8, 30)]
+    }
+
+    #[test]
+    fn range_search_matches_definition() {
+        let bf = BruteForce::new(&fixture());
+        assert_eq!(bf.range_search(iv(6, 9)), vec![0, 1, 4]);
+        assert_eq!(bf.range_search(iv(-100, 100)), vec![0, 1, 2, 3, 4]);
+        assert!(bf.range_search(iv(40, 50)).is_empty());
+    }
+
+    #[test]
+    fn count_matches_search() {
+        let bf = BruteForce::new(&fixture());
+        for q in [iv(6, 9), iv(-100, 100), iv(40, 50), iv(10, 11)] {
+            assert_eq!(bf.range_count(q), bf.range_search(q).len());
+        }
+    }
+
+    #[test]
+    fn stab_is_degenerate_range() {
+        let bf = BruteForce::new(&fixture());
+        assert_eq!(bf.stab(9), bf.range_search(iv(9, 9)));
+        assert_eq!(bf.stab(-3), vec![3]);
+    }
+
+    #[test]
+    fn samples_come_from_result_set() {
+        let bf = BruteForce::new(&fixture());
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = iv(6, 9);
+        let expect = bf.range_search(q);
+        for id in bf.sample(q, 200, &mut rng) {
+            assert!(expect.contains(&id));
+        }
+    }
+
+    #[test]
+    fn empty_result_set_yields_no_samples() {
+        let bf = BruteForce::new(&fixture());
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(bf.sample(iv(100, 200), 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn weighted_samples_respect_support() {
+        let data = fixture();
+        let weights = vec![1.0, 100.0, 1.0, 1.0, 1.0];
+        let bf = BruteForce::new_weighted(&data, &weights);
+        let mut rng = StdRng::seed_from_u64(42);
+        let q = iv(6, 9);
+        let samples = bf.sample_weighted(q, 500, &mut rng);
+        assert_eq!(samples.len(), 500);
+        // id 1 has weight 100 of total 102 → expect the vast majority.
+        let heavy = samples.iter().filter(|&&s| s == 1).count();
+        assert!(heavy > 400, "weight-100 item sampled only {heavy}/500 times");
+        assert!(samples.iter().all(|&s| [0, 1, 4].contains(&s)));
+    }
+
+    #[test]
+    fn result_weight_sums_weights() {
+        let data = fixture();
+        let weights = vec![2.0, 3.0, 5.0, 7.0, 11.0];
+        let bf = BruteForce::new_weighted(&data, &weights);
+        assert_eq!(bf.result_weight(iv(6, 9)), 2.0 + 3.0 + 11.0);
+        let unweighted = BruteForce::new(&data);
+        assert_eq!(unweighted.result_weight(iv(6, 9)), 3.0);
+    }
+}

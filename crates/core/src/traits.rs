@@ -1,0 +1,118 @@
+//! Query traits implemented by every index structure in the workspace.
+//!
+//! The paper measures two phases separately (Tables V, VI, IX):
+//!
+//! 1. **Candidate computation** — for search-based baselines this collects
+//!    `q ∩ X`; for the AIT family it computes the node-record set `R`; for
+//!    KDS it decomposes the query rectangle into canonical pieces.
+//! 2. **Sampling** — alias construction (where needed) plus `s` draws.
+//!
+//! [`RangeSampler::prepare`] performs phase 1 and returns a borrowed
+//! [`PreparedSampler`] that performs phase 2, so benchmarks can time the two
+//! phases exactly as the paper does while normal callers just use
+//! [`RangeSampler::sample`].
+
+use crate::interval::{Endpoint, Interval, ItemId};
+use rand::Rng;
+
+/// Range search: report every interval overlapping `q` (the classic
+/// operator the paper's baselines are built on).
+pub trait RangeSearch<E: Endpoint> {
+    /// Appends the ids of all intervals overlapping `q` to `out`.
+    ///
+    /// `out` is caller-provided so repeated queries can reuse its
+    /// allocation; it is *not* cleared first.
+    fn range_search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>);
+
+    /// Convenience wrapper returning a fresh `Vec`.
+    fn range_search(&self, q: Interval<E>) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        self.range_search_into(q, &mut out);
+        out
+    }
+}
+
+/// Range counting: `|q ∩ X|` without enumerating the result set
+/// (Corollary 1 of the paper for the AIT; Table X compares baselines).
+pub trait RangeCount<E: Endpoint> {
+    /// Returns the number of intervals overlapping `q`.
+    fn range_count(&self, q: Interval<E>) -> usize;
+}
+
+/// Stabbing query: report every interval containing the point `p`
+/// (the operator Edelsbrunner's interval tree was designed for).
+pub trait StabbingQuery<E: Endpoint> {
+    /// Appends the ids of all intervals with `lo ≤ p ≤ hi` to `out`.
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>);
+
+    /// Convenience wrapper returning a fresh `Vec`.
+    fn stab(&self, p: E) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        self.stab_into(p, &mut out);
+        out
+    }
+}
+
+/// Phase-2 handle produced by [`RangeSampler::prepare`] /
+/// [`WeightedRangeSampler::prepare_weighted`]: knows the result-set
+/// size (or an equivalent summary) and draws samples.
+pub trait PreparedSampler {
+    /// `|q ∩ X|` for exact structures. For AIT-V this counts *candidate*
+    /// virtual slots, an upper bound on the true result size.
+    fn candidate_count(&self) -> usize;
+
+    /// Draws `s` samples (with replacement, independent across calls) and
+    /// appends them to `out`. Draws nothing if the result set is empty.
+    ///
+    /// Generic over the RNG so the per-draw hot loop monomorphizes (no
+    /// virtual dispatch on the ~3 RNG calls a draw costs).
+    fn sample_into<R: rand::RngCore + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<ItemId>);
+}
+
+/// Independent range sampling, Problem 1 of the paper: `s` uniform,
+/// independent samples from `q ∩ X`.
+pub trait RangeSampler<E: Endpoint> {
+    /// The phase-2 handle; borrows the index.
+    type Prepared<'a>: PreparedSampler
+    where
+        Self: 'a;
+
+    /// Phase 1: candidate computation for query `q`.
+    fn prepare(&self, q: Interval<E>) -> Self::Prepared<'_>;
+
+    /// Runs both phases: returns `s` uniform samples from `q ∩ X`
+    /// (empty if nothing overlaps `q`).
+    fn sample<R: Rng>(&self, q: Interval<E>, s: usize, rng: &mut R) -> Vec<ItemId> {
+        let prepared = self.prepare(q);
+        let mut out = Vec::with_capacity(s);
+        prepared.sample_into(rng, s, &mut out);
+        out
+    }
+}
+
+/// Independent range sampling on weighted intervals, Problem 2 of the
+/// paper: each `x ∈ q ∩ X` is drawn with probability
+/// `w(x) / Σ_{x' ∈ q∩X} w(x')`.
+pub trait WeightedRangeSampler<E: Endpoint> {
+    /// The phase-2 handle; borrows the index.
+    type Prepared<'a>: PreparedSampler
+    where
+        Self: 'a;
+
+    /// Phase 1: candidate computation for query `q`.
+    fn prepare_weighted(&self, q: Interval<E>) -> Self::Prepared<'_>;
+
+    /// Runs both phases: returns `s` weight-proportional samples from
+    /// `q ∩ X` (empty if nothing overlaps `q`).
+    fn sample_weighted<R: Rng>(
+        &self,
+        q: Interval<E>,
+        s: usize,
+        rng: &mut R,
+    ) -> Vec<ItemId> {
+        let prepared = self.prepare_weighted(q);
+        let mut out = Vec::with_capacity(s);
+        prepared.sample_into(rng, s, &mut out);
+        out
+    }
+}

@@ -1,0 +1,102 @@
+//! Query workload and weight generation (§V-A of the paper).
+
+use irs_core::Interval64;
+use rand::{Rng, SeedableRng};
+
+/// The paper's query generator: left endpoints uniform over the domain,
+/// interval length a fixed percentage of the domain size (8% by default),
+/// 1,000 queries per experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryWorkload {
+    /// Domain the queries are drawn over, `[min, max]`.
+    pub domain: (i64, i64),
+}
+
+impl QueryWorkload {
+    /// Workload over an explicit domain.
+    pub fn new(domain: (i64, i64)) -> Self {
+        assert!(domain.0 <= domain.1, "domain out of order");
+        Self { domain }
+    }
+
+    /// Workload over the domain spanned by `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn from_data(data: &[Interval64]) -> Self {
+        Self::new(irs_core::domain_bounds(data).expect("empty dataset has no domain"))
+    }
+
+    /// Generates `count` queries whose length is `extent_pct`% of the
+    /// domain size, deterministically from `seed`.
+    pub fn generate(&self, count: usize, extent_pct: f64, seed: u64) -> Vec<Interval64> {
+        assert!((0.0..=100.0).contains(&extent_pct), "extent {extent_pct}% out of range");
+        let (dmin, dmax) = self.domain;
+        let size = dmax - dmin;
+        let extent = ((size as f64) * extent_pct / 100.0).round() as i64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let max_start = dmax - extent;
+                let lo =
+                    if max_start <= dmin { dmin } else { rng.random_range(dmin..=max_start) };
+                Interval64::new(lo, lo + extent)
+            })
+            .collect()
+    }
+}
+
+/// The paper's weight assignment: one uniform random integer in `[1, 100]`
+/// per interval.
+pub fn uniform_weights(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(1..=100u32) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_fit_domain_and_extent() {
+        let w = QueryWorkload::new((0, 1_000_000));
+        let qs = w.generate(500, 8.0, 1);
+        assert_eq!(qs.len(), 500);
+        for q in &qs {
+            assert_eq!(q.hi - q.lo, 80_000);
+            assert!(q.lo >= 0 && q.hi <= 1_000_000);
+        }
+    }
+
+    #[test]
+    fn zero_extent_gives_stabbing_queries() {
+        let w = QueryWorkload::new((10, 110));
+        for q in w.generate(50, 0.0, 2) {
+            assert_eq!(q.lo, q.hi);
+        }
+    }
+
+    #[test]
+    fn full_extent_covers_domain() {
+        let w = QueryWorkload::new((5, 105));
+        for q in w.generate(10, 100.0, 3) {
+            assert_eq!((q.lo, q.hi), (5, 105));
+        }
+    }
+
+    #[test]
+    fn weights_in_paper_range() {
+        let ws = uniform_weights(10_000, 4);
+        assert!(ws.iter().all(|&w| (1.0..=100.0).contains(&w) && w.fract() == 0.0));
+        // All 100 values should appear over 10k draws.
+        let distinct: std::collections::HashSet<u64> = ws.iter().map(|&w| w as u64).collect();
+        assert_eq!(distinct.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = QueryWorkload::new((0, 1000));
+        assert_eq!(w.generate(20, 8.0, 9), w.generate(20, 8.0, 9));
+        assert_ne!(w.generate(20, 8.0, 9), w.generate(20, 8.0, 10));
+    }
+}

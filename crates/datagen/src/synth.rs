@@ -1,0 +1,124 @@
+//! Generic synthetic generators for tests, examples, and stress workloads
+//! beyond the four calibrated profiles.
+
+use crate::profiles::standard_normal;
+use irs_core::Interval64;
+use rand::{Rng, SeedableRng};
+
+/// `n` intervals with left endpoints uniform over `[0, domain)` and
+/// lengths uniform over `[1, max_len]` (clipped at the domain edge).
+pub fn uniform(n: usize, domain: i64, max_len: i64, seed: u64) -> Vec<Interval64> {
+    assert!(domain >= 2 && max_len >= 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let lo = rng.random_range(0..domain);
+            let len = rng.random_range(1..=max_len);
+            Interval64::new(lo, (lo + len).min(domain))
+        })
+        .collect()
+}
+
+/// `n` intervals with uniform starts and Zipf-distributed lengths
+/// (`P(len = k) ∝ k^-alpha` over `[1, max_len]`) — a heavy-tailed length
+/// mix that stresses replication-based structures like HINTm.
+pub fn zipf_lengths(n: usize, domain: i64, max_len: i64, alpha: f64, seed: u64) -> Vec<Interval64> {
+    assert!(domain >= 2 && max_len >= 1 && alpha > 0.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Inverse-CDF table over the (truncated) support.
+    let support = max_len.min(100_000) as usize;
+    let mut cdf = Vec::with_capacity(support);
+    let mut acc = 0.0;
+    for k in 1..=support {
+        acc += (k as f64).powf(-alpha);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u = rng.random_range(0.0..total);
+            let k = cdf.partition_point(|&c| c < u) + 1;
+            let lo = rng.random_range(0..domain);
+            Interval64::new(lo, (lo + k as i64).min(domain))
+        })
+        .collect()
+}
+
+/// `n` intervals whose starts cluster around `clusters` hotspots
+/// (Gaussian with the given `spread`), lengths exponential-ish around
+/// `mean_len` — models rush-hour style temporal skew.
+pub fn clustered(
+    n: usize,
+    domain: i64,
+    clusters: usize,
+    spread: i64,
+    mean_len: i64,
+    seed: u64,
+) -> Vec<Interval64> {
+    assert!(domain >= 2 && clusters >= 1 && mean_len >= 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let centers: Vec<i64> = (0..clusters)
+        .map(|i| (i as i64 * 2 + 1) * domain / (clusters as i64 * 2))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.random_range(0..clusters)];
+            let offset = (standard_normal(&mut rng) * spread as f64) as i64;
+            let lo = (c + offset).clamp(0, domain - 1);
+            // Exponential via inverse CDF.
+            let u: f64 = 1.0 - rng.random_range(0.0..1.0);
+            let len = ((-u.ln()) * mean_len as f64).ceil().max(1.0) as i64;
+            Interval64::new(lo, (lo + len).min(domain))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let data = uniform(5000, 100_000, 500, 1);
+        assert_eq!(data.len(), 5000);
+        for iv in &data {
+            assert!(iv.lo >= 0 && iv.hi <= 100_000);
+            assert!(iv.hi > iv.lo || iv.lo == 100_000);
+        }
+    }
+
+    #[test]
+    fn zipf_lengths_are_heavy_tailed() {
+        let data = zipf_lengths(20_000, 1_000_000, 10_000, 1.2, 2);
+        let lens: Vec<i64> = data.iter().map(|iv| iv.hi - iv.lo).collect();
+        let ones = lens.iter().filter(|&&l| l <= 2).count();
+        let long = lens.iter().filter(|&&l| l > 1000).count();
+        assert!(ones > long, "zipf should concentrate on short lengths");
+        assert!(long > 0, "zipf tail should still reach long lengths");
+    }
+
+    #[test]
+    fn clustered_concentrates_near_centers() {
+        let domain = 1_000_000;
+        let data = clustered(20_000, domain, 2, 10_000, 50, 3);
+        // Centers at 250k and 750k; count points within 50k of either.
+        let near = data
+            .iter()
+            .filter(|iv| (iv.lo - 250_000).abs() < 50_000 || (iv.lo - 750_000).abs() < 50_000)
+            .count();
+        assert!(near > 19_000, "only {near}/20000 near cluster centers");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform(100, 1000, 10, 7), uniform(100, 1000, 10, 7));
+        assert_eq!(
+            zipf_lengths(100, 1000, 100, 1.0, 7),
+            zipf_lengths(100, 1000, 100, 1.0, 7)
+        );
+        assert_eq!(
+            clustered(100, 1000, 3, 10, 5, 7),
+            clustered(100, 1000, 3, 10, 5, 7)
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! HINTm — the Hierarchical INdex for inTervals of Christodoulou, Bouros,
+//! and Mamoulis (SIGMOD 2022), reimplemented clean-room as the paper's
+//! state-of-the-art *range search* baseline.
+//!
+//! # Structure
+//!
+//! The domain is snapped onto a grid of `2^m` cells; level `l ∈ [0, m]`
+//! partitions the grid into `2^l` equal partitions. An interval is
+//! decomposed segment-tree style into `O(m)` partitions that exactly cover
+//! its cell span. The unique leftmost piece (the one containing the
+//! interval's start cell) stores the interval as an **original**; all other
+//! pieces store **replicas**. Each partition keeps four sublists by the
+//! (original, ends inside / after this partition) distinction: `O_in`,
+//! `O_aft`, `R_in`, `R_aft`.
+//!
+//! # Query
+//!
+//! For query `[q.lo, q.hi]`, each level scans the partitions spanning the
+//! query's cell range. Endpoint comparisons are needed only in the first
+//! and last partition of each level; middle partitions report all
+//! originals comparison-free. Replicas are scanned only in the first
+//! partition, which — because the decomposition pieces of an interval are
+//! disjoint — guarantees every result is reported exactly once.
+//!
+//! Range search costs `Ω(|q ∩ X|)`: fast in practice, but inherently
+//! output-sensitive, which is exactly the drawback the AIT's sampling
+//! avoids (Table I of the paper).
+
+mod index;
+
+pub use index::{HintM, HintPrepared};

@@ -1,0 +1,18 @@
+//! Edelsbrunner's interval tree (§II-B of the paper) and the
+//! search-then-sample IRS baseline built on it (§V, "Interval tree").
+//!
+//! Each node stores a central point `c` and the intervals stabbed by `c`
+//! twice: sorted by left endpoint (`Ll`) and by right endpoint (`Lr`).
+//! Intervals entirely left of `c` go to the left subtree, entirely right of
+//! `c` to the right subtree. The tree supports:
+//!
+//! - stabbing queries in `O(log n + K)`,
+//! - range search in `O(min(n, log n + K))` — the `O(n)` worst case when a
+//!   query straddles many centers is exactly the drawback the paper's AIT
+//!   removes,
+//! - IRS by materializing `q ∩ X` and sampling from it (the baseline the
+//!   paper compares against): `Ω(|q ∩ X|)` per query.
+
+mod tree;
+
+pub use tree::{IntervalTree, IntervalTreePrepared};

@@ -1,0 +1,188 @@
+//! The cumulative-sum method (§II-C of the paper).
+//!
+//! Builds a prefix-sum array `A[j] = Σ_{i≤j} w_i` in `O(n)`; a draw
+//! generates `u ∈ (0, A[n-1]]` and binary-searches for the first `k` with
+//! `u ≤ A[k]`, returning outcome `k` with probability `w_k / Σ w`.
+//!
+//! The free function [`sample_prefix_range`] draws from a *sub-range*
+//! `[lo, hi]` of an existing prefix array without copying — the operation
+//! AWIT performs per sample against its precomputed cumulative weight
+//! arrays (`Wl`, `Wr`, `AWl`, `AWr`).
+
+use rand::{Rng, RngCore};
+
+/// Prefix-sum table over `n` weighted outcomes `0..n`, drawing in
+/// `O(log n)`.
+#[derive(Clone, Debug)]
+pub struct CumulativeSum {
+    prefix: Vec<f64>,
+}
+
+impl CumulativeSum {
+    /// Builds the prefix array in `O(n)`.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or contains a non-finite or
+    /// non-positive weight.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cumulative sum over zero outcomes");
+        let mut prefix = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w > 0.0, "cumsum weights must be positive, got {w}");
+            acc += w;
+            prefix.push(acc);
+        }
+        Self { prefix }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Always `false`: construction rejects empty weight sets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sum of the input weights.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        *self.prefix.last().expect("non-empty")
+    }
+
+    /// The prefix array itself (`A[j] = Σ_{i≤j} w_i`).
+    #[inline]
+    pub fn prefix(&self) -> &[f64] {
+        &self.prefix
+    }
+
+    /// Draws one outcome in `O(log n)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut (impl RngCore + ?Sized)) -> usize {
+        sample_prefix_range(&self.prefix, 0, self.prefix.len() - 1, rng)
+    }
+}
+
+/// Draws an index `k ∈ [lo, hi]` with probability proportional to
+/// `prefix[k] - prefix[k-1]` (taking `prefix[-1] = 0`), in
+/// `O(log(hi - lo))`.
+///
+/// `prefix` must be non-decreasing over `[lo, hi]` with
+/// `prefix[hi] > prefix[lo] - w_lo` (i.e. positive total mass in the
+/// range). This is AWIT's per-sample primitive: the arrays are built once
+/// at index-construction time and shared by all queries.
+#[inline]
+pub fn sample_prefix_range(
+    prefix: &[f64],
+    lo: usize,
+    hi: usize,
+    rng: &mut (impl RngCore + ?Sized),
+) -> usize {
+    debug_assert!(lo <= hi && hi < prefix.len());
+    let base = if lo == 0 { 0.0 } else { prefix[lo - 1] };
+    let total = prefix[hi] - base;
+    debug_assert!(total > 0.0, "sampling from empty mass range");
+    // `u` uniform in (base, prefix[hi]]; we generate [0, total) and flip to
+    // avoid u == base (which would bias toward lo-1 semantics).
+    let u = base + (total - rng.random_range(0.0..total));
+    // First k in [lo, hi] with prefix[k] >= u.
+    let range = &prefix[lo..=hi];
+    let k = lo + range.partition_point(|&p| p < u);
+    k.min(hi) // guard against floating-point overshoot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn prefix_is_running_total() {
+        let c = CumulativeSum::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.prefix(), &[1.0, 3.0, 6.0]);
+        assert_eq!(c.total_weight(), 6.0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let c = CumulativeSum::new(&[0.25]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(c.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [5.0, 1.0, 3.0, 1.0];
+        let c = CumulativeSum::new(&weights);
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws = 100_000usize;
+        let mut counts = [0f64; 4];
+        for _ in 0..draws {
+            counts[c.sample(&mut rng)] += 1.0;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = draws as f64 * w / 10.0;
+            let rel = (counts[i] - expected).abs() / expected;
+            assert!(rel < 0.05, "outcome {i}: observed {} expected {expected}", counts[i]);
+        }
+    }
+
+    #[test]
+    fn range_sampling_restricts_support() {
+        let c = CumulativeSum::new(&[1.0; 10]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let k = sample_prefix_range(c.prefix(), 3, 6, &mut rng);
+            assert!((3..=6).contains(&k), "sample {k} outside [3, 6]");
+        }
+    }
+
+    #[test]
+    fn range_sampling_weights_within_range() {
+        // Weights 1..=8; restrict to [4, 6] (weights 5, 6, 7).
+        let weights: Vec<f64> = (1..=8).map(|w| w as f64).collect();
+        let c = CumulativeSum::new(&weights);
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws = 90_000usize;
+        let mut counts = [0f64; 3];
+        for _ in 0..draws {
+            let k = sample_prefix_range(c.prefix(), 4, 6, &mut rng);
+            counts[k - 4] += 1.0;
+        }
+        let total = 5.0 + 6.0 + 7.0;
+        for (off, w) in [(0usize, 5.0), (1, 6.0), (2, 7.0)] {
+            let expected = draws as f64 * w / total;
+            let rel = (counts[off] - expected).abs() / expected;
+            assert!(rel < 0.05, "offset {off}: observed {} expected {expected}", counts[off]);
+        }
+    }
+
+    #[test]
+    fn range_sampling_at_array_start() {
+        let c = CumulativeSum::new(&[2.0, 2.0, 1000.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let k = sample_prefix_range(c.prefix(), 0, 1, &mut rng);
+            assert!(k <= 1, "heavy out-of-range outcome leaked in: {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outcomes")]
+    fn empty_weights_panic() {
+        let _ = CumulativeSum::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn negative_weight_panics() {
+        let _ = CumulativeSum::new(&[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Weighted-sampling building blocks used by every IRS algorithm in the
+//! workspace (§II-C of the paper), plus the statistical test utilities the
+//! test suites use to verify sampling distributions.
+//!
+//! - [`AliasTable`] — Walker's alias method: `O(n)` build, `O(1)` draw.
+//!   Used to pick a node record from `R` (AIT / AWIT), a canonical piece
+//!   (KDS), or a candidate interval (weighted search-based baselines).
+//! - [`CumulativeSum`] and [`sample_prefix_range`] — the cumulative-sum
+//!   method: `O(n)` build, `O(log n)` draw, and crucially the ability to
+//!   draw from a *contiguous slice* of a prebuilt prefix-sum array without
+//!   building anything at query time — exactly what AWIT needs to sample
+//!   inside a node record.
+//! - [`stats`] — chi-square goodness-of-fit used by the statistical tests.
+
+pub mod alias;
+pub mod cumsum;
+pub mod stats;
+
+pub use alias::AliasTable;
+pub use cumsum::{sample_prefix_range, CumulativeSum};

@@ -1,0 +1,109 @@
+//! Statistical goodness-of-fit helpers for validating samplers.
+//!
+//! The IRS correctness claims (Theorem 3, Corollary 5) are distributional,
+//! so the test suites check them with chi-square tests. Thresholds are
+//! computed from the Wilson–Hilferty approximation at a very small
+//! significance level, so with fixed seeds the tests are deterministic and
+//! the false-positive probability is negligible.
+
+/// Chi-square statistic of observed counts against expected probabilities.
+///
+/// `expected_probs` must sum to ~1 and be positive; `counts` aligns with it.
+pub fn chi_square_statistic(counts: &[u64], expected_probs: &[f64], draws: u64) -> f64 {
+    assert_eq!(counts.len(), expected_probs.len());
+    let mut stat = 0.0;
+    for (&c, &p) in counts.iter().zip(expected_probs) {
+        assert!(p > 0.0, "expected probability must be positive");
+        let e = draws as f64 * p;
+        let d = c as f64 - e;
+        stat += d * d / e;
+    }
+    stat
+}
+
+/// Approximate upper quantile of the chi-square distribution with `df`
+/// degrees of freedom via the Wilson–Hilferty cube approximation.
+///
+/// `z` is the standard-normal quantile of the desired significance (e.g.
+/// `z = 5.0` ≈ significance 3e-7).
+pub fn chi_square_critical(df: usize, z: f64) -> f64 {
+    let k = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Whether `counts` (totalling `draws`) are consistent with the given
+/// expected probabilities at a ~3e-7 significance level.
+pub fn chi_square_ok(counts: &[u64], expected_probs: &[f64], draws: u64) -> bool {
+    let stat = chi_square_statistic(counts, expected_probs, draws);
+    stat <= chi_square_critical(counts.len().saturating_sub(1).max(1), 5.0)
+}
+
+/// [`chi_square_ok`] against the uniform distribution.
+pub fn chi_square_uniformity_ok(counts: &[u64], draws: u64) -> bool {
+    let p = 1.0 / counts.len() as f64;
+    chi_square_ok(counts, &vec![p; counts.len()], draws)
+}
+
+/// Total variation distance between an empirical distribution (counts) and
+/// expected probabilities — a human-readable companion to the chi-square
+/// verdict in failure messages.
+pub fn total_variation(counts: &[u64], expected_probs: &[f64], draws: u64) -> f64 {
+    counts
+        .iter()
+        .zip(expected_probs)
+        .map(|(&c, &p)| (c as f64 / draws as f64 - p).abs())
+        .sum::<f64>()
+        / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn critical_values_are_sane() {
+        // chi2(0.999999..., df) grows roughly linearly in df.
+        let c10 = chi_square_critical(10, 5.0);
+        let c100 = chi_square_critical(100, 5.0);
+        assert!(c10 > 10.0 && c10 < 80.0, "df=10 critical {c10}");
+        assert!(c100 > 100.0 && c100 < 300.0, "df=100 critical {c100}");
+    }
+
+    #[test]
+    fn uniform_counts_pass() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40;
+        let draws = 120_000u64;
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[rng.random_range(0..n)] += 1;
+        }
+        assert!(chi_square_uniformity_ok(&counts, draws));
+        let tv = total_variation(&counts, &vec![1.0 / n as f64; n], draws);
+        assert!(tv < 0.02, "total variation {tv}");
+    }
+
+    #[test]
+    fn biased_counts_fail() {
+        // All mass on one bucket out of 10.
+        let mut counts = vec![0u64; 10];
+        counts[0] = 10_000;
+        assert!(!chi_square_uniformity_ok(&counts, 10_000));
+    }
+
+    #[test]
+    fn mildly_wrong_distribution_fails_with_enough_draws() {
+        // Sampler uniform over 0..10 tested against a 60/40 split
+        // hypothesis must fail.
+        let mut rng = StdRng::seed_from_u64(12);
+        let draws = 100_000u64;
+        let mut counts = vec![0u64; 2];
+        for _ in 0..draws {
+            counts[usize::from(rng.random_range(0..10u32) >= 5)] += 1;
+        }
+        assert!(!chi_square_ok(&counts, &[0.6, 0.4], draws));
+        assert!(chi_square_ok(&counts, &[0.5, 0.5], draws));
+    }
+}

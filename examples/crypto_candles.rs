@@ -1,0 +1,74 @@
+//! Ex. 3 of the paper: a historical cryptocurrency database. Each candle's
+//! [low, high] price range is an interval; "when did BTC trade inside
+//! [30,000, 40,000]?" is a range query over those intervals. Volume-
+//! weighted sampling (AWIT) surfaces the candles that mattered most, with
+//! probability exactly proportional to traded volume.
+//!
+//! ```sh
+//! cargo run --release --example crypto_candles
+//! ```
+
+use irs::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    // A random-walk price series: one [low, high] candle per minute over
+    // ~two years, plus a traded volume per candle.
+    let n = 1_000_000;
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut price: f64 = 35_000.0;
+    let mut data: Vec<Interval64> = Vec::with_capacity(n);
+    let mut volumes: Vec<f64> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let drift: f64 = rng.random_range(-0.003..0.003);
+        price = (price * (1.0 + drift)).clamp(1_000.0, 120_000.0);
+        let spread = price * rng.random_range(0.0002..0.01);
+        let lo = (price - spread / 2.0) as i64;
+        let hi = (price + spread / 2.0) as i64;
+        data.push(Interval::new(lo, hi.max(lo + 1)));
+        // Volume spikes on big moves.
+        volumes.push(1.0 + 5_000.0 * drift.abs() + rng.random_range(0.0..10.0));
+    }
+    println!("{n} candles, price domain {:?}", irs::domain_bounds(&data).unwrap());
+
+    let t = Instant::now();
+    let awit = Awit::new(&data, &volumes);
+    println!("AWIT built in {:?} ({:.1} MiB)", t.elapsed(), awit.heap_bytes() as f64 / 1048576.0);
+
+    // "When was BTC inside [30k, 40k]?"
+    let band = Interval::new(30_000, 40_000);
+    let t = Instant::now();
+    let hits = awit.range_count(band);
+    let band_volume = awit.range_weight(band);
+    println!(
+        "\n{} candles touched {band:?} (total volume {:.0}) — counted in {:?}",
+        hits,
+        band_volume,
+        t.elapsed()
+    );
+
+    // Volume-weighted sample: heavy-volume candles dominate, as they
+    // should for a "what moved the market in this band" view.
+    let s = 20;
+    let t = Instant::now();
+    let sample = awit.sample_weighted(band, s, &mut rng);
+    println!("{s} volume-weighted candle samples in {:?}:", t.elapsed());
+    for id in &sample {
+        let iv = data[*id as usize];
+        println!("  minute {:>7}: range {iv:?}, volume {:8.1}", id, volumes[*id as usize]);
+    }
+
+    // Sanity: the average volume of weighted samples must exceed the
+    // band's plain average (heavier candles are drawn more often).
+    let mut rng2 = StdRng::seed_from_u64(9);
+    let big_sample = awit.sample_weighted(band, 20_000, &mut rng2);
+    let avg_sampled: f64 =
+        big_sample.iter().map(|&id| volumes[id as usize]).sum::<f64>() / big_sample.len() as f64;
+    let avg_band = band_volume / hits as f64;
+    println!("\navg volume: weighted samples {avg_sampled:.1} vs uniform band {avg_band:.1}");
+    assert!(
+        avg_sampled > avg_band,
+        "volume weighting should bias samples toward heavy candles"
+    );
+}

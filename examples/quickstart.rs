@@ -1,0 +1,71 @@
+//! Quickstart: build every index over the same dataset, run one IRS query,
+//! and compare what each structure costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use irs::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let n = 200_000;
+    println!("generating {n} Renfe-like trip intervals...");
+    let data = irs::datagen::RENFE.generate(n, 42);
+    let weights = irs::datagen::uniform_weights(n, 43);
+
+    // Build all indexes.
+    let t = Instant::now();
+    let ait = Ait::new(&data);
+    println!("AIT built in {:?} ({:.1} MiB)", t.elapsed(), mib(ait.heap_bytes()));
+    let t = Instant::now();
+    let aitv = AitV::new(&data);
+    println!("AIT-V built in {:?} ({:.1} MiB)", t.elapsed(), mib(aitv.heap_bytes()));
+    let t = Instant::now();
+    let awit = Awit::new(&data, &weights);
+    println!("AWIT built in {:?} ({:.1} MiB)", t.elapsed(), mib(awit.heap_bytes()));
+    let t = Instant::now();
+    let itree = IntervalTree::new(&data);
+    println!("Interval tree built in {:?} ({:.1} MiB)", t.elapsed(), mib(itree.heap_bytes()));
+    let t = Instant::now();
+    let hint = HintM::new(&data);
+    println!("HINTm built in {:?} ({:.1} MiB)", t.elapsed(), mib(hint.heap_bytes()));
+    let t = Instant::now();
+    let kds = Kds::new(&data);
+    println!("KDS built in {:?} ({:.1} MiB)", t.elapsed(), mib(kds.heap_bytes()));
+
+    // One query: 8% of the domain, s = 1000 (the paper's defaults).
+    let workload = irs::datagen::QueryWorkload::from_data(&data);
+    let q = workload.generate(1, 8.0, 7)[0];
+    let s = 1000;
+    println!("\nquery {q:?}, s = {s}");
+    println!("result-set size |q ∩ X| = {}", ait.range_count(q));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    for (name, samples) in [
+        ("AIT", timed(&mut rng, |r| ait.sample(q, s, r))),
+        ("AIT-V", timed(&mut rng, |r| aitv.sample(q, s, r))),
+        ("Interval tree", timed(&mut rng, |r| itree.sample(q, s, r))),
+        ("HINTm", timed(&mut rng, |r| hint.sample(q, s, r))),
+        ("KDS", timed(&mut rng, |r| kds.sample(q, s, r))),
+        ("AWIT (weighted)", timed(&mut rng, |r| awit.sample_weighted(q, s, r))),
+    ] {
+        let (elapsed, ids) = samples;
+        assert!(ids.iter().all(|&id| data[id as usize].overlaps(&q)));
+        println!("{name:<16} {s} samples in {elapsed:?}");
+    }
+}
+
+fn timed<R>(
+    rng: &mut R,
+    f: impl Fn(&mut R) -> Vec<ItemId>,
+) -> (std::time::Duration, Vec<ItemId>) {
+    let t = Instant::now();
+    let out = f(rng);
+    (t.elapsed(), out)
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}

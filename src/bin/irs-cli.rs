@@ -1,0 +1,208 @@
+//! `irs-cli` — command-line front end for the library.
+//!
+//! ```text
+//! irs-cli generate --profile taxi --n 100000 --out trips.csv
+//! irs-cli count    --data trips.csv --lo 100 --hi 5000
+//! irs-cli sample   --data trips.csv --lo 100 --hi 5000 --s 10 [--weighted]
+//! irs-cli stab     --data trips.csv --at 250
+//! ```
+//!
+//! Data files are CSV with one `lo,hi[,weight]` triple per line (header
+//! lines starting with a letter are skipped). No external dependencies —
+//! argument parsing is by hand.
+
+use irs::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::io::{BufRead, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "count" => cmd_count(&opts),
+        "sample" => cmd_sample(&opts),
+        "stab" => cmd_stab(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+irs-cli — independent range sampling on interval data
+
+USAGE:
+  irs-cli generate --profile <book|btc|renfe|taxi> --n <N> --out <FILE> [--seed <S>]
+  irs-cli count    --data <FILE> --lo <LO> --hi <HI>
+  irs-cli sample   --data <FILE> --lo <LO> --hi <HI> --s <S> [--weighted] [--seed <S>]
+  irs-cli stab     --data <FILE> --at <P>
+
+Data files: CSV lines `lo,hi[,weight]`.";
+
+/// Flat `--key value` option bag.
+struct Opts(Vec<(String, String)>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got `{a}`"))?;
+            if key == "weighted" {
+                pairs.push((key.to_string(), "true".to_string()));
+                continue;
+            }
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_string(), val.clone()));
+        }
+        Ok(Opts(pairs))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn req(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.req(key)?.parse().map_err(|_| format!("--{key}: not a number"))
+    }
+
+    fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number")),
+        }
+    }
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let profile = match opts.req("profile")? {
+        "book" => irs::datagen::BOOK,
+        "btc" => irs::datagen::BTC,
+        "renfe" => irs::datagen::RENFE,
+        "taxi" => irs::datagen::TAXI,
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    let n: usize = opts.num("n")?;
+    let seed: u64 = opts.num_or("seed", 42)?;
+    let path = opts.req("out")?;
+    let data = profile.generate(n, seed);
+    let weights = irs::datagen::uniform_weights(n, seed ^ 1);
+    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut w = BufWriter::new(file);
+    for (iv, wt) in data.iter().zip(&weights) {
+        writeln!(w, "{},{},{}", iv.lo, iv.hi, wt).map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    println!("wrote {n} {}-profile intervals to {path}", profile.name);
+    Ok(())
+}
+
+fn load(path: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut data = Vec::new();
+    let mut weights = Vec::new();
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(|c: char| c.is_alphabetic()) {
+            continue; // header or blank
+        }
+        let mut parts = line.split(',');
+        let err = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+        let lo: i64 = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| err("bad lo"))?;
+        let hi: i64 = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| err("bad hi"))?;
+        if lo > hi {
+            return Err(err("lo > hi"));
+        }
+        let w: f64 = match parts.next() {
+            Some(v) => v.trim().parse().map_err(|_| err("bad weight"))?,
+            None => 1.0,
+        };
+        data.push(Interval::new(lo, hi));
+        weights.push(w);
+    }
+    if data.is_empty() {
+        return Err(format!("{path}: no intervals"));
+    }
+    Ok((data, weights))
+}
+
+fn cmd_count(opts: &Opts) -> Result<(), String> {
+    let (data, _) = load(opts.req("data")?)?;
+    let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
+    let ait = Ait::new(&data);
+    println!("{}", ait.range_count(q));
+    Ok(())
+}
+
+fn cmd_sample(opts: &Opts) -> Result<(), String> {
+    let (data, weights) = load(opts.req("data")?)?;
+    let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
+    let s: usize = opts.num("s")?;
+    let seed: u64 = opts.num_or("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = if opts.get("weighted").is_some() {
+        let awit = Awit::new(&data, &weights);
+        awit.sample_weighted(q, s, &mut rng)
+    } else {
+        let ait = Ait::new(&data);
+        ait.sample(q, s, &mut rng)
+    };
+    if ids.is_empty() {
+        eprintln!("(empty result set)");
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in ids {
+        let iv = data[id as usize];
+        writeln!(out, "{}\t{},{}\t{}", id, iv.lo, iv.hi, weights[id as usize])
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_stab(opts: &Opts) -> Result<(), String> {
+    let (data, _) = load(opts.req("data")?)?;
+    let p: i64 = opts.num("at")?;
+    let ait = Ait::new(&data);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in irs::StabbingQuery::stab(&ait, p) {
+        let iv = data[id as usize];
+        writeln!(out, "{}\t{},{}", id, iv.lo, iv.hi).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! # irs — Independent Range Sampling on Interval Data
+//!
+//! A reproduction of *"Independent Range Sampling on Interval Data"*
+//! (Amagata, ICDE 2024). Given a set `X` of `n` intervals, a query
+//! interval `q`, and a sample size `s`, independent range sampling (IRS)
+//! returns `s` random intervals from `q ∩ X` — uniformly (Problem 1) or
+//! proportionally to weights (Problem 2) — with samples independent across
+//! queries, in time `Õ(s)` rather than `Ω(|q ∩ X|)`.
+//!
+//! ## The algorithms
+//!
+//! | Index | Time | Space | Weighted |
+//! |---|---|---|---|
+//! | [`IntervalTree`] (baseline) | `Ω(\|q ∩ X\|)` | `O(n)` | ✓ |
+//! | [`HintM`] (baseline) | `Ω(\|q ∩ X\|)` | `O(n)` | ✓ |
+//! | [`Kds`] (baseline) | `O(√n + s)` expected | `O(n)` | ✓ |
+//! | [`Ait`] | `O(log² n + s)` | `O(n log n)` | |
+//! | [`AitV`] | `O(log² n + s)` expected | `O(n)` | |
+//! | [`Awit`] | `O(log² n + s log n)` | `O(n log n)` | ✓ |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use irs::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 100k synthetic taxi-trip-like intervals.
+//! let data = irs::datagen::TAXI.generate(100_000, 42);
+//! let ait = Ait::new(&data);
+//!
+//! // Sample 10 trips active in a time window, in O(log²n + s).
+//! let q = Interval::new(10_000_000, 11_000_000);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let sample_ids = ait.sample(q, 10, &mut rng);
+//! assert_eq!(sample_ids.len(), 10);
+//! for id in sample_ids {
+//!     assert!(data[id as usize].overlaps(&q));
+//! }
+//!
+//! // Exact result-set size without enumerating it (Corollary 1).
+//! let hits = ait.range_count(q);
+//! assert!(hits > 0);
+//! ```
+//!
+//! See the crate-level docs of [`irs_ait`], [`irs_hint`], [`irs_kds`], and
+//! [`irs_interval_tree`] for per-structure details, and `DESIGN.md` /
+//! `EXPERIMENTS.md` in the repository for the reproduction methodology.
+
+pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionStats};
+pub use irs_core::{
+    domain_bounds, pair_sort_indices, BruteForce, Endpoint, GridEndpoint, Interval, Interval64,
+    ItemId, MemoryFootprint, PreparedSampler, RangeCount, RangeSampler, RangeSearch,
+    StabbingQuery, WeightedRangeSampler,
+};
+pub use irs_hint::HintM;
+pub use irs_interval_tree::IntervalTree;
+pub use irs_kds::Kds;
+pub use irs_period_index::PeriodIndex;
+pub use irs_segment_tree::SegmentTree;
+pub use irs_timeline::TimelineIndex;
+
+/// Dataset and workload generation (re-export of [`irs_datagen`]).
+pub mod datagen {
+    pub use irs_datagen::*;
+}
+
+/// Sampling primitives (re-export of [`irs_sampling`]).
+pub mod sampling {
+    pub use irs_sampling::*;
+}
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use irs_ait::{Ait, AitV, Awit, DynamicAwit};
+    pub use irs_core::{
+        Interval, Interval64, ItemId, MemoryFootprint, PreparedSampler, RangeCount, RangeSampler,
+        RangeSearch, StabbingQuery, WeightedRangeSampler,
+    };
+    pub use irs_hint::HintM;
+    pub use irs_interval_tree::IntervalTree;
+    pub use irs_kds::Kds;
+    pub use irs_period_index::PeriodIndex;
+pub use irs_segment_tree::SegmentTree;
+pub use irs_timeline::TimelineIndex;
+}

@@ -1,0 +1,109 @@
+//! Cross-crate agreement: every index structure must answer range search
+//! and range counting identically to the brute-force oracle — and hence to
+//! each other — on every calibrated dataset profile.
+
+use irs::prelude::*;
+use irs::BruteForce;
+
+fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
+    v.sort_unstable();
+    v
+}
+
+/// Runs the full matrix of structures × queries over one dataset.
+fn check_profile(profile: irs::datagen::DatasetProfile, n: usize, seed: u64) {
+    let data = profile.generate(n, seed);
+    let bf = BruteForce::new(&data);
+    let ait = Ait::new(&data);
+    let aitv = AitV::new(&data);
+    let itree = IntervalTree::new(&data);
+    let hint = HintM::new(&data);
+    let kds = Kds::new(&data);
+    let timeline = TimelineIndex::new(&data);
+    let period = PeriodIndex::new(&data);
+    let segtree = SegmentTree::new(&data);
+    ait.validate().unwrap();
+
+    let workload = irs::datagen::QueryWorkload::from_data(&data);
+    for extent in [0.0, 1.0, 8.0, 32.0] {
+        for q in workload.generate(8, extent, seed ^ 0xABCD) {
+            let expect = sorted(bf.range_search(q));
+            assert_eq!(sorted(ait.range_search(q)), expect, "{} AIT {q:?}", profile.name);
+            assert_eq!(sorted(aitv.range_search(q)), expect, "{} AIT-V {q:?}", profile.name);
+            assert_eq!(sorted(itree.range_search(q)), expect, "{} itree {q:?}", profile.name);
+            assert_eq!(sorted(hint.range_search(q)), expect, "{} HINTm {q:?}", profile.name);
+            assert_eq!(sorted(kds.range_search(q)), expect, "{} KDS {q:?}", profile.name);
+            assert_eq!(sorted(timeline.range_search(q)), expect, "{} timeline {q:?}", profile.name);
+            assert_eq!(sorted(period.range_search(q)), expect, "{} period {q:?}", profile.name);
+            assert_eq!(sorted(segtree.range_search(q)), expect, "{} segtree {q:?}", profile.name);
+            assert_eq!(timeline.range_count(q), expect.len(), "{} timeline count", profile.name);
+            assert_eq!(period.range_count(q), expect.len(), "{} period count", profile.name);
+            assert_eq!(ait.range_count(q), expect.len(), "{} AIT count", profile.name);
+            assert_eq!(hint.range_count(q), expect.len(), "{} HINTm count", profile.name);
+            assert_eq!(kds.range_count(q), expect.len(), "{} KDS count", profile.name);
+            assert_eq!(itree.range_count(q), expect.len(), "{} itree count", profile.name);
+        }
+    }
+}
+
+#[test]
+fn book_profile_agreement() {
+    check_profile(irs::datagen::BOOK, 4000, 1);
+}
+
+#[test]
+fn btc_profile_agreement() {
+    check_profile(irs::datagen::BTC, 4000, 2);
+}
+
+#[test]
+fn renfe_profile_agreement() {
+    check_profile(irs::datagen::RENFE, 4000, 3);
+}
+
+#[test]
+fn taxi_profile_agreement() {
+    check_profile(irs::datagen::TAXI, 4000, 4);
+}
+
+#[test]
+fn zipf_and_clustered_workloads_agree() {
+    for data in [
+        irs::datagen::zipf_lengths(3000, 1_000_000, 50_000, 1.1, 5),
+        irs::datagen::clustered(3000, 1_000_000, 5, 20_000, 2_000, 6),
+    ] {
+        let bf = BruteForce::new(&data);
+        let ait = Ait::new(&data);
+        let hint = HintM::new(&data);
+        let kds = Kds::new(&data);
+        let workload = irs::datagen::QueryWorkload::from_data(&data);
+        for q in workload.generate(10, 4.0, 99) {
+            let expect = sorted(bf.range_search(q));
+            assert_eq!(sorted(ait.range_search(q)), expect);
+            assert_eq!(sorted(hint.range_search(q)), expect);
+            assert_eq!(sorted(kds.range_search(q)), expect);
+        }
+    }
+}
+
+#[test]
+fn weighted_structures_agree_on_support_and_weight() {
+    let data = irs::datagen::BTC.generate(3000, 7);
+    let weights = irs::datagen::uniform_weights(data.len(), 8);
+    let bf = BruteForce::new_weighted(&data, &weights);
+    let awit = Awit::new(&data, &weights);
+    let itree = IntervalTree::new_weighted(&data, &weights);
+    let hint = HintM::new_weighted(&data, &weights);
+    let kds = Kds::new_weighted(&data, &weights);
+    let workload = irs::datagen::QueryWorkload::from_data(&data);
+    for q in workload.generate(10, 8.0, 10) {
+        let expect = sorted(bf.range_search(q));
+        assert_eq!(sorted(awit.range_search(q)), expect);
+        assert_eq!(sorted(hint.range_search(q)), expect);
+        assert_eq!(sorted(kds.range_search(q)), expect);
+        assert_eq!(sorted(itree.range_search(q)), expect);
+        let expect_w = bf.result_weight(q);
+        let got_w = awit.range_weight(q);
+        assert!((got_w - expect_w).abs() <= 1e-6 * expect_w.max(1.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! Focused edge-case batch across the whole workspace: query/dataset
+//! boundary geometry, degenerate shapes, and white-box behaviours that
+//! the broad property tests cover only probabilistically.
+
+use irs::prelude::*;
+use irs::BruteForce;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
+    v.sort_unstable();
+    v
+}
+
+/// All structures on a given dataset must agree with the oracle on `q`.
+fn assert_all_agree(data: &[Interval64], q: Interval64, label: &str) {
+    let bf = BruteForce::new(data);
+    let expect = sorted(bf.range_search(q));
+    assert_eq!(sorted(Ait::new(data).range_search(q)), expect, "{label}: AIT");
+    assert_eq!(sorted(AitV::new(data).range_search(q)), expect, "{label}: AIT-V");
+    assert_eq!(sorted(IntervalTree::new(data).range_search(q)), expect, "{label}: itree");
+    assert_eq!(sorted(HintM::new(data).range_search(q)), expect, "{label}: HINTm");
+    assert_eq!(sorted(Kds::new(data).range_search(q)), expect, "{label}: KDS");
+    assert_eq!(sorted(TimelineIndex::new(data).range_search(q)), expect, "{label}: timeline");
+    assert_eq!(sorted(PeriodIndex::new(data).range_search(q)), expect, "{label}: period");
+    assert_eq!(sorted(SegmentTree::new(data).range_search(q)), expect, "{label}: segtree");
+}
+
+#[test]
+fn single_interval_all_query_relations() {
+    let data = vec![Interval::new(10i64, 20)];
+    // Allen's relations of q against [10, 20]: before, meets, overlaps,
+    // starts, during, finishes, contains, equals, met-by, after.
+    for (q, label) in [
+        (Interval::new(0, 9), "before"),
+        (Interval::new(0, 10), "meets"),
+        (Interval::new(5, 15), "overlaps"),
+        (Interval::new(10, 15), "starts"),
+        (Interval::new(12, 18), "during"),
+        (Interval::new(15, 20), "finishes"),
+        (Interval::new(5, 25), "contains"),
+        (Interval::new(10, 20), "equals"),
+        (Interval::new(20, 30), "met-by"),
+        (Interval::new(21, 30), "after"),
+    ] {
+        assert_all_agree(&data, q, label);
+    }
+}
+
+#[test]
+fn touching_chain_of_intervals() {
+    // Consecutive intervals share exactly one endpoint; closed-interval
+    // semantics make both sides match at the joints.
+    let data: Vec<Interval64> = (0..50).map(|i| Interval::new(i * 10, (i + 1) * 10)).collect();
+    for joint in [10i64, 250, 490] {
+        assert_all_agree(&data, Interval::point(joint), "joint");
+    }
+    assert_all_agree(&data, Interval::new(95, 105), "straddling a joint");
+}
+
+#[test]
+fn all_points_same_location() {
+    let data = vec![Interval::point(42i64); 64];
+    assert_all_agree(&data, Interval::point(42), "exact hit");
+    assert_all_agree(&data, Interval::new(41, 41), "just left");
+    assert_all_agree(&data, Interval::new(43, 100), "just right");
+    assert_all_agree(&data, Interval::new(0, 100), "cover");
+}
+
+#[test]
+fn one_giant_interval_among_points() {
+    let mut data: Vec<Interval64> = (0..100).map(|i| Interval::point(i * 100)).collect();
+    data.push(Interval::new(-1_000_000, 1_000_000));
+    assert_all_agree(&data, Interval::new(4_990, 5_010), "mid");
+    assert_all_agree(&data, Interval::new(-999_999, -1), "only giant");
+    assert_all_agree(&data, Interval::new(10_000, 10_000), "last point");
+}
+
+#[test]
+fn query_equals_domain_boundaries() {
+    let data: Vec<Interval64> = (0..200).map(|i| Interval::new(i, i + 7)).collect();
+    let (dmin, dmax) = irs::domain_bounds(&data).unwrap();
+    assert_all_agree(&data, Interval::new(dmin, dmin), "left edge stab");
+    assert_all_agree(&data, Interval::new(dmax, dmax), "right edge stab");
+    assert_all_agree(&data, Interval::new(dmin, dmax), "whole domain");
+}
+
+#[test]
+fn ait_case1_only_and_case2_only_paths() {
+    // Query strictly left (or right) of every center exercises a pure
+    // case-1 (case-2) descent with no fork.
+    let data: Vec<Interval64> = (0..128).map(|i| Interval::new(i * 100, i * 100 + 90)).collect();
+    let ait = Ait::new(&data);
+    let bf = BruteForce::new(&data);
+    // Far-left query: a prefix of the dataset.
+    let ql = Interval::new(-50, 120);
+    assert_eq!(sorted(ait.range_search(ql)), sorted(bf.range_search(ql)));
+    // Far-right query: a suffix.
+    let qr = Interval::new(12_650, 13_000);
+    assert_eq!(sorted(ait.range_search(qr)), sorted(bf.range_search(qr)));
+    use irs::{PreparedSampler, RangeSampler};
+    let p = ait.prepare(ql);
+    assert_eq!(p.candidate_count(), bf.range_count(ql));
+    // A query overlapping nothing walks pure case-1 to the leftmost leaf
+    // and produces no records at all.
+    let p_empty = ait.prepare(Interval::new(-500, -100));
+    assert!(p_empty.records().is_empty());
+    assert_eq!(p_empty.candidate_count(), 0);
+}
+
+#[test]
+fn ait_case3_at_root_uses_child_al_lists() {
+    use irs::RangeSampler;
+    let data: Vec<Interval64> = (0..101).map(|i| Interval::new(i, i + 1)).collect();
+    let ait = Ait::new(&data);
+    // A query covering the root center forks exactly once.
+    let q = Interval::new(30, 70);
+    let p = ait.prepare(q);
+    let al_records = p
+        .records()
+        .iter()
+        .filter(|r| matches!(r.kind, irs::ListKind::AllLo | irs::ListKind::AllHi))
+        .count();
+    assert!(al_records <= 2, "at most two AL records, got {al_records}");
+    assert_eq!(p.candidate_count(), BruteForce::new(&data).range_count(q));
+}
+
+#[test]
+fn awit_range_weight_at_boundaries() {
+    let data = vec![Interval::new(0i64, 10), Interval::new(10, 20), Interval::new(20, 30)];
+    let weights = vec![1.0, 10.0, 100.0];
+    let awit = Awit::new(&data, &weights);
+    assert_eq!(awit.range_weight(Interval::point(10)), 11.0);
+    assert_eq!(awit.range_weight(Interval::point(20)), 110.0);
+    assert_eq!(awit.range_weight(Interval::new(0, 30)), 111.0);
+    assert_eq!(awit.range_weight(Interval::new(31, 40)), 0.0);
+}
+
+#[test]
+fn timeline_time_travel_matches_stab() {
+    let data: Vec<Interval64> = (0..300).map(|i| Interval::new(i % 97, i % 97 + i % 13)).collect();
+    let tl = TimelineIndex::with_checkpoint_period(&data, 16);
+    let bf = BruteForce::new(&data);
+    for p in [0i64, 13, 50, 96, 108, 200] {
+        assert_eq!(sorted(tl.active_at(p)), sorted(bf.stab(p)), "active_at {p}");
+    }
+}
+
+#[test]
+fn hint_minimum_levels_degenerate_grid() {
+    // m = 1 gives only 3 partitions total; everything replicates heavily.
+    let data: Vec<Interval64> = (0..200).map(|i| Interval::new(i * 3, i * 3 + 100)).collect();
+    let hint = HintM::with_levels(&data, 1);
+    let bf = BruteForce::new(&data);
+    for q in [Interval::new(0, 700), Interval::new(300, 310), Interval::new(599, 700)] {
+        assert_eq!(sorted(hint.range_search(q)), sorted(bf.range_search(q)), "{q:?}");
+    }
+}
+
+#[test]
+fn kds_query_outside_bounding_box() {
+    let data: Vec<Interval64> = (100..200).map(|i| Interval::new(i, i + 10)).collect();
+    let kds = Kds::new(&data);
+    assert!(kds.range_search(Interval::new(0, 50)).is_empty());
+    assert!(kds.range_search(Interval::new(300, 400)).is_empty());
+    assert_eq!(kds.range_count(Interval::new(0, 1000)), 100);
+}
+
+#[test]
+fn samplers_respect_closed_boundary_membership() {
+    // The sample support must include intervals touching the query only
+    // at a single shared endpoint.
+    let data = vec![
+        Interval::new(0i64, 100),   // ends exactly at q.lo
+        Interval::new(200, 300),    // starts exactly at q.hi
+        Interval::new(120, 180),    // inside
+        Interval::new(0, 99),       // misses by one
+        Interval::new(201, 300),    // misses by one
+    ];
+    let q = Interval::new(100, 200);
+    let mut rng = StdRng::seed_from_u64(3);
+    for (name, samples) in [
+        ("AIT", Ait::new(&data).sample(q, 3000, &mut rng)),
+        ("AIT-V", AitV::new(&data).sample(q, 3000, &mut rng)),
+        ("KDS", Kds::new(&data).sample(q, 3000, &mut rng)),
+    ] {
+        let mut seen = samples.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2], "{name}: wrong support");
+    }
+}
+
+#[test]
+fn dynamic_awit_interleaves_with_static_equivalence() {
+    let data: Vec<Interval64> = (0..150).map(|i| Interval::new(i, i + 12)).collect();
+    let weights: Vec<f64> = (0..150).map(|i| 1.0 + (i % 4) as f64).collect();
+    let mut dynamic = DynamicAwit::new(&data, &weights);
+    // Apply deletes + inserts, then compare against a static AWIT over
+    // the equivalent final state.
+    for id in 0..30u32 {
+        assert!(dynamic.delete(data[id as usize], id));
+    }
+    let mut final_data: Vec<Interval64> = data[30..].to_vec();
+    let mut final_weights: Vec<f64> = weights[30..].to_vec();
+    for k in 0..10 {
+        let iv = Interval::new(500 + k, 540 + k);
+        dynamic.insert(iv, 3.0);
+        final_data.push(iv);
+        final_weights.push(3.0);
+    }
+    let static_awit = Awit::new(&final_data, &final_weights);
+    for q in [Interval::new(0, 600), Interval::new(25, 45), Interval::new(505, 510)] {
+        assert_eq!(dynamic.range_count(q), static_awit.range_count(q), "{q:?}");
+        let dw = dynamic.range_weight(q);
+        let sw = static_awit.range_weight(q);
+        assert!((dw - sw).abs() < 1e-9 * sw.max(1.0), "{q:?}: {dw} vs {sw}");
+    }
+}

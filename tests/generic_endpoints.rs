@@ -1,0 +1,112 @@
+//! The index structures are generic over any `Copy + Ord` endpoint
+//! (HINTm additionally needs a grid embedding). These tests exercise
+//! non-`i64` endpoint types and extreme endpoint magnitudes.
+
+use irs::prelude::*;
+use irs::BruteForce;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn u32_endpoints_work_everywhere() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<Interval<u32>> = (0..2000)
+        .map(|_| {
+            let lo = rng.random_range(0..100_000u32);
+            Interval::new(lo, lo + rng.random_range(0..5_000))
+        })
+        .collect();
+    let bf = BruteForce::new(&data);
+    let ait = Ait::new(&data);
+    let aitv = AitV::new(&data);
+    let itree = IntervalTree::new(&data);
+    let hint = HintM::new(&data);
+    let kds = Kds::new(&data);
+    let st = SegmentTree::new(&data);
+    for _ in 0..20 {
+        let lo = rng.random_range(0..100_000u32);
+        let q = Interval::new(lo, lo + rng.random_range(0..20_000));
+        let expect = sorted(bf.range_search(q));
+        assert_eq!(sorted(ait.range_search(q)), expect);
+        assert_eq!(sorted(aitv.range_search(q)), expect);
+        assert_eq!(sorted(itree.range_search(q)), expect);
+        assert_eq!(sorted(hint.range_search(q)), expect);
+        assert_eq!(sorted(kds.range_search(q)), expect);
+        assert_eq!(sorted(st.range_search(q)), expect);
+        assert_eq!(sorted(st.stab(q.lo)), sorted(bf.stab(q.lo)));
+    }
+}
+
+#[test]
+fn i16_endpoints_work() {
+    let data: Vec<Interval<i16>> =
+        (-50i16..50).map(|i| Interval::new(i, i.saturating_add(20))).collect();
+    let bf = BruteForce::new(&data);
+    let ait = Ait::new(&data);
+    let hint = HintM::new(&data);
+    for p in [-60i16, -50, 0, 30, 69, 70, 80] {
+        let q = Interval::point(p);
+        assert_eq!(sorted(ait.range_search(q)), sorted(bf.range_search(q)), "stab {p}");
+        assert_eq!(sorted(hint.range_search(q)), sorted(bf.range_search(q)), "stab {p}");
+    }
+}
+
+#[test]
+fn extreme_i64_magnitudes() {
+    // Endpoints spanning almost the whole i64 range stress HINTm's grid
+    // embedding (u64 offsets) and everyone's comparisons.
+    let data = vec![
+        Interval::new(i64::MIN, i64::MIN + 10),
+        Interval::new(i64::MIN / 2, i64::MAX / 2),
+        Interval::new(-1, 1),
+        Interval::new(i64::MAX - 10, i64::MAX),
+        Interval::new(i64::MIN, i64::MAX),
+    ];
+    let bf = BruteForce::new(&data);
+    let ait = Ait::new(&data);
+    let hint = HintM::new(&data);
+    let kds = Kds::new(&data);
+    let itree = IntervalTree::new(&data);
+    for q in [
+        Interval::new(i64::MIN, i64::MIN),
+        Interval::new(-100, 100),
+        Interval::new(i64::MAX - 5, i64::MAX),
+        Interval::new(0, i64::MAX),
+        Interval::new(i64::MIN, i64::MAX),
+    ] {
+        let expect = sorted(bf.range_search(q));
+        assert_eq!(sorted(ait.range_search(q)), expect, "AIT {q:?}");
+        assert_eq!(sorted(hint.range_search(q)), expect, "HINTm {q:?}");
+        assert_eq!(sorted(kds.range_search(q)), expect, "KDS {q:?}");
+        assert_eq!(sorted(itree.range_search(q)), expect, "itree {q:?}");
+    }
+}
+
+#[test]
+fn sampling_works_with_s_zero_and_huge_s() {
+    let data: Vec<Interval64> = (0..100).map(|i| Interval::new(i, i + 10)).collect();
+    let ait = Ait::new(&data);
+    let mut rng = StdRng::seed_from_u64(2);
+    assert!(ait.sample(Interval::new(50, 60), 0, &mut rng).is_empty());
+    let big = ait.sample(Interval::new(50, 60), 100_000, &mut rng);
+    assert_eq!(big.len(), 100_000);
+}
+
+#[test]
+fn char_endpoints_compile_and_answer() {
+    // Even non-numeric Ord types work for the comparison-only structures.
+    let data = vec![
+        Interval::new('a', 'f'),
+        Interval::new('c', 'z'),
+        Interval::new('m', 'p'),
+    ];
+    let ait = Ait::new(&data);
+    let bf = BruteForce::new(&data);
+    for q in [Interval::new('b', 'd'), Interval::point('n'), Interval::new('q', 'y')] {
+        assert_eq!(sorted(ait.range_search(q)), sorted(bf.range_search(q)), "{q:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Statistical validation of the IRS guarantees across all samplers
+//! (Theorem 3 and its weighted analogue): on a shared dataset and query,
+//! every structure's empirical sampling distribution must pass a
+//! chi-square goodness-of-fit test against the exact target distribution.
+
+use irs::prelude::*;
+use irs::sampling::stats::{chi_square_ok, chi_square_uniformity_ok};
+use irs::BruteForce;
+use rand::{rngs::StdRng, SeedableRng};
+
+const DRAWS: usize = 120_000;
+
+fn support_of(data: &[Interval64], q: Interval64) -> Vec<ItemId> {
+    let bf = BruteForce::new(data);
+    let mut s = bf.range_search(q);
+    s.sort_unstable();
+    s
+}
+
+fn assert_uniform(
+    name: &str,
+    data: &[Interval64],
+    q: Interval64,
+    samples: Vec<ItemId>,
+    support: &[ItemId],
+) {
+    assert_eq!(samples.len(), DRAWS, "{name}: wrong sample count");
+    let mut counts = vec![0u64; support.len()];
+    for id in samples {
+        let pos = support
+            .binary_search(&id)
+            .unwrap_or_else(|_| panic!("{name}: sample {id} outside q ∩ X for {q:?}"));
+        counts[pos] += 1;
+        assert!(data[id as usize].overlaps(&q), "{name}: non-overlapping sample");
+    }
+    assert!(
+        chi_square_uniformity_ok(&counts, DRAWS as u64),
+        "{name}: sampling distribution not uniform over {} candidates",
+        support.len()
+    );
+}
+
+#[test]
+fn unweighted_samplers_are_uniform() {
+    let data = irs::datagen::RENFE.generate(5_000, 21);
+    let q = irs::datagen::QueryWorkload::from_data(&data).generate(1, 2.0, 22)[0];
+    let support = support_of(&data, q);
+    assert!(
+        (30..2000).contains(&support.len()),
+        "need a mid-sized support for a meaningful test, got {}",
+        support.len()
+    );
+
+    let ait = Ait::new(&data);
+    let aitv = AitV::new(&data);
+    let itree = IntervalTree::new(&data);
+    let hint = HintM::new(&data);
+    let kds = Kds::new(&data);
+
+    let mut rng = StdRng::seed_from_u64(1000);
+    assert_uniform("AIT", &data, q, ait.sample(q, DRAWS, &mut rng), &support);
+    assert_uniform("AIT-V", &data, q, aitv.sample(q, DRAWS, &mut rng), &support);
+    assert_uniform("IntervalTree", &data, q, itree.sample(q, DRAWS, &mut rng), &support);
+    assert_uniform("HINTm", &data, q, hint.sample(q, DRAWS, &mut rng), &support);
+    assert_uniform("KDS", &data, q, kds.sample(q, DRAWS, &mut rng), &support);
+}
+
+#[test]
+fn weighted_samplers_match_weight_proportions() {
+    let data = irs::datagen::BTC.generate(4_000, 23);
+    let weights = irs::datagen::uniform_weights(data.len(), 24);
+    let q = irs::datagen::QueryWorkload::from_data(&data).generate(1, 6.0, 25)[0];
+    let support = support_of(&data, q);
+    assert!((30..2000).contains(&support.len()), "support size {}", support.len());
+    let total: f64 = support.iter().map(|&id| weights[id as usize]).sum();
+    let expected: Vec<f64> = support.iter().map(|&id| weights[id as usize] / total).collect();
+
+    let awit = Awit::new(&data, &weights);
+    let itree = IntervalTree::new_weighted(&data, &weights);
+    let hint = HintM::new_weighted(&data, &weights);
+    let kds = Kds::new_weighted(&data, &weights);
+
+    let mut rng = StdRng::seed_from_u64(2000);
+    for (name, samples) in [
+        ("AWIT", awit.sample_weighted(q, DRAWS, &mut rng)),
+        ("IntervalTree", itree.sample_weighted(q, DRAWS, &mut rng)),
+        ("HINTm", hint.sample_weighted(q, DRAWS, &mut rng)),
+        ("KDS", kds.sample_weighted(q, DRAWS, &mut rng)),
+    ] {
+        let mut counts = vec![0u64; support.len()];
+        for id in samples {
+            let pos = support
+                .binary_search(&id)
+                .unwrap_or_else(|_| panic!("{name}: sample outside q ∩ X"));
+            counts[pos] += 1;
+        }
+        assert!(
+            chi_square_ok(&counts, &expected, DRAWS as u64),
+            "{name}: weighted sampling deviates from w(x)/Σw"
+        );
+    }
+}
+
+#[test]
+fn independence_across_queries() {
+    // Two runs of the same query must be fresh draws: with a support far
+    // larger than s, repeated identical sample sets would be astronomically
+    // unlikely. (Offline-prepared samples — the approach §I rules out —
+    // would fail this.)
+    let data = irs::datagen::TAXI.generate(20_000, 26);
+    let ait = Ait::new(&data);
+    let q = irs::datagen::QueryWorkload::from_data(&data).generate(1, 8.0, 27)[0];
+    let mut rng = StdRng::seed_from_u64(3000);
+    let a = ait.sample(q, 100, &mut rng);
+    let b = ait.sample(q, 100, &mut rng);
+    assert_ne!(a, b, "consecutive queries returned identical samples");
+}
+
+#[test]
+fn samples_with_replacement_cover_small_supports() {
+    // s far above |q ∩ X|: sampling is with replacement, so every
+    // candidate should appear.
+    let data: Vec<Interval64> = (0..1000).map(|i| Interval::new(i, i + 3)).collect();
+    let ait = Ait::new(&data);
+    let q = Interval::new(500, 508);
+    let support = support_of(&data, q);
+    let mut rng = StdRng::seed_from_u64(4000);
+    let mut seen: Vec<ItemId> = ait.sample(q, 2_000, &mut rng);
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen, support);
+}

@@ -1,0 +1,118 @@
+//! Update-path equivalence: an AIT maintained through arbitrary
+//! insert / batch-insert / delete streams must answer exactly like an AIT
+//! built from scratch over the surviving intervals — and its sampling must
+//! stay uniform.
+
+use irs::prelude::*;
+use irs::sampling::stats::chi_square_uniformity_ok;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn long_mixed_stream_matches_fresh_build() {
+    let base = irs::datagen::BOOK.generate(2_000, 50);
+    let mut ait = Ait::new(&base);
+    let mut live: Vec<(Interval64, ItemId)> =
+        base.iter().enumerate().map(|(i, &iv)| (iv, i as ItemId)).collect();
+    let mut rng = StdRng::seed_from_u64(51);
+    let fresh_pool = irs::datagen::BOOK.generate(3_000, 52);
+
+    for (step, &iv) in fresh_pool.iter().enumerate() {
+        match step % 5 {
+            0 | 1 => {
+                let id = ait.insert(iv);
+                live.push((iv, id));
+            }
+            2 | 3 => {
+                let id = ait.insert_buffered(iv);
+                live.push((iv, id));
+            }
+            _ => {
+                if !live.is_empty() {
+                    let k = rng.random_range(0..live.len());
+                    let (victim, id) = live.swap_remove(k);
+                    assert!(ait.delete(victim, id), "delete {id} failed at step {step}");
+                }
+            }
+        }
+        if step % 500 == 0 {
+            // Mid-stream consistency probe.
+            let q = Interval::new(0, irs::datagen::BOOK.domain_size / 4);
+            let expect: usize = live.iter().filter(|(x, _)| x.overlaps(&q)).count();
+            assert_eq!(ait.range_count(q), expect, "count diverged at step {step}");
+        }
+    }
+    ait.flush_pool();
+    ait.validate().unwrap();
+    assert_eq!(ait.len(), live.len());
+
+    // Final check: identical answers to a brute-force over the live set.
+    let workload = irs::datagen::QueryWorkload::new((0, irs::datagen::BOOK.domain_size));
+    for q in workload.generate(25, 8.0, 53) {
+        let expect: Vec<ItemId> = sorted(
+            live.iter().filter(|(x, _)| x.overlaps(&q)).map(|&(_, id)| id).collect(),
+        );
+        assert_eq!(sorted(ait.range_search(q)), expect, "query {q:?}");
+    }
+}
+
+#[test]
+fn sampling_stays_uniform_after_updates() {
+    let base: Vec<Interval64> = (0..500).map(|i| Interval::new(i, i + 100)).collect();
+    let mut ait = Ait::new(&base);
+    // Delete every third interval, insert replacements, leave some pooled.
+    for id in (0..500u32).step_by(3) {
+        assert!(ait.delete(base[id as usize], id));
+    }
+    for i in 0..120 {
+        ait.insert(Interval::new(i * 4, i * 4 + 90));
+    }
+    for i in 0..10 {
+        ait.insert_buffered(Interval::new(i * 40, i * 40 + 95));
+    }
+    assert!(ait.pool_len() > 0, "want a live pool during the sampling test");
+
+    let q = Interval::new(200, 260);
+    let support = sorted(ait.range_search(q));
+    assert!(support.len() > 50);
+    let draws = 150_000usize;
+    let mut rng = StdRng::seed_from_u64(54);
+    let mut counts = vec![0u64; support.len()];
+    for id in ait.sample(q, draws, &mut rng) {
+        counts[support.binary_search(&id).expect("sample outside result set")] += 1;
+    }
+    assert!(
+        chi_square_uniformity_ok(&counts, draws as u64),
+        "post-update sampling lost uniformity"
+    );
+}
+
+#[test]
+fn rebuild_preserves_answers() {
+    let data = irs::datagen::RENFE.generate(3_000, 55);
+    let mut ait = Ait::new(&data);
+    let q = irs::datagen::QueryWorkload::from_data(&data).generate(1, 8.0, 56)[0];
+    let before = sorted(ait.range_search(q));
+    ait.rebuild();
+    ait.validate().unwrap();
+    assert_eq!(sorted(ait.range_search(q)), before);
+}
+
+#[test]
+fn interleaved_pool_queries_see_everything() {
+    let mut ait = Ait::<i64>::new(&[]);
+    let mut expected = 0usize;
+    for i in 0..300 {
+        if i % 2 == 0 {
+            ait.insert(Interval::new(i, i + 10));
+        } else {
+            ait.insert_buffered(Interval::new(i, i + 10));
+        }
+        expected += 1;
+        assert_eq!(ait.range_count(Interval::new(-100, 1000)), expected, "at step {i}");
+    }
+}
