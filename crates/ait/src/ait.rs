@@ -53,10 +53,34 @@ impl<E: Endpoint> NodeFactory<E> for AitFactory {
     ) -> AitNode<E> {
         AitNode {
             center,
-            l_lo: here_lo.iter().map(|e| Key { key: e.iv.lo, id: e.id }).collect(),
-            l_hi: here_hi.iter().map(|e| Key { key: e.iv.hi, id: e.id }).collect(),
-            al_lo: all_lo.iter().map(|e| Key { key: e.iv.lo, id: e.id }).collect(),
-            al_hi: all_hi.iter().map(|e| Key { key: e.iv.hi, id: e.id }).collect(),
+            l_lo: here_lo
+                .iter()
+                .map(|e| Key {
+                    key: e.iv.lo,
+                    id: e.id,
+                })
+                .collect(),
+            l_hi: here_hi
+                .iter()
+                .map(|e| Key {
+                    key: e.iv.hi,
+                    id: e.id,
+                })
+                .collect(),
+            al_lo: all_lo
+                .iter()
+                .map(|e| Key {
+                    key: e.iv.lo,
+                    id: e.id,
+                })
+                .collect(),
+            al_hi: all_hi
+                .iter()
+                .map(|e| Key {
+                    key: e.iv.hi,
+                    id: e.id,
+                })
+                .collect(),
             left: NIL,
             right: NIL,
         }
@@ -107,7 +131,11 @@ impl<E: Endpoint> Ait<E> {
         let entries: Vec<BuildEntry<E>> = data
             .iter()
             .enumerate()
-            .map(|(i, &iv)| BuildEntry { iv, id: i as ItemId, w: 1.0 })
+            .map(|(i, &iv)| BuildEntry {
+                iv,
+                id: i as ItemId,
+                w: 1.0,
+            })
             .collect();
         Self::from_entries(entries, data.len() as ItemId)
     }
@@ -291,7 +319,9 @@ impl<E: Endpoint> Ait<E> {
             subtree.extend(walk(ait, node.right)?);
             subtree.sort_unstable();
             if subtree != ids_sorted(&node.al_lo) || subtree != ids_sorted(&node.al_hi) {
-                return Err(format!("node {at}: AL lists disagree with subtree contents"));
+                return Err(format!(
+                    "node {at}: AL lists disagree with subtree contents"
+                ));
             }
             Ok(subtree)
         }
@@ -315,7 +345,11 @@ impl<E: Endpoint> RangeSearch<E> for Ait<E> {
         self.collect_records(q, &mut records, &mut pool_matches);
         for rec in &records {
             let list = self.nodes[rec.node as usize].list(rec.kind);
-            out.extend(list[rec.start as usize..=rec.end as usize].iter().map(|k| k.id));
+            out.extend(
+                list[rec.start as usize..=rec.end as usize]
+                    .iter()
+                    .map(|k| k.id),
+            );
         }
         out.extend_from_slice(&pool_matches);
     }
@@ -437,7 +471,11 @@ impl<E: Endpoint> RangeSampler<E> for Ait<E> {
         let mut records = Vec::new();
         let mut pool_matches = Vec::new();
         self.collect_records(q, &mut records, &mut pool_matches);
-        AitPrepared { ait: self, records, pool_matches }
+        AitPrepared {
+            ait: self,
+            records,
+            pool_matches,
+        }
     }
 }
 
@@ -484,17 +522,17 @@ mod tests {
         // Mirrors the flavor of Fig. 2: a mix of nested, disjoint, and
         // chained intervals.
         vec![
-            iv(40, 60),  // x1: stabs the root region
-            iv(5, 15),   // x2
-            iv(55, 85),  // x3
-            iv(18, 28),  // x4
-            iv(62, 78),  // x5
-            iv(35, 47),  // x6
-            iv(88, 95),  // x7
-            iv(1, 3),    // x8
-            iv(30, 32),  // x9
-            iv(50, 52),  // x10
-            iv(97, 99),  // x11
+            iv(40, 60), // x1: stabs the root region
+            iv(5, 15),  // x2
+            iv(55, 85), // x3
+            iv(18, 28), // x4
+            iv(62, 78), // x5
+            iv(35, 47), // x6
+            iv(88, 95), // x7
+            iv(1, 3),   // x8
+            iv(30, 32), // x9
+            iv(50, 52), // x10
+            iv(97, 99), // x11
         ]
     }
 
@@ -526,7 +564,11 @@ mod tests {
             iv(-10, 0),
             iv(47, 47),
         ] {
-            assert_eq!(sorted(ait.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+            assert_eq!(
+                sorted(ait.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
             assert_eq!(ait.range_count(q), bf.range_count(q), "count {q:?}");
         }
     }
@@ -591,7 +633,11 @@ mod tests {
         let bf = BruteForce::new(&data);
         for p in [-5, 1, 15, 40, 50, 60, 99, 150] {
             let q = iv(p, p);
-            assert_eq!(sorted(ait.range_search(q)), sorted(bf.range_search(q)), "stab {p}");
+            assert_eq!(
+                sorted(ait.range_search(q)),
+                sorted(bf.range_search(q)),
+                "stab {p}"
+            );
         }
     }
 

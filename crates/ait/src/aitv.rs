@@ -221,9 +221,15 @@ impl<E: Endpoint> RangeSampler<E> for AitV<E> {
     fn prepare(&self, q: Interval<E>) -> AitVPrepared<'_, E> {
         let mut records = Vec::new();
         let mut pool_matches = Vec::new();
-        self.virtual_ait.collect_records(q, &mut records, &mut pool_matches);
+        self.virtual_ait
+            .collect_records(q, &mut records, &mut pool_matches);
         debug_assert!(pool_matches.is_empty(), "AIT-V is static; no pool expected");
-        AitVPrepared { aitv: self, q, records, stats: Cell::new(RejectionStats::default()) }
+        AitVPrepared {
+            aitv: self,
+            q,
+            records,
+            stats: Cell::new(RejectionStats::default()),
+        }
     }
 }
 
@@ -283,7 +289,11 @@ mod tests {
         let aitv = AitV::new(&data);
         let bf = BruteForce::new(&data);
         for q in [iv(0, 450), iv(100, 120), iv(399, 399), iv(500, 600)] {
-            assert_eq!(sorted(aitv.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+            assert_eq!(
+                sorted(aitv.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
         }
     }
 

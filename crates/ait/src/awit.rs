@@ -68,7 +68,10 @@ fn keys_and_prefix<E: Endpoint>(
     let mut prefix = Vec::with_capacity(entries.len());
     let mut acc = 0.0;
     for e in entries {
-        keys.push(Key { key: key_of(e), id: e.id });
+        keys.push(Key {
+            key: key_of(e),
+            id: e.id,
+        });
         acc += e.w;
         prefix.push(acc);
     }
@@ -145,12 +148,24 @@ impl<E: Endpoint> Awit<E> {
             .zip(weights)
             .enumerate()
             .map(|(i, (&iv, &w))| {
-                assert!(w > 0.0 && w.is_finite(), "weights must be positive, got {w}");
-                BuildEntry { iv, id: i as ItemId, w }
+                assert!(
+                    w > 0.0 && w.is_finite(),
+                    "weights must be positive, got {w}"
+                );
+                BuildEntry {
+                    iv,
+                    id: i as ItemId,
+                    w,
+                }
             })
             .collect();
         let built = build_tree(&AwitFactory, entries);
-        Awit { nodes: built.nodes, root: built.root, len: data.len(), height: built.height }
+        Awit {
+            nodes: built.nodes,
+            root: built.root,
+            len: data.len(),
+            height: built.height,
+        }
     }
 
     /// Number of intervals indexed.
@@ -238,7 +253,11 @@ impl<E: Endpoint> Awit<E> {
     /// (the key AWIT property — no access to the intervals themselves).
     fn record_weight(&self, rec: &NodeRecord) -> f64 {
         let prefix = self.nodes[rec.node as usize].prefix(rec.kind);
-        let base = if rec.start == 0 { 0.0 } else { prefix[rec.start as usize - 1] };
+        let base = if rec.start == 0 {
+            0.0
+        } else {
+            prefix[rec.start as usize - 1]
+        };
         prefix[rec.end as usize] - base
     }
 
@@ -257,7 +276,11 @@ impl<E: Endpoint> RangeSearch<E> for Awit<E> {
         self.collect_records(q, &mut records);
         for rec in &records {
             let list = self.nodes[rec.node as usize].list(rec.kind);
-            out.extend(list[rec.start as usize..=rec.end as usize].iter().map(|k| k.id));
+            out.extend(
+                list[rec.start as usize..=rec.end as usize]
+                    .iter()
+                    .map(|k| k.id),
+            );
         }
     }
 }
@@ -281,11 +304,7 @@ impl<'a, E: Endpoint> AwitPrepared<'a, E> {
     /// One weight-proportional draw from record `k` (an index into
     /// [`AwitPrepared::records`]), via the cumulative-sum method on the
     /// prebuilt prefix array. `O(log n)`.
-    pub(crate) fn sample_record<R: rand::RngCore + ?Sized>(
-        &self,
-        k: usize,
-        rng: &mut R,
-    ) -> ItemId {
+    pub(crate) fn sample_record<R: rand::RngCore + ?Sized>(&self, k: usize, rng: &mut R) -> ItemId {
         let rec = &self.records[k];
         let node = &self.awit.nodes[rec.node as usize];
         let prefix = node.prefix(rec.kind);
@@ -335,7 +354,11 @@ impl<E: Endpoint> WeightedRangeSampler<E> for Awit<E> {
         let mut records = Vec::new();
         self.collect_records(q, &mut records);
         let record_weights = records.iter().map(|r| self.record_weight(r)).collect();
-        AwitPrepared { awit: self, records, record_weights }
+        AwitPrepared {
+            awit: self,
+            records,
+            record_weights,
+        }
     }
 }
 
@@ -385,16 +408,25 @@ mod tests {
 
     #[test]
     fn search_and_count_match_oracle() {
-        let data: Vec<_> = (0..400).map(|i| iv((i * 11) % 350, (i * 11) % 350 + i % 23)).collect();
+        let data: Vec<_> = (0..400)
+            .map(|i| iv((i * 11) % 350, (i * 11) % 350 + i % 23))
+            .collect();
         let weights: Vec<f64> = (0..400).map(|i| 1.0 + (i % 100) as f64).collect();
         let awit = Awit::new(&data, &weights);
         let bf = BruteForce::new_weighted(&data, &weights);
         for q in [iv(0, 400), iv(100, 110), iv(349, 360), iv(-20, -1)] {
-            assert_eq!(sorted(awit.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+            assert_eq!(
+                sorted(awit.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
             assert_eq!(awit.range_count(q), bf.range_count(q));
             let rw = awit.range_weight(q);
             let expect = bf.result_weight(q);
-            assert!((rw - expect).abs() < 1e-6 * expect.max(1.0), "weight {rw} vs {expect}");
+            assert!(
+                (rw - expect).abs() < 1e-6 * expect.max(1.0),
+                "weight {rw} vs {expect}"
+            );
         }
     }
 
@@ -420,7 +452,10 @@ mod tests {
         let support = sorted(bf.range_search(q));
         assert!(support.len() > 5);
         let total: f64 = support.iter().map(|&id| weights[id as usize]).sum();
-        let expected: Vec<f64> = support.iter().map(|&id| weights[id as usize] / total).collect();
+        let expected: Vec<f64> = support
+            .iter()
+            .map(|&id| weights[id as usize] / total)
+            .collect();
 
         let mut rng = StdRng::seed_from_u64(321);
         let draws = 300_000usize;
@@ -454,7 +489,10 @@ mod tests {
         for id in awit.sample_weighted(q, draws, &mut rng) {
             counts[support.binary_search(&id).unwrap()] += 1;
         }
-        assert!(irs_sampling::stats::chi_square_uniformity_ok(&counts, draws as u64));
+        assert!(irs_sampling::stats::chi_square_uniformity_ok(
+            &counts,
+            draws as u64
+        ));
     }
 
     #[test]
@@ -475,7 +513,10 @@ mod tests {
         let awit = Awit::new(&data, &weights);
         let ait = Ait::new(&data);
         let ratio = awit.heap_bytes() as f64 / ait.heap_bytes() as f64;
-        assert!((1.2..2.6).contains(&ratio), "AWIT/AIT footprint ratio {ratio}");
+        assert!(
+            (1.2..2.6).contains(&ratio),
+            "AWIT/AIT footprint ratio {ratio}"
+        );
     }
 
     proptest! {

@@ -72,7 +72,11 @@ pub(crate) fn build_tree<E: Endpoint, F: NodeFactory<E>>(
     by_lo.sort_unstable_by_key(|a| (a.iv.lo, a.id));
     by_hi.sort_unstable_by_key(|a| (a.iv.hi, a.id));
 
-    let mut tree = BuiltTree { nodes: Vec::new(), root: NIL, height: 0 };
+    let mut tree = BuiltTree {
+        nodes: Vec::new(),
+        root: NIL,
+        height: 0,
+    };
     tree.root = build_node(factory, by_lo, by_hi, 1, &mut tree.nodes, &mut tree.height);
     tree
 }
@@ -104,7 +108,10 @@ fn build_node<E: Endpoint, F: NodeFactory<E>>(
     // Stable three-way partition of both sorted views.
     let (here_lo, left_lo, right_lo) = split_three(by_lo, center);
     let (here_hi, left_hi, right_hi) = split_three(by_hi, center);
-    debug_assert!(!here_lo.is_empty(), "median endpoint must stab at least one interval");
+    debug_assert!(
+        !here_lo.is_empty(),
+        "median endpoint must stab at least one interval"
+    );
     debug_assert_eq!(here_lo.len(), here_hi.len());
 
     // Materialize this node before recursing; `all_*` is exactly the
@@ -184,9 +191,8 @@ fn merge_by<E: Endpoint, K: Ord>(
         match (&ka, &kb, &kc) {
             (None, None, None) => break,
             _ => {
-                let pick_a = ka.is_some()
-                    && (kb.is_none() || ka <= kb)
-                    && (kc.is_none() || ka <= kc);
+                let pick_a =
+                    ka.is_some() && (kb.is_none() || ka <= kb) && (kc.is_none() || ka <= kc);
                 if pick_a {
                     out.push(a[i]);
                     i += 1;
@@ -207,7 +213,11 @@ mod tests {
     use super::*;
 
     fn be(lo: i64, hi: i64, id: ItemId) -> BuildEntry<i64> {
-        BuildEntry { iv: Interval::new(lo, hi), id, w: 1.0 }
+        BuildEntry {
+            iv: Interval::new(lo, hi),
+            id,
+            w: 1.0,
+        }
     }
 
     /// Minimal factory that keeps the raw slices for inspection.
@@ -256,12 +266,20 @@ mod tests {
 
     #[test]
     fn augmented_lists_are_sorted_and_complete() {
-        let entries: Vec<_> = (0..200).map(|i| be(i % 37, i % 37 + (i % 11), i as u32)).collect();
+        let entries: Vec<_> = (0..200)
+            .map(|i| be(i % 37, i % 37 + (i % 11), i as u32))
+            .collect();
         let t = build_tree(&Probe, entries.clone());
         let root = &t.nodes[t.root as usize];
         assert_eq!(root.all_lo.len(), entries.len());
-        assert!(root.all_lo.windows(2).all(|w| w[0].0 <= w[1].0), "ALl not sorted");
-        assert!(root.all_hi.windows(2).all(|w| w[0].0 <= w[1].0), "ALr not sorted");
+        assert!(
+            root.all_lo.windows(2).all(|w| w[0].0 <= w[1].0),
+            "ALl not sorted"
+        );
+        assert!(
+            root.all_hi.windows(2).all(|w| w[0].0 <= w[1].0),
+            "ALr not sorted"
+        );
         // Every node: here count ≥ 1, subtree list sizes consistent.
         let mut total_here = 0;
         for node in &t.nodes {
@@ -274,24 +292,37 @@ mod tests {
 
     #[test]
     fn height_stays_logarithmic() {
-        let entries: Vec<_> = (0..10_000).map(|i| be(i * 3, i * 3 + 1, i as u32)).collect();
+        let entries: Vec<_> = (0..10_000)
+            .map(|i| be(i * 3, i * 3 + 1, i as u32))
+            .collect();
         let t = build_tree(&Probe, entries);
-        assert!(t.height <= 18, "height {} for 10k disjoint intervals", t.height);
+        assert!(
+            t.height <= 18,
+            "height {} for 10k disjoint intervals",
+            t.height
+        );
     }
 
     #[test]
     fn children_partition_strictly() {
-        let entries: Vec<_> =
-            (0..500).map(|i| be((i * 7) % 100, (i * 7) % 100 + (i % 13), i as u32)).collect();
+        let entries: Vec<_> = (0..500)
+            .map(|i| be((i * 7) % 100, (i * 7) % 100 + (i % 13), i as u32))
+            .collect();
         let t = build_tree(&Probe, entries);
         for node in &t.nodes {
             if node.left != NIL {
                 let l = &t.nodes[node.left as usize];
-                assert!(l.all_hi.last().unwrap().0 < node.center, "left child leaks over center");
+                assert!(
+                    l.all_hi.last().unwrap().0 < node.center,
+                    "left child leaks over center"
+                );
             }
             if node.right != NIL {
                 let r = &t.nodes[node.right as usize];
-                assert!(r.all_lo.first().unwrap().0 > node.center, "right child leaks over center");
+                assert!(
+                    r.all_lo.first().unwrap().0 > node.center,
+                    "right child leaks over center"
+                );
             }
         }
     }

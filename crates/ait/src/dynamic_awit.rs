@@ -110,7 +110,10 @@ impl<E: Endpoint> DynamicAwit<E> {
     /// Inserts a weighted interval, returning its id. Amortized
     /// `O(n/log n)`; worst case one rebuild.
     pub fn insert(&mut self, iv: Interval<E>, weight: f64) -> ItemId {
-        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive, got {weight}");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weights must be positive, got {weight}"
+        );
         let id = self.next_id;
         self.next_id = self.next_id.checked_add(1).expect("id space exhausted");
         self.pool.push((iv, id, weight));
@@ -122,7 +125,11 @@ impl<E: Endpoint> DynamicAwit<E> {
 
     /// Deletes `(iv, id)`, returning whether it was live.
     pub fn delete(&mut self, iv: Interval<E>, id: ItemId) -> bool {
-        if let Some(pos) = self.pool.iter().position(|&(piv, pid, _)| pid == id && piv == iv) {
+        if let Some(pos) = self
+            .pool
+            .iter()
+            .position(|&(piv, pid, _)| pid == id && piv == iv)
+        {
             self.pool.swap_remove(pos);
             return true;
         }
@@ -177,7 +184,10 @@ impl<E: Endpoint> DynamicAwit<E> {
     }
 
     fn tombstoned_in(&self, q: Interval<E>) -> usize {
-        self.tombstones.values().filter(|iv| iv.overlaps(&q)).count()
+        self.tombstones
+            .values()
+            .filter(|iv| iv.overlaps(&q))
+            .count()
     }
 }
 
@@ -199,7 +209,11 @@ impl<E: Endpoint> RangeSearch<E> for DynamicAwit<E> {
 
 impl<E: Endpoint> RangeCount<E> for DynamicAwit<E> {
     fn range_count(&self, q: Interval<E>) -> usize {
-        let pool = self.pool.iter().filter(|(iv, _, _)| iv.overlaps(&q)).count();
+        let pool = self
+            .pool
+            .iter()
+            .filter(|(iv, _, _)| iv.overlaps(&q))
+            .count();
         self.awit.range_count(q) - self.tombstoned_in(q) + pool
     }
 }
@@ -236,8 +250,7 @@ impl<E: Endpoint> DynamicAwitPrepared<'_, E> {
 
 impl<E: Endpoint> PreparedSampler for DynamicAwitPrepared<'_, E> {
     fn candidate_count(&self) -> usize {
-        self.inner.candidate_count() - self.parent.tombstoned_in(self.q)
-            + self.pool_matches.len()
+        self.inner.candidate_count() - self.parent.tombstoned_in(self.q) + self.pool_matches.len()
     }
 
     fn sample_into<R: rand::RngCore + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<ItemId>) {
@@ -295,7 +308,12 @@ impl<E: Endpoint> WeightedRangeSampler<E> for DynamicAwit<E> {
             .filter(|(iv, _, _)| iv.overlaps(&q))
             .map(|&(_, id, w)| (id, w))
             .collect();
-        DynamicAwitPrepared { parent: self, inner, pool_matches, q }
+        DynamicAwitPrepared {
+            parent: self,
+            inner,
+            pool_matches,
+            q,
+        }
     }
 }
 
@@ -304,10 +322,8 @@ impl<E: Endpoint> MemoryFootprint for DynamicAwit<E> {
         self.awit.heap_bytes()
             + vec_bytes(&self.slot_ids)
             + vec_bytes(&self.pool)
-            + self.resident.capacity()
-                * (std::mem::size_of::<(ItemId, (Interval<E>, f64))>() + 8)
-            + self.tombstones.capacity()
-                * (std::mem::size_of::<(ItemId, Interval<E>)>() + 8)
+            + self.resident.capacity() * (std::mem::size_of::<(ItemId, (Interval<E>, f64))>() + 8)
+            + self.tombstones.capacity() * (std::mem::size_of::<(ItemId, Interval<E>)>() + 8)
     }
 }
 
@@ -364,7 +380,11 @@ mod tests {
         for i in 0..cap {
             idx.insert(iv(i as i64, i as i64 + 10), 2.0);
         }
-        assert_eq!(idx.pool_len(), 0, "pool must have been folded in by a rebuild");
+        assert_eq!(
+            idx.pool_len(),
+            0,
+            "pool must have been folded in by a rebuild"
+        );
         // Shadow check against brute force.
         let mut shadow: Vec<(Interval<i64>, ItemId, f64)> = data
             .iter()
@@ -375,11 +395,19 @@ mod tests {
             shadow.push((iv(i as i64, i as i64 + 10), (200 + i) as ItemId, 2.0));
         }
         for q in [iv(0, 250), iv(40, 60), iv(199, 240)] {
-            let expect: Vec<ItemId> =
-                sorted(shadow.iter().filter(|(x, _, _)| x.overlaps(&q)).map(|&(_, id, _)| id).collect());
+            let expect: Vec<ItemId> = sorted(
+                shadow
+                    .iter()
+                    .filter(|(x, _, _)| x.overlaps(&q))
+                    .map(|&(_, id, _)| id)
+                    .collect(),
+            );
             assert_eq!(sorted(idx.range_search(q)), expect, "query {q:?}");
-            let expect_w: f64 =
-                shadow.iter().filter(|(x, _, _)| x.overlaps(&q)).map(|&(_, _, w)| w).sum();
+            let expect_w: f64 = shadow
+                .iter()
+                .filter(|(x, _, _)| x.overlaps(&q))
+                .map(|&(_, _, w)| w)
+                .sum();
             assert!((idx.range_weight(q) - expect_w).abs() < 1e-6 * expect_w.max(1.0));
         }
     }
@@ -424,7 +452,10 @@ mod tests {
         let draws = 200_000usize;
         let mut counts = vec![0u64; ids.len()];
         for id in idx.sample_weighted(q, draws, &mut rng) {
-            let pos = ids.iter().position(|&x| x == id).expect("sample outside live q ∩ X");
+            let pos = ids
+                .iter()
+                .position(|&x| x == id)
+                .expect("sample outside live q ∩ X");
             counts[pos] += 1;
         }
         assert!(
@@ -444,7 +475,10 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(1);
         let samples = idx.sample_weighted(iv(0, 9), 50, &mut rng);
-        assert!(samples.is_empty(), "tombstoned mass must not be sampled: {samples:?}");
+        assert!(
+            samples.is_empty(),
+            "tombstoned mass must not be sampled: {samples:?}"
+        );
         assert_eq!(idx.range_count(iv(0, 9)), 0);
     }
 

@@ -62,9 +62,19 @@ mod tests {
 
     #[test]
     fn record_len_is_inclusive() {
-        let r = NodeRecord { node: 0, kind: ListKind::Lo, start: 3, end: 3 };
+        let r = NodeRecord {
+            node: 0,
+            kind: ListKind::Lo,
+            start: 3,
+            end: 3,
+        };
         assert_eq!(r.len(), 1);
-        let r = NodeRecord { node: 0, kind: ListKind::AllLo, start: 0, end: 9 };
+        let r = NodeRecord {
+            node: 0,
+            kind: ListKind::AllLo,
+            start: 0,
+            end: 9,
+        };
         assert_eq!(r.len(), 10);
         assert!(!r.is_empty());
     }

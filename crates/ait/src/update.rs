@@ -166,7 +166,11 @@ impl<E: Endpoint> Ait<E> {
     /// the `AL` lists of every node on its path and from the `L` lists of
     /// its home node, then prunes emptied leaves.
     pub fn delete(&mut self, iv: Interval<E>, id: ItemId) -> bool {
-        if let Some(pos) = self.pool.iter().position(|&(piv, pid)| pid == id && piv == iv) {
+        if let Some(pos) = self
+            .pool
+            .iter()
+            .position(|&(piv, pid)| pid == id && piv == iv)
+        {
             self.pool.swap_remove(pos);
             self.len -= 1;
             return true;
@@ -326,7 +330,11 @@ mod tests {
         ait.validate().unwrap();
         let bf = BruteForce::new(&data);
         for q in [iv(0, 1000), iv(35, 60), iv(995, 1200), iv(-10, -1)] {
-            assert_eq!(sorted(ait.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+            assert_eq!(
+                sorted(ait.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
         }
     }
 
@@ -415,7 +423,11 @@ mod tests {
         }
         let n = ait.len();
         let bound = 2 * (n as f64).log2().ceil() as usize + 2;
-        assert!(ait.height() <= bound, "height {} exceeds bound {bound}", ait.height());
+        assert!(
+            ait.height() <= bound,
+            "height {} exceeds bound {bound}",
+            ait.height()
+        );
         ait.validate().unwrap();
         let bf = BruteForce::new(
             &std::iter::once(iv(1_000_000, 1_000_001))

@@ -9,9 +9,23 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("AIT-V rejection sampling: attempts per s accepted samples"));
+    println!(
+        "{}",
+        cfg.banner("AIT-V rejection sampling: attempts per s accepted samples")
+    );
     let sets = datasets(&cfg);
-    println!("{}", row("dataset", &["attempts".into(), "accepted".into(), "ratio".into(), "fallbacks".into()]));
+    println!(
+        "{}",
+        row(
+            "dataset",
+            &[
+                "attempts".into(),
+                "accepted".into(),
+                "ratio".into(),
+                "fallbacks".into()
+            ]
+        )
+    );
 
     for ds in &sets {
         let aitv = AitV::new(&ds.data);

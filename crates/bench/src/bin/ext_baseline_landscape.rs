@@ -15,7 +15,10 @@ use irs_timeline::TimelineIndex;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Extension: full baseline landscape (candidate / sampling / total, microsec)"));
+    println!(
+        "{}",
+        cfg.banner("Extension: full baseline landscape (candidate / sampling / total, microsec)")
+    );
     let sets = datasets(&cfg);
 
     for ds in &sets {
@@ -23,17 +26,28 @@ fn main() {
         let queries = ds.queries(&cfg, 8.0);
         println!(
             "{}",
-            row("structure", &["candidate".into(), "sampling".into(), "total".into()])
+            row(
+                "structure",
+                &["candidate".into(), "sampling".into(), "total".into()]
+            )
         );
         macro_rules! measure {
             ($name:expr, $idx:expr) => {{
                 let idx = $idx;
-                let cells = vec![
-                    us(avg_candidate_micros(&idx, &queries)),
-                    us(avg_sampling_micros(&idx, &queries, cfg.s, cfg.seed)),
-                    us(avg_total_micros(&idx, &queries, cfg.s, cfg.seed)),
-                ];
+                let candidate = avg_candidate_micros(&idx, &queries);
+                let sampling = avg_sampling_micros(&idx, &queries, cfg.s, cfg.seed);
+                let total = avg_total_micros(&idx, &queries, cfg.s, cfg.seed);
+                let cells = vec![us(candidate), us(sampling), us(total)];
                 println!("{}", row($name, &cells));
+                JsonRow::new("baseline_landscape")
+                    .str("dataset", ds.name())
+                    .str("structure", $name)
+                    .int("n", cfg.scale)
+                    .int("s", cfg.s)
+                    .num("candidate_us", candidate)
+                    .num("sampling_us", sampling)
+                    .num("total_us", total)
+                    .emit();
             }};
         }
         measure!("Interval tree", IntervalTree::new(&ds.data));

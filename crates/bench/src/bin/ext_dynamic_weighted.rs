@@ -11,7 +11,10 @@ use irs_datagen::uniform_weights;
 fn main() {
     let cfg = BenchConfig::from_env();
     let k = 5_000.min(cfg.scale / 4);
-    println!("{}", cfg.banner("Extension: dynamic weighted IRS (DynamicAwit)"));
+    println!(
+        "{}",
+        cfg.banner("Extension: dynamic weighted IRS (DynamicAwit)")
+    );
     println!("(k = {k} updates per measurement)");
     let sets = datasets(&cfg);
     println!("{}", dataset_header(&sets));
@@ -35,7 +38,8 @@ fn main() {
                 dyn_idx.insert(iv, w);
             }
         });
-        rows[0].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+        let insert_ms = dt.as_secs_f64() * 1e3 / k as f64;
+        rows[0].1.push(format!("{insert_ms:.3}"));
 
         // Amortized deletion (delete what was just inserted).
         let first = base.len() as u32;
@@ -44,17 +48,20 @@ fn main() {
                 assert!(dyn_idx.delete(iv, first + off as u32));
             }
         });
-        rows[1].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+        let delete_ms = dt.as_secs_f64() * 1e3 / k as f64;
+        rows[1].1.push(format!("{delete_ms:.3}"));
 
         // Naive alternative: one full AWIT rebuild per update (measured as
         // a single rebuild; per-update cost IS this number).
         let (dt, awit) = time(|| Awit::new(&ds.data, &weights));
-        rows[2].1.push(format!("{:.1}", dt.as_secs_f64() * 1e3));
+        let rebuild_ms = dt.as_secs_f64() * 1e3;
+        rows[2].1.push(format!("{rebuild_ms:.1}"));
 
         // Query-time comparison at default extent, static vs dynamic with
         // a half-full pool and tombstone set.
         let queries = ds.queries(&cfg, 8.0);
-        rows[3].1.push(us(avg_total_micros_weighted(&awit, &queries, cfg.s, cfg.seed)));
+        let query_static_us = avg_total_micros_weighted(&awit, &queries, cfg.s, cfg.seed);
+        rows[3].1.push(us(query_static_us));
         drop(awit);
         let mut dyn_idx = DynamicAwit::new(&ds.data, &weights);
         for (off, (&iv, &w)) in tail.iter().zip(wtail).enumerate().take(200) {
@@ -64,7 +71,20 @@ fn main() {
         for id in 0..200u32 {
             dyn_idx.delete(ds.data[id as usize], id);
         }
-        rows[4].1.push(us(avg_total_micros_weighted(&dyn_idx, &queries, cfg.s, cfg.seed)));
+        let query_dynamic_us = avg_total_micros_weighted(&dyn_idx, &queries, cfg.s, cfg.seed);
+        rows[4].1.push(us(query_dynamic_us));
+        // Machine-readable row from the raw measurements (not the
+        // display-rounded table strings).
+        JsonRow::new("dynamic_weighted")
+            .str("dataset", ds.name())
+            .int("n", cfg.scale)
+            .int("updates", k)
+            .num("insert_ms", insert_ms)
+            .num("delete_ms", delete_ms)
+            .num("rebuild_ms", rebuild_ms)
+            .num("query_static_us", query_static_us)
+            .num("query_dynamic_us", query_dynamic_us)
+            .emit();
     }
     for (label, cells) in rows {
         println!("{}", row(label, &cells));

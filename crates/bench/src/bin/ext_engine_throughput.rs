@@ -1,0 +1,83 @@
+//! Extension experiment: engine throughput scaling. Measures
+//! queries/sec of the sharded batch engine (`irs-engine`) for sample,
+//! search, and count workloads across shard counts and batch sizes, on
+//! one calibrated dataset. Emits one JSON row per (kind, shards, batch)
+//! cell via the shared `JsonRow` emitter alongside the human table.
+//!
+//! Extra env knobs beyond the usual `IRS_BENCH_*` set:
+//!
+//! - `IRS_BENCH_SHARDS`  — comma list of shard counts (default: powers
+//!   of two up to the CPU count)
+//! - `IRS_BENCH_BATCHES` — comma list of batch sizes (default 64,256,1024)
+//! - `IRS_BENCH_KINDS`   — comma list of index kinds (default ait,ait-v)
+
+use irs_bench::{time, BenchConfig, JsonRow};
+use irs_engine::throughput::{batched_qps, cpu_count, default_shard_sweep};
+use irs_engine::{Engine, EngineConfig, IndexKind, Request};
+
+fn env_list(key: &str, default: Vec<usize>) -> Vec<usize> {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(v) => {
+            irs_engine::throughput::parse_count_list(&v).unwrap_or_else(|e| panic!("{key}: {e}"))
+        }
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cpus = cpu_count();
+    let shard_counts = env_list("IRS_BENCH_SHARDS", default_shard_sweep());
+    let batch_sizes = env_list("IRS_BENCH_BATCHES", vec![64, 256, 1024]);
+    let kinds: Vec<IndexKind> = match std::env::var("IRS_BENCH_KINDS") {
+        Err(_) => vec![IndexKind::Ait, IndexKind::AitV],
+        Ok(v) => v
+            .split(',')
+            .map(|p| IndexKind::parse(p.trim()).unwrap_or_else(|| panic!("unknown kind `{p}`")))
+            .collect(),
+    };
+
+    println!(
+        "{}",
+        cfg.banner("Extension: sharded engine throughput (queries/sec)")
+    );
+    println!("({cpus} CPUs; dataset = Taxi profile at n = {})", cfg.scale);
+    let data = irs_datagen::TAXI.generate(cfg.scale, cfg.seed);
+    let queries =
+        irs_datagen::QueryWorkload::from_data(&data).generate(cfg.queries, 1.0, cfg.seed ^ 0xE61E);
+
+    println!(
+        "{:>14} {:>7} {:>7} {:>12} {:>12} {:>12}",
+        "kind", "shards", "batch", "sample q/s", "search q/s", "count q/s"
+    );
+    for &kind in &kinds {
+        for &shards in &shard_counts {
+            let (build, engine) =
+                time(|| Engine::new(&data, EngineConfig::new(kind).shards(shards).seed(cfg.seed)));
+            for &batch in &batch_sizes {
+                let sample_qps = batched_qps(&engine, &queries, batch, |&q| Request::Sample {
+                    q,
+                    s: cfg.s,
+                });
+                let search_qps = batched_qps(&engine, &queries, batch, |&q| Request::Search { q });
+                let count_qps = batched_qps(&engine, &queries, batch, |&q| Request::Count { q });
+                println!(
+                    "{:>14} {shards:>7} {batch:>7} {sample_qps:>12.0} {search_qps:>12.0} {count_qps:>12.0}",
+                    kind.name()
+                );
+                JsonRow::new("engine_throughput")
+                    .str("kind", kind.name())
+                    .int("n", cfg.scale)
+                    .int("shards", shards)
+                    .int("batch", batch)
+                    .int("s", cfg.s)
+                    .int("queries", queries.len())
+                    .num("build_secs", build.as_secs_f64())
+                    .num("sample_qps", sample_qps)
+                    .num("search_qps", search_qps)
+                    .num("count_qps", count_qps)
+                    .emit();
+            }
+        }
+    }
+}

@@ -7,11 +7,17 @@ use irs_core::MemoryFootprint;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Fig. 5: AIT / AIT-V build time [sec] and memory [GB] vs n"));
+    println!(
+        "{}",
+        cfg.banner("Fig. 5: AIT / AIT-V build time [sec] and memory [GB] vs n")
+    );
     let sets = datasets(&cfg);
 
     println!("\n(a)+(b) pre-processing time [sec]");
-    println!("{}", row("size%", &["AIT".into(), "AIT-V".into(), "dataset".into()]));
+    println!(
+        "{}",
+        row("size%", &["AIT".into(), "AIT-V".into(), "dataset".into()])
+    );
     for ds in &sets {
         for pct in [20, 40, 60, 80, 100] {
             let n = ds.data.len() * pct / 100;
@@ -30,7 +36,10 @@ fn main() {
     }
 
     println!("\n(c)+(d) memory usage [GB]");
-    println!("{}", row("size%", &["AIT".into(), "AIT-V".into(), "dataset".into()]));
+    println!(
+        "{}",
+        row("size%", &["AIT".into(), "AIT-V".into(), "dataset".into()])
+    );
     for ds in &sets {
         for pct in [20, 40, 60, 80, 100] {
             let n = ds.data.len() * pct / 100;
@@ -41,7 +50,11 @@ fn main() {
                 "{}",
                 row(
                     &format!("{pct}%"),
-                    &[gb(ait.heap_bytes()), gb(aitv.heap_bytes()), ds.name().into()]
+                    &[
+                        gb(ait.heap_bytes()),
+                        gb(aitv.heap_bytes()),
+                        ds.name().into()
+                    ]
                 )
             );
         }

@@ -12,7 +12,10 @@ const EXTENTS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0];
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Fig. 6: running time [microsec] vs domain extent (non-weighted)"));
+    println!(
+        "{}",
+        cfg.banner("Fig. 6: running time [microsec] vs domain extent (non-weighted)")
+    );
     let sets = datasets(&cfg);
 
     for ds in &sets {
@@ -26,7 +29,13 @@ fn main() {
             "{}",
             row(
                 "extent%",
-                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AIT".into(), "AIT-V".into()]
+                &[
+                    "Interval tree".into(),
+                    "HINTm".into(),
+                    "KDS".into(),
+                    "AIT".into(),
+                    "AIT-V".into()
+                ]
             )
         );
         for extent in EXTENTS {

@@ -12,7 +12,10 @@ const SAMPLE_SIZES: [usize; 5] = [100, 300, 1_000, 3_000, 10_000];
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Fig. 7: running time [microsec] vs sample size (non-weighted)"));
+    println!(
+        "{}",
+        cfg.banner("Fig. 7: running time [microsec] vs sample size (non-weighted)")
+    );
     let sets = datasets(&cfg);
 
     for ds in &sets {
@@ -27,7 +30,13 @@ fn main() {
             "{}",
             row(
                 "s",
-                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AIT".into(), "AIT-V".into()]
+                &[
+                    "Interval tree".into(),
+                    "HINTm".into(),
+                    "KDS".into(),
+                    "AIT".into(),
+                    "AIT-V".into()
+                ]
             )
         );
         for s in SAMPLE_SIZES {

@@ -9,7 +9,10 @@ use irs_kds::Kds;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Fig. 8: running time [microsec] vs dataset size (non-weighted)"));
+    println!(
+        "{}",
+        cfg.banner("Fig. 8: running time [microsec] vs dataset size (non-weighted)")
+    );
     let sets = datasets(&cfg);
 
     for ds in &sets {
@@ -19,7 +22,13 @@ fn main() {
             "{}",
             row(
                 "size%",
-                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AIT".into(), "AIT-V".into()]
+                &[
+                    "Interval tree".into(),
+                    "HINTm".into(),
+                    "KDS".into(),
+                    "AIT".into(),
+                    "AIT-V".into()
+                ]
             )
         );
         for pct in [20, 40, 60, 80, 100] {

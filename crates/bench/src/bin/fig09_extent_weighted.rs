@@ -13,7 +13,10 @@ const EXTENTS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0];
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Fig. 9: running time [microsec] vs domain extent (weighted)"));
+    println!(
+        "{}",
+        cfg.banner("Fig. 9: running time [microsec] vs domain extent (weighted)")
+    );
     let sets = datasets(&cfg);
 
     for ds in &sets {
@@ -27,7 +30,12 @@ fn main() {
             "{}",
             row(
                 "extent%",
-                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AWIT".into()]
+                &[
+                    "Interval tree".into(),
+                    "HINTm".into(),
+                    "KDS".into(),
+                    "AWIT".into()
+                ]
             )
         );
         for extent in EXTENTS {

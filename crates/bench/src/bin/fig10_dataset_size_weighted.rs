@@ -9,7 +9,10 @@ use irs_kds::Kds;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Fig. 10: running time [microsec] vs dataset size (weighted)"));
+    println!(
+        "{}",
+        cfg.banner("Fig. 10: running time [microsec] vs dataset size (weighted)")
+    );
     let sets = datasets(&cfg);
 
     for ds in &sets {
@@ -20,7 +23,12 @@ fn main() {
             "{}",
             row(
                 "size%",
-                &["Interval tree".into(), "HINTm".into(), "KDS".into(), "AWIT".into()]
+                &[
+                    "Interval tree".into(),
+                    "HINTm".into(),
+                    "KDS".into(),
+                    "AWIT".into()
+                ]
             )
         );
         for pct in [20, 40, 60, 80, 100] {

@@ -9,7 +9,10 @@ use irs_kds::Kds;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Table IV: memory usage [GB] (non-weighted)"));
+    println!(
+        "{}",
+        cfg.banner("Table IV: memory usage [GB] (non-weighted)")
+    );
     let sets = datasets(&cfg);
     println!("{}", dataset_header(&sets));
 

@@ -10,7 +10,10 @@ use irs_kds::Kds;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Table V: candidate computation time [microsec]"));
+    println!(
+        "{}",
+        cfg.banner("Table V: candidate computation time [microsec]")
+    );
     let sets = datasets(&cfg);
     println!("{}", dataset_header(&sets));
 

@@ -28,19 +28,29 @@ fn main() {
     for ds in &sets {
         let queries = ds.queries(&cfg, 8.0);
         let itree = IntervalTree::new(&ds.data);
-        rows[0].1.push(us(avg_sampling_micros(&itree, &queries, cfg.s, cfg.seed)));
+        rows[0]
+            .1
+            .push(us(avg_sampling_micros(&itree, &queries, cfg.s, cfg.seed)));
         drop(itree);
         let hint = HintM::new(&ds.data);
-        rows[1].1.push(us(avg_sampling_micros(&hint, &queries, cfg.s, cfg.seed)));
+        rows[1]
+            .1
+            .push(us(avg_sampling_micros(&hint, &queries, cfg.s, cfg.seed)));
         drop(hint);
         let kds = Kds::new(&ds.data);
-        rows[2].1.push(us(avg_sampling_micros(&kds, &queries, cfg.s, cfg.seed)));
+        rows[2]
+            .1
+            .push(us(avg_sampling_micros(&kds, &queries, cfg.s, cfg.seed)));
         drop(kds);
         let ait = Ait::new(&ds.data);
-        rows[3].1.push(us(avg_sampling_micros(&ait, &queries, cfg.s, cfg.seed)));
+        rows[3]
+            .1
+            .push(us(avg_sampling_micros(&ait, &queries, cfg.s, cfg.seed)));
         drop(ait);
         let aitv = AitV::new(&ds.data);
-        rows[4].1.push(us(avg_sampling_micros(&aitv, &queries, cfg.s, cfg.seed)));
+        rows[4]
+            .1
+            .push(us(avg_sampling_micros(&aitv, &queries, cfg.s, cfg.seed)));
     }
     for (label, cells) in rows {
         println!("{}", row(label, &cells));

@@ -8,13 +8,19 @@ use irs_bench::*;
 fn main() {
     let cfg = BenchConfig::from_env();
     let k = 5_000.min(cfg.scale / 4);
-    println!("{}", cfg.banner("Table VII: amortized update time of AIT [millisec]"));
+    println!(
+        "{}",
+        cfg.banner("Table VII: amortized update time of AIT [millisec]")
+    );
     println!("(k = {k} updates per measurement)");
     let sets = datasets(&cfg);
     println!("{}", dataset_header(&sets));
 
-    let mut rows: Vec<(&str, Vec<String>)> =
-        vec![("Insertion", vec![]), ("Batch insertion", vec![]), ("Deletion", vec![])];
+    let mut rows: Vec<(&str, Vec<String>)> = vec![
+        ("Insertion", vec![]),
+        ("Batch insertion", vec![]),
+        ("Deletion", vec![]),
+    ];
     for ds in &sets {
         let (base, tail) = ds.data.split_at(ds.data.len() - k);
 
@@ -25,7 +31,9 @@ fn main() {
                 ait.insert(iv);
             }
         });
-        rows[0].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+        rows[0]
+            .1
+            .push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
         drop(ait);
 
         // Batch insertion through the pool.
@@ -36,7 +44,9 @@ fn main() {
             }
             ait.flush_pool();
         });
-        rows[1].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+        rows[1]
+            .1
+            .push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
         drop(ait);
 
         // Deletion from the full index.
@@ -47,7 +57,9 @@ fn main() {
                 assert!(ait.delete(iv, first_victim + off as u32));
             }
         });
-        rows[2].1.push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
+        rows[2]
+            .1
+            .push(format!("{:.3}", dt.as_secs_f64() * 1e3 / k as f64));
     }
     for (label, cells) in rows {
         println!("{}", row(label, &cells));

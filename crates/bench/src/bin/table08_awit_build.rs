@@ -7,7 +7,10 @@ use irs_datagen::uniform_weights;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("{}", cfg.banner("Table VIII: AWIT pre-processing time [sec] and memory [GB]"));
+    println!(
+        "{}",
+        cfg.banner("Table VIII: AWIT pre-processing time [sec] and memory [GB]")
+    );
     let sets = datasets(&cfg);
     println!("{}", dataset_header(&sets));
 

@@ -30,16 +30,24 @@ fn main() {
         let weights = uniform_weights(ds.data.len(), cfg.seed ^ 0xA11A5);
         let queries = ds.queries(&cfg, 8.0);
         let itree = IntervalTree::new_weighted(&ds.data, &weights);
-        rows[0].1.push(us(avg_sampling_micros_weighted(&itree, &queries, cfg.s, cfg.seed)));
+        rows[0].1.push(us(avg_sampling_micros_weighted(
+            &itree, &queries, cfg.s, cfg.seed,
+        )));
         drop(itree);
         let hint = HintM::new_weighted(&ds.data, &weights);
-        rows[1].1.push(us(avg_sampling_micros_weighted(&hint, &queries, cfg.s, cfg.seed)));
+        rows[1].1.push(us(avg_sampling_micros_weighted(
+            &hint, &queries, cfg.s, cfg.seed,
+        )));
         drop(hint);
         let kds = Kds::new_weighted(&ds.data, &weights);
-        rows[2].1.push(us(avg_sampling_micros_weighted(&kds, &queries, cfg.s, cfg.seed)));
+        rows[2].1.push(us(avg_sampling_micros_weighted(
+            &kds, &queries, cfg.s, cfg.seed,
+        )));
         drop(kds);
         let awit = Awit::new(&ds.data, &weights);
-        rows[3].1.push(us(avg_sampling_micros_weighted(&awit, &queries, cfg.s, cfg.seed)));
+        rows[3].1.push(us(avg_sampling_micros_weighted(
+            &awit, &queries, cfg.s, cfg.seed,
+        )));
     }
     for (label, cells) in rows {
         println!("{}", row(label, &cells));

@@ -3,7 +3,7 @@
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper's §V on the calibrated synthetic datasets (see DESIGN.md's
 //! substitution notes). Scale knobs come from the environment so the same
-//! binaries serve quick smoke runs and the full EXPERIMENTS.md runs:
+//! binaries serve quick smoke runs and full paper-scale runs:
 //!
 //! - `IRS_BENCH_SCALE`   — intervals per dataset (default 200,000)
 //! - `IRS_BENCH_QUERIES` — queries per measurement (default 1,000, as in
@@ -33,7 +33,10 @@ impl BenchConfig {
     /// Reads the configuration from the environment (defaults above).
     pub fn from_env() -> Self {
         fn env_usize(key: &str, default: usize) -> usize {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         }
         BenchConfig {
             scale: env_usize("IRS_BENCH_SCALE", 200_000),
@@ -78,7 +81,10 @@ impl Dataset {
 pub fn datasets(cfg: &BenchConfig) -> Vec<Dataset> {
     irs_datagen::profiles::ALL_PROFILES
         .iter()
-        .map(|&profile| Dataset { profile, data: profile.generate(cfg.scale, cfg.seed) })
+        .map(|&profile| Dataset {
+            profile,
+            data: profile.generate(cfg.scale, cfg.seed),
+        })
         .collect()
 }
 
@@ -205,6 +211,93 @@ where
     total.as_secs_f64() * 1e6 / queries.len() as f64
 }
 
+/// One machine-readable result row, emitted as a single JSON object per
+/// line (JSONL) so experiment output can be collected with `grep '^{'`
+/// and post-processed without parsing the human tables.
+///
+/// Hand-rolled because the offline build environment has no serde; field
+/// order follows insertion order, strings are minimally escaped.
+///
+/// ```
+/// irs_bench::JsonRow::new("demo").str("dataset", "taxi").int("n", 10).num("us", 1.5).emit();
+/// ```
+pub struct JsonRow {
+    buf: String,
+}
+
+impl JsonRow {
+    /// Starts a row tagged `{"experiment": name, …}`.
+    pub fn new(experiment: &str) -> Self {
+        let mut row = JsonRow {
+            buf: String::from("{"),
+        };
+        row.push_key("experiment");
+        row.push_str_value(experiment);
+        row
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.buf.push(',');
+        self.push_key(key);
+        self.push_str_value(value);
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: usize) -> Self {
+        self.buf.push(',');
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (emitted with enough digits to round-trip the
+    /// magnitudes the benches produce; non-finite values become `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.buf.push(',');
+        self.push_key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value:.6}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Finishes the row and returns it (for tests or custom sinks).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+
+    /// Finishes the row and prints it on its own line.
+    pub fn emit(self) {
+        println!("{}", self.finish());
+    }
+
+    fn push_key(&mut self, key: &str) {
+        self.push_str_value(key);
+        self.buf.push(':');
+    }
+
+    fn push_str_value(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\t' => self.buf.push_str("\\t"),
+                '\r' => self.buf.push_str("\\r"),
+                c if (c as u32) < 0x20 => self.buf.push_str(&format!("\\u{:04x}", c as u32)),
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+}
+
 /// Renders one table row: left-aligned label plus fixed-width columns.
 pub fn row(label: &str, cells: &[String]) -> String {
     let mut s = format!("{label:<16}");
@@ -216,7 +309,13 @@ pub fn row(label: &str, cells: &[String]) -> String {
 
 /// Header row for the four datasets.
 pub fn dataset_header(datasets: &[Dataset]) -> String {
-    row("", &datasets.iter().map(|d| d.name().to_string()).collect::<Vec<_>>())
+    row(
+        "",
+        &datasets
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Formats a microsecond value the way the paper's tables read.
@@ -238,4 +337,25 @@ pub fn gb(bytes: usize) -> String {
 /// Formats a duration in seconds.
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_row_shape() {
+        let row = JsonRow::new("t")
+            .str("a", "x\"y")
+            .int("n", 3)
+            .num("v", 1.25)
+            .finish();
+        assert_eq!(row, r#"{"experiment":"t","a":"x\"y","n":3,"v":1.250000}"#);
+    }
+
+    #[test]
+    fn json_row_non_finite_is_null() {
+        let row = JsonRow::new("t").num("v", f64::NAN).finish();
+        assert_eq!(row, r#"{"experiment":"t","v":null}"#);
+    }
 }

@@ -40,6 +40,17 @@ pub fn pair_sorted<E: Endpoint>(data: &[Interval<E>]) -> Vec<Interval<E>> {
     sorted
 }
 
+/// Total weight of a materialized candidate set: `Σ weights[id]`, or one
+/// per candidate when `weights` is `None` (the uniform convention used
+/// throughout the workspace). Shared by the enumeration-based samplers'
+/// `total_weight` accessors.
+pub fn candidates_weight(candidates: &[ItemId], weights: Option<&[f64]>) -> f64 {
+    match weights {
+        None => candidates.len() as f64,
+        Some(w) => candidates.iter().map(|&id| w[id as usize]).sum(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,166 @@
+//! Object-safe erasure of the phase-2 sampling handle.
+//!
+//! [`PreparedSampler::sample_into`] is generic over the RNG so the
+//! per-draw hot loop monomorphizes — which makes the trait not
+//! object-safe. Layers that hold *heterogeneous* indexes behind one type
+//! (the sharded engine in `irs-engine`, plugin-style registries, FFI)
+//! need a `dyn`-able view instead. [`DynPreparedSampler`] is that view:
+//! the RNG is passed as `&mut dyn RngCore`, trading one virtual dispatch
+//! per ~3 RNG calls for object safety.
+//!
+//! Two adapters wrap any concrete [`PreparedSampler`]:
+//!
+//! - [`Erased`] — for structures whose [`candidate_count`] is the exact
+//!   result-set size (AIT, AWIT, KDS, HINTm, interval tree, oracle).
+//! - [`ErasedUpperBound`] — for structures whose count is only an upper
+//!   bound (AIT-V counts candidate *virtual slots*). Consumers that need
+//!   exact cardinalities (e.g. cross-shard sample allocation) check
+//!   [`DynPreparedSampler::count_is_exact`] and fall back to an exact
+//!   count from elsewhere.
+//!
+//! `Box<dyn DynPreparedSampler>` implements [`PreparedSampler`] again, so
+//! erased handles can flow back into generic code unchanged.
+//!
+//! [`candidate_count`]: PreparedSampler::candidate_count
+
+use crate::interval::ItemId;
+use crate::traits::PreparedSampler;
+use rand::RngCore;
+
+/// Object-safe counterpart of [`PreparedSampler`].
+pub trait DynPreparedSampler {
+    /// See [`PreparedSampler::candidate_count`].
+    fn candidate_count(&self) -> usize;
+
+    /// Whether [`Self::candidate_count`] equals `|q ∩ X|` exactly.
+    ///
+    /// `false` means the count is an upper bound (AIT-V's virtual slots):
+    /// still usable for emptiness checks, not for allocation proportional
+    /// to result-set size.
+    fn count_is_exact(&self) -> bool;
+
+    /// Total result-set weight `Σ_{x ∈ q∩X} w(x)` for handles prepared on
+    /// the weighted path; `None` for uniform handles. Lets consumers
+    /// (the engine's cross-shard allocation) read the mass off the
+    /// phase-1 handle instead of re-enumerating the result set.
+    fn total_weight(&self) -> Option<f64> {
+        None
+    }
+
+    /// See [`PreparedSampler::sample_into`]; the RNG is dynamically
+    /// dispatched.
+    fn sample_into_dyn(&self, rng: &mut dyn RngCore, s: usize, out: &mut Vec<ItemId>);
+}
+
+/// Erases a [`PreparedSampler`] whose candidate count is exact.
+pub struct Erased<P>(pub P);
+
+impl<P: PreparedSampler> DynPreparedSampler for Erased<P> {
+    fn candidate_count(&self) -> usize {
+        self.0.candidate_count()
+    }
+
+    fn count_is_exact(&self) -> bool {
+        true
+    }
+
+    fn sample_into_dyn(&self, rng: &mut dyn RngCore, s: usize, out: &mut Vec<ItemId>) {
+        self.0.sample_into(rng, s, out);
+    }
+}
+
+/// Erases a [`PreparedSampler`] whose candidate count is an upper bound
+/// on the true result-set size (AIT-V).
+pub struct ErasedUpperBound<P>(pub P);
+
+impl<P: PreparedSampler> DynPreparedSampler for ErasedUpperBound<P> {
+    fn candidate_count(&self) -> usize {
+        self.0.candidate_count()
+    }
+
+    fn count_is_exact(&self) -> bool {
+        false
+    }
+
+    fn sample_into_dyn(&self, rng: &mut dyn RngCore, s: usize, out: &mut Vec<ItemId>) {
+        self.0.sample_into(rng, s, out);
+    }
+}
+
+impl PreparedSampler for Box<dyn DynPreparedSampler + '_> {
+    fn candidate_count(&self) -> usize {
+        (**self).candidate_count()
+    }
+
+    fn sample_into<R: RngCore + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<ItemId>) {
+        // `&mut R` is itself a (sized) `RngCore`, which unsizes to the
+        // trait object the dyn path needs.
+        let mut by_ref = rng;
+        (**self).sample_into_dyn(&mut by_ref as &mut dyn RngCore, s, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::oracle::BruteForce;
+    use crate::traits::RangeSampler;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn fixture() -> BruteForce<i64> {
+        let data: Vec<_> = (0..50).map(|i| Interval::new(i, i + 10)).collect();
+        BruteForce::new(&data)
+    }
+
+    #[test]
+    fn erased_matches_concrete() {
+        let bf = fixture();
+        let q = Interval::new(20, 30);
+        let concrete = bf.prepare(q);
+        let erased: Box<dyn DynPreparedSampler> = Box::new(Erased(bf.prepare(q)));
+        assert_eq!(erased.candidate_count(), concrete.candidate_count());
+        assert!(erased.count_is_exact());
+
+        // Identical draw sequence through the dyn path and the generic
+        // path (both consume the same RNG stream).
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        concrete.sample_into(&mut r1, 100, &mut a);
+        erased.sample_into_dyn(&mut r2, 100, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boxed_handle_is_a_prepared_sampler_again() {
+        fn takes_generic<P: PreparedSampler>(p: &P) -> usize {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut out = Vec::new();
+            p.sample_into(&mut rng, 7, &mut out);
+            out.len()
+        }
+        let bf = fixture();
+        let erased: Box<dyn DynPreparedSampler> = Box::new(Erased(bf.prepare(Interval::new(0, 5))));
+        assert_eq!(takes_generic(&erased), 7);
+    }
+
+    #[test]
+    fn upper_bound_wrapper_reports_inexact() {
+        let bf = fixture();
+        let erased = ErasedUpperBound(bf.prepare(Interval::new(0, 5)));
+        assert!(!erased.count_is_exact());
+        assert!(erased.candidate_count() > 0);
+    }
+
+    #[test]
+    fn empty_result_draws_nothing_through_dyn() {
+        let bf = fixture();
+        let erased: Box<dyn DynPreparedSampler> =
+            Box::new(Erased(bf.prepare(Interval::new(1000, 2000))));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        erased.sample_into_dyn(&mut rng, 10, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -10,6 +10,9 @@
 //!   [`WeightedRangeSampler`], [`StabbingQuery`]) implemented by the AIT
 //!   family and by every baseline, so benchmarks and examples can treat all
 //!   of them uniformly.
+//! - [`erased::DynPreparedSampler`] — object-safe erasure of the phase-2
+//!   handle, so heterogeneous indexes can sit behind one `dyn` type (the
+//!   sharded `irs-engine` builds on this).
 //! - [`MemoryFootprint`] — deterministic deep-size accounting used to
 //!   reproduce the paper's memory tables without allocator hooks.
 //! - [`oracle::BruteForce`] — the linear-scan reference implementation each
@@ -20,12 +23,14 @@
 //! returned as ids so callers can recover payloads they keep alongside.
 
 pub mod dataset;
+pub mod erased;
 pub mod footprint;
 pub mod interval;
 pub mod oracle;
 pub mod traits;
 
-pub use dataset::{domain_bounds, pair_sort_indices, pair_sorted};
+pub use dataset::{candidates_weight, domain_bounds, pair_sort_indices, pair_sorted};
+pub use erased::{DynPreparedSampler, Erased, ErasedUpperBound};
 pub use footprint::{slice_bytes, vec_bytes, MemoryFootprint};
 pub use interval::{Endpoint, GridEndpoint, Interval, Interval64, ItemId};
 pub use oracle::BruteForce;

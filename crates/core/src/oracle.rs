@@ -22,15 +22,24 @@ pub struct BruteForce<E> {
 impl<E: Endpoint> BruteForce<E> {
     /// Oracle for the unweighted problem.
     pub fn new(data: &[Interval<E>]) -> Self {
-        Self { data: data.to_vec(), weights: None }
+        Self {
+            data: data.to_vec(),
+            weights: None,
+        }
     }
 
     /// Oracle for the weighted problem. `weights` must be positive and
     /// aligned with `data`.
     pub fn new_weighted(data: &[Interval<E>], weights: &[f64]) -> Self {
         assert_eq!(data.len(), weights.len(), "weights must align with data");
-        assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()), "weights must be positive");
-        Self { data: data.to_vec(), weights: Some(weights.to_vec()) }
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive"
+        );
+        Self {
+            data: data.to_vec(),
+            weights: Some(weights.to_vec()),
+        }
     }
 
     /// The dataset the oracle answers over.
@@ -116,7 +125,10 @@ impl<E: Endpoint> RangeSampler<E> for BruteForce<E> {
     type Prepared<'a> = BruteForcePrepared;
 
     fn prepare(&self, q: Interval<E>) -> BruteForcePrepared {
-        BruteForcePrepared { candidates: self.range_search(q), cum_weights: None }
+        BruteForcePrepared {
+            candidates: self.range_search(q),
+            cum_weights: None,
+        }
     }
 }
 
@@ -135,7 +147,10 @@ impl<E: Endpoint> WeightedRangeSampler<E> for BruteForce<E> {
             acc += weights[id as usize];
             cum.push(acc);
         }
-        BruteForcePrepared { candidates, cum_weights: Some(cum) }
+        BruteForcePrepared {
+            candidates,
+            cum_weights: Some(cum),
+        }
     }
 }
 
@@ -204,7 +219,10 @@ mod tests {
         assert_eq!(samples.len(), 500);
         // id 1 has weight 100 of total 102 → expect the vast majority.
         let heavy = samples.iter().filter(|&&s| s == 1).count();
-        assert!(heavy > 400, "weight-100 item sampled only {heavy}/500 times");
+        assert!(
+            heavy > 400,
+            "weight-100 item sampled only {heavy}/500 times"
+        );
         assert!(samples.iter().all(|&s| [0, 1, 4].contains(&s)));
     }
 

@@ -104,12 +104,7 @@ pub trait WeightedRangeSampler<E: Endpoint> {
 
     /// Runs both phases: returns `s` weight-proportional samples from
     /// `q ∩ X` (empty if nothing overlaps `q`).
-    fn sample_weighted<R: Rng>(
-        &self,
-        q: Interval<E>,
-        s: usize,
-        rng: &mut R,
-    ) -> Vec<ItemId> {
+    fn sample_weighted<R: Rng>(&self, q: Interval<E>, s: usize, rng: &mut R) -> Vec<ItemId> {
         let prepared = self.prepare_weighted(q);
         let mut out = Vec::with_capacity(s);
         prepared.sample_into(rng, s, &mut out);

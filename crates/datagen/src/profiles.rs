@@ -91,7 +91,11 @@ impl DatasetProfile {
             let len = (mu + sigma * z).exp().round() as i64;
             let len = len.clamp(self.min_len, self.max_len);
             let max_start = (self.domain_size - len).max(0);
-            let lo = if max_start == 0 { 0 } else { rng.random_range(0..=max_start) };
+            let lo = if max_start == 0 {
+                0
+            } else {
+                rng.random_range(0..=max_start)
+            };
             out.push(Interval64::new(lo, lo + len));
         }
         out
@@ -131,9 +135,23 @@ mod tests {
             assert_eq!(data.len(), 20_000);
             for iv in &data {
                 let len = iv.hi - iv.lo;
-                assert!(len >= p.min_len, "{}: len {len} < min {}", p.name, p.min_len);
-                assert!(len <= p.max_len, "{}: len {len} > max {}", p.name, p.max_len);
-                assert!(iv.lo >= 0 && iv.hi <= p.domain_size, "{}: out of domain", p.name);
+                assert!(
+                    len >= p.min_len,
+                    "{}: len {len} < min {}",
+                    p.name,
+                    p.min_len
+                );
+                assert!(
+                    len <= p.max_len,
+                    "{}: len {len} > max {}",
+                    p.name,
+                    p.max_len
+                );
+                assert!(
+                    iv.lo >= 0 && iv.hi <= p.domain_size,
+                    "{}: out of domain",
+                    p.name
+                );
             }
         }
     }

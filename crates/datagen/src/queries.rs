@@ -30,7 +30,10 @@ impl QueryWorkload {
     /// Generates `count` queries whose length is `extent_pct`% of the
     /// domain size, deterministically from `seed`.
     pub fn generate(&self, count: usize, extent_pct: f64, seed: u64) -> Vec<Interval64> {
-        assert!((0.0..=100.0).contains(&extent_pct), "extent {extent_pct}% out of range");
+        assert!(
+            (0.0..=100.0).contains(&extent_pct),
+            "extent {extent_pct}% out of range"
+        );
         let (dmin, dmax) = self.domain;
         let size = dmax - dmin;
         let extent = ((size as f64) * extent_pct / 100.0).round() as i64;
@@ -38,8 +41,11 @@ impl QueryWorkload {
         (0..count)
             .map(|_| {
                 let max_start = dmax - extent;
-                let lo =
-                    if max_start <= dmin { dmin } else { rng.random_range(dmin..=max_start) };
+                let lo = if max_start <= dmin {
+                    dmin
+                } else {
+                    rng.random_range(dmin..=max_start)
+                };
                 Interval64::new(lo, lo + extent)
             })
             .collect()
@@ -50,7 +56,9 @@ impl QueryWorkload {
 /// per interval.
 pub fn uniform_weights(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(1..=100u32) as f64).collect()
+    (0..n)
+        .map(|_| rng.random_range(1..=100u32) as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -87,7 +95,9 @@ mod tests {
     #[test]
     fn weights_in_paper_range() {
         let ws = uniform_weights(10_000, 4);
-        assert!(ws.iter().all(|&w| (1.0..=100.0).contains(&w) && w.fract() == 0.0));
+        assert!(ws
+            .iter()
+            .all(|&w| (1.0..=100.0).contains(&w) && w.fract() == 0.0));
         // All 100 values should appear over 10k draws.
         let distinct: std::collections::HashSet<u64> = ws.iter().map(|&w| w as u64).collect();
         assert_eq!(distinct.len(), 100);

@@ -1,0 +1,609 @@
+//! The sharded engine: partitioning, worker threads, and the two-phase
+//! scatter-gather batch protocol.
+//!
+//! # Sharding
+//!
+//! The dataset is split round-robin: shard `k` of `K` owns the intervals
+//! with global id `g ≡ k (mod K)`, stored locally at index `g / K`.
+//! Round-robin keeps shards balanced regardless of input order (sorted
+//! inputs would overload one shard under contiguous chunking) and makes
+//! the local↔global id mapping arithmetic (`g = local·K + k`), so no
+//! per-shard id tables are needed.
+//!
+//! # Batch protocol
+//!
+//! [`Engine::execute`] scatters the whole batch to every worker. Count,
+//! search, and stab requests finish in one pass (counts sum, id lists
+//! concatenate). Sampling requests need two phases to stay exact:
+//!
+//! 1. every shard runs candidate computation (phase 1 of the paper's
+//!    cost split) and reports its *allocation mass* — the exact local
+//!    result-set size `c_k` (uniform) or local weight mass `w_k`
+//!    (weighted);
+//! 2. the engine draws the per-shard sample counts `(s_1, …, s_K)` from
+//!    a multinomial with probabilities `m_k / Σm`, sends each shard its
+//!    allocation, and the shards draw from the prepared handles they
+//!    kept warm — no second candidate computation.
+//!
+//! Allocating multinomially by exact mass makes the sharded sampler
+//! *distribution-identical* to a monolithic index: for any interval `x`
+//! in shard `k`, `P(draw = x) = (m_k / Σm) · (w(x) / m_k) = w(x) / Σm`.
+//! AIT-V reports an upper bound as its candidate count (virtual slots),
+//! so its workers substitute the exact count from a range search —
+//! flagged by [`DynPreparedSampler::count_is_exact`].
+
+use crate::kind::{IndexKind, ShardIndex};
+use crate::request::{Request, Response};
+use irs_core::erased::DynPreparedSampler;
+use irs_core::{GridEndpoint, Interval, ItemId};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Engine construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Index structure built per shard.
+    pub kind: IndexKind,
+    /// Shard (= worker thread) count; clamped to ≥ 1.
+    pub shards: usize,
+    /// Base seed; every batch derives its draw streams from it, so an
+    /// engine with a fixed config replays identically.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A config with `kind`, one shard per available CPU, and a fixed
+    /// default seed.
+    pub fn new(kind: IndexKind) -> Self {
+        EngineConfig {
+            kind,
+            shards: crate::throughput::cpu_count(),
+            seed: 0x1D5_EA5E,
+        }
+    }
+
+    /// Sets the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-request phase-1 result a worker reports.
+enum Partial {
+    /// Sampling request: exact allocation mass (count or weight sum).
+    Mass(f64),
+    /// Non-sampling request, fully answered (ids already global).
+    Done(Response),
+}
+
+/// One batch round-trip, scattered to every worker.
+struct Job<E> {
+    requests: Arc<Vec<Request<E>>>,
+    /// Per-worker draw seed for this batch.
+    seed: u64,
+    phase1_tx: Sender<(usize, Vec<Partial>)>,
+    /// Per-request sample allocation for this shard; only received when
+    /// the batch contains sampling requests.
+    alloc_rx: Receiver<Vec<usize>>,
+    phase2_tx: Sender<(usize, Vec<Vec<ItemId>>)>,
+}
+
+enum Msg<E> {
+    Batch(Job<E>),
+    Shutdown,
+}
+
+/// Sharded, concurrent batch query engine over any [`IndexKind`].
+///
+/// ```
+/// use irs_engine::{Engine, EngineConfig, IndexKind, Request, Response};
+/// use irs_core::Interval;
+///
+/// let data: Vec<_> = (0..10_000i64).map(|i| Interval::new(i, i + 50)).collect();
+/// let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(4));
+/// let out = engine.execute(&[
+///     Request::Count { q: Interval::new(100, 200) },
+///     Request::Sample { q: Interval::new(100, 200), s: 8 },
+/// ]);
+/// assert_eq!(out[0], Response::Count(151));
+/// assert_eq!(out[1].samples().unwrap().len(), 8);
+/// ```
+pub struct Engine<E> {
+    txs: Vec<Sender<Msg<E>>>,
+    workers: Vec<JoinHandle<()>>,
+    kind: IndexKind,
+    len: usize,
+    weighted: bool,
+    base_seed: u64,
+    batch_counter: AtomicU64,
+    /// Serializes batches. The workers hold borrowed sampling handles
+    /// across the phase-1/phase-2 round-trip of *one* batch; two batches
+    /// in flight could reach the workers in different orders and
+    /// deadlock on the allocation exchange. Parallelism lives *inside* a
+    /// batch (across shards), so concurrent callers queue here instead —
+    /// batch up rather than fanning out many tiny executes.
+    in_flight: Mutex<()>,
+}
+
+impl<E: GridEndpoint> Engine<E> {
+    /// Builds an engine over unweighted intervals. Shard indexes are
+    /// built concurrently, one per worker thread.
+    pub fn new(data: &[Interval<E>], config: EngineConfig) -> Self {
+        Self::build(data, None, config)
+    }
+
+    /// Builds an engine over weighted intervals (`weights[i]` belongs to
+    /// `data[i]`; must be positive and finite).
+    ///
+    /// # Panics
+    /// Panics if `weights` is misaligned with `data`.
+    pub fn new_weighted(data: &[Interval<E>], weights: &[f64], config: EngineConfig) -> Self {
+        assert_eq!(data.len(), weights.len(), "weights must align with data");
+        Self::build(data, Some(weights), config)
+    }
+
+    fn build(data: &[Interval<E>], weights: Option<&[f64]>, config: EngineConfig) -> Self {
+        let shards = config.shards.max(1);
+        let kind = config.kind;
+
+        // Round-robin partition: shard k gets global ids k, k+K, k+2K, …
+        let mut shard_data: Vec<Vec<Interval<E>>> = vec![Vec::new(); shards];
+        let mut shard_weights: Vec<Vec<f64>> = vec![Vec::new(); shards];
+        for (g, iv) in data.iter().enumerate() {
+            shard_data[g % shards].push(*iv);
+            if let Some(w) = weights {
+                shard_weights[g % shards].push(w[g]);
+            }
+        }
+
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (shard_id, (local, local_w)) in shard_data.into_iter().zip(shard_weights).enumerate() {
+            let (tx, rx) = mpsc::channel::<Msg<E>>();
+            txs.push(tx);
+            let ready = ready_tx.clone();
+            let has_weights = weights.is_some();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("irs-shard-{shard_id}"))
+                    .spawn(move || {
+                        let index = kind.build(&local, has_weights.then_some(local_w.as_slice()));
+                        // Data and weights are owned by the index (or its
+                        // wrapper) from here; the shard only needs the
+                        // stride mapping.
+                        let _ = ready.send(shard_id);
+                        worker_loop(&*index, shard_id, shards, &rx);
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+        drop(ready_tx);
+        for _ in 0..shards {
+            ready_rx
+                .recv()
+                .expect("shard worker died during index build");
+        }
+
+        Engine {
+            txs,
+            workers,
+            kind,
+            len: data.len(),
+            weighted: weights.is_some(),
+            base_seed: config.seed,
+            batch_counter: AtomicU64::new(0),
+            in_flight: Mutex::new(()),
+        }
+    }
+
+    /// The configured index kind.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Total intervals indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the engine holds zero intervals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether per-interval weights were supplied at build time.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Executes a batch, one [`Response`] per [`Request`] in order.
+    ///
+    /// Each call advances the engine's draw stream, so samples are
+    /// independent across calls; use [`Engine::execute_seeded`] to pin
+    /// the stream.
+    ///
+    /// Safe to call from many threads on a shared engine; batches
+    /// serialize internally (the parallelism is across shards *within*
+    /// a batch), so prefer one large batch over many concurrent small
+    /// ones.
+    pub fn execute(&self, requests: &[Request<E>]) -> Vec<Response> {
+        let batch = self.batch_counter.fetch_add(1, Ordering::Relaxed);
+        self.execute_seeded(requests, self.base_seed.wrapping_add(mix(batch)))
+    }
+
+    /// [`Engine::execute`] with an explicit seed: identical seed, batch,
+    /// and engine config reproduce identical responses.
+    pub fn execute_seeded(&self, requests: &[Request<E>], seed: u64) -> Vec<Response> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // One batch in flight at a time (see `in_flight`); a poisoned
+        // lock just means another batch panicked — this one can proceed.
+        let _serialized = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        let shards = self.txs.len();
+        let requests = Arc::new(requests.to_vec());
+        let has_sampling = requests.iter().any(Request::is_sampling);
+
+        // Scatter.
+        let (p1_tx, p1_rx) = mpsc::channel();
+        let (p2_tx, p2_rx) = mpsc::channel();
+        let mut alloc_txs = Vec::with_capacity(shards);
+        for (k, tx) in self.txs.iter().enumerate() {
+            let (alloc_tx, alloc_rx) = mpsc::channel();
+            alloc_txs.push(alloc_tx);
+            tx.send(Msg::Batch(Job {
+                requests: Arc::clone(&requests),
+                seed: seed ^ mix(k as u64 + 1),
+                phase1_tx: p1_tx.clone(),
+                alloc_rx,
+                phase2_tx: p2_tx.clone(),
+            }))
+            .expect("shard worker alive");
+        }
+        drop(p1_tx);
+        drop(p2_tx);
+
+        // Gather phase 1.
+        let mut phase1: Vec<Vec<Partial>> = (0..shards).map(|_| Vec::new()).collect();
+        for _ in 0..shards {
+            let (k, partials) = p1_rx.recv().expect("shard worker answered phase 1");
+            phase1[k] = partials;
+        }
+
+        // Merge finished requests; allocate sampling requests.
+        let mut rng = SmallRng::seed_from_u64(seed ^ ALLOC_SALT);
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut allocs: Vec<Vec<usize>> = vec![vec![0; requests.len()]; shards];
+        for (i, req) in requests.iter().enumerate() {
+            if req.is_sampling() {
+                let s = match *req {
+                    Request::Sample { s, .. } | Request::SampleWeighted { s, .. } => s,
+                    _ => unreachable!(),
+                };
+                // All shards run the same kind, so capability verdicts
+                // agree; shard 0 speaks for all.
+                if let Partial::Done(resp) = &phase1[0][i] {
+                    responses[i] = Some(resp.clone());
+                    continue;
+                }
+                let masses: Vec<f64> = phase1
+                    .iter()
+                    .map(|p| match p[i] {
+                        Partial::Mass(m) => m,
+                        Partial::Done(_) => unreachable!("kind-uniform capability"),
+                    })
+                    .collect();
+                multinomial_into(&mut rng, &masses, s, |shard, n| allocs[shard][i] = n);
+            } else {
+                responses[i] = Some(merge_finished(&phase1, i));
+            }
+        }
+
+        // Phase 2: only sampling batches need the second round-trip (the
+        // workers make the same deterministic check on the request list).
+        if has_sampling {
+            for (alloc_tx, alloc) in alloc_txs.into_iter().zip(allocs) {
+                // A worker that died mid-batch surfaces at the recv below.
+                let _ = alloc_tx.send(alloc);
+            }
+            let mut drawn: Vec<Vec<Vec<ItemId>>> = (0..shards).map(|_| Vec::new()).collect();
+            for _ in 0..shards {
+                let (k, v) = p2_rx.recv().expect("shard worker answered phase 2");
+                drawn[k] = v;
+            }
+            for (i, resp) in responses.iter_mut().enumerate() {
+                if resp.is_some() {
+                    continue;
+                }
+                let mut merged = Vec::new();
+                for shard in &drawn {
+                    merged.extend_from_slice(&shard[i]);
+                }
+                // Workers return draws grouped by shard; shuffle so the
+                // output order carries no shard signal. (The draws are
+                // i.i.d., so this is cosmetic, not corrective.)
+                shuffle(&mut rng, &mut merged);
+                *resp = Some(Response::Samples(merged));
+            }
+        }
+
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    /// Convenience: exact `|q ∩ X|`.
+    pub fn count(&self, q: Interval<E>) -> usize {
+        match &self.execute(&[Request::Count { q }])[0] {
+            Response::Count(n) => *n,
+            other => unreachable!("count returned {other:?}"),
+        }
+    }
+
+    /// Convenience: ids of all intervals overlapping `q`.
+    pub fn search(&self, q: Interval<E>) -> Vec<ItemId> {
+        match self.execute(&[Request::Search { q }]).swap_remove(0) {
+            Response::Ids(ids) => ids,
+            other => unreachable!("search returned {other:?}"),
+        }
+    }
+
+    /// Convenience: ids of all intervals containing `p`.
+    pub fn stab(&self, p: E) -> Vec<ItemId> {
+        match self.execute(&[Request::Stab { p }]).swap_remove(0) {
+            Response::Ids(ids) => ids,
+            other => unreachable!("stab returned {other:?}"),
+        }
+    }
+
+    /// Convenience: `s` uniform samples from `q ∩ X`.
+    ///
+    /// # Panics
+    /// Panics if the engine's kind cannot sample uniformly (AWIT built
+    /// with non-uniform weights) — use [`Engine::execute`] to handle
+    /// [`Response::Unsupported`] gracefully.
+    pub fn sample(&self, q: Interval<E>, s: usize) -> Vec<ItemId> {
+        match self.execute(&[Request::Sample { q, s }]).swap_remove(0) {
+            Response::Samples(ids) => ids,
+            Response::Unsupported(why) => panic!("uniform sampling unsupported: {why}"),
+            other => unreachable!("sample returned {other:?}"),
+        }
+    }
+
+    /// Convenience: `s` weight-proportional samples from `q ∩ X`.
+    ///
+    /// # Panics
+    /// Panics if the kind cannot sample by weight (AIT, AIT-V) or the
+    /// engine was built without weights.
+    pub fn sample_weighted(&self, q: Interval<E>, s: usize) -> Vec<ItemId> {
+        match self
+            .execute(&[Request::SampleWeighted { q, s }])
+            .swap_remove(0)
+        {
+            Response::Samples(ids) => ids,
+            Response::Unsupported(why) => panic!("weighted sampling unsupported: {why}"),
+            other => unreachable!("sample_weighted returned {other:?}"),
+        }
+    }
+}
+
+impl<E> Drop for Engine<E> {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+const ALLOC_SALT: u64 = 0xA110_CA7E_5EED_0001;
+
+/// SplitMix64 finalizer: decorrelates seed/shard/batch indices.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Merges a non-sampling request's per-shard results.
+fn merge_finished(phase1: &[Vec<Partial>], i: usize) -> Response {
+    let mut count_sum = 0usize;
+    let mut ids_merged: Option<Vec<ItemId>> = None;
+    for partials in phase1 {
+        match &partials[i] {
+            Partial::Done(Response::Count(n)) => count_sum += n,
+            Partial::Done(Response::Ids(ids)) => ids_merged
+                .get_or_insert_with(Vec::new)
+                .extend_from_slice(ids),
+            Partial::Done(other) => return other.clone(),
+            Partial::Mass(_) => unreachable!("non-sampling request got a mass"),
+        }
+    }
+    match ids_merged {
+        Some(ids) => Response::Ids(ids),
+        None => Response::Count(count_sum),
+    }
+}
+
+/// Draws a multinomial over `masses` (s categorical draws) and reports
+/// each shard's count through `set`.
+fn multinomial_into(
+    rng: &mut SmallRng,
+    masses: &[f64],
+    s: usize,
+    mut set: impl FnMut(usize, usize),
+) {
+    let mut cumulative = Vec::with_capacity(masses.len());
+    let mut total = 0.0;
+    for &m in masses {
+        debug_assert!(m >= 0.0 && m.is_finite(), "allocation mass {m}");
+        total += m;
+        cumulative.push(total);
+    }
+    if total <= 0.0 {
+        return; // empty result set: no draws anywhere
+    }
+    let mut counts = vec![0usize; masses.len()];
+    for _ in 0..s {
+        let r = rng.random_range(0.0..total);
+        let k = cumulative
+            .partition_point(|&c| c <= r)
+            .min(masses.len() - 1);
+        counts[k] += 1;
+    }
+    for (k, n) in counts.into_iter().enumerate() {
+        if n > 0 {
+            set(k, n);
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (the rand shim has no `seq` module).
+fn shuffle(rng: &mut SmallRng, v: &mut [ItemId]) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.random_range(0..=i));
+    }
+}
+
+/// The per-shard worker: builds nothing (its index is handed in), serves
+/// batches until shutdown. Local ids are translated to global ids with
+/// the round-robin stride mapping before leaving the shard.
+fn worker_loop<E: GridEndpoint>(
+    index: &dyn ShardIndex<E>,
+    shard_id: usize,
+    shards: usize,
+    rx: &Receiver<Msg<E>>,
+) {
+    let to_global = |local: ItemId| -> ItemId { local * shards as ItemId + shard_id as ItemId };
+    while let Ok(Msg::Batch(job)) = rx.recv() {
+        let Job {
+            requests,
+            seed,
+            phase1_tx,
+            alloc_rx,
+            phase2_tx,
+        } = job;
+        let has_sampling = requests.iter().any(Request::is_sampling);
+
+        // Phase 1: candidate computation; keep sampling handles warm.
+        let mut prepared: Vec<Option<Box<dyn DynPreparedSampler + '_>>> =
+            Vec::with_capacity(requests.len());
+        let mut partials = Vec::with_capacity(requests.len());
+        for req in requests.iter() {
+            let (partial, handle) = phase1_one(index, req, &to_global, shards == 1);
+            partials.push(partial);
+            prepared.push(handle);
+        }
+        if phase1_tx.send((shard_id, partials)).is_err() {
+            continue; // engine gave up on the batch
+        }
+
+        // Phase 2: draw exactly the allocated counts from the handles.
+        if has_sampling {
+            let Ok(alloc) = alloc_rx.recv() else { continue };
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let drawn: Vec<Vec<ItemId>> = alloc
+                .iter()
+                .zip(&prepared)
+                .map(|(&n, handle)| match (n, handle) {
+                    (0, _) | (_, None) => Vec::new(),
+                    (n, Some(p)) => {
+                        let mut out = Vec::with_capacity(n);
+                        p.sample_into_dyn(&mut rng as &mut dyn RngCore, n, &mut out);
+                        for id in &mut out {
+                            *id = to_global(*id);
+                        }
+                        out
+                    }
+                })
+                .collect();
+            let _ = phase2_tx.send((shard_id, drawn));
+        }
+    }
+}
+
+/// Phase 1 for a single request on one shard.
+fn phase1_one<'a, E: GridEndpoint>(
+    index: &'a dyn ShardIndex<E>,
+    req: &Request<E>,
+    to_global: &impl Fn(ItemId) -> ItemId,
+    single_shard: bool,
+) -> (Partial, Option<Box<dyn DynPreparedSampler + 'a>>) {
+    match *req {
+        Request::Sample { q, .. } => match index.prepare(q) {
+            Some(p) => {
+                // AIT-V's candidate count tallies virtual slots (an upper
+                // bound); proportional allocation needs the exact count —
+                // except with a single shard, where the multinomial is
+                // degenerate (any positive mass sends all draws here) and
+                // paying an O(|q ∩ X|) enumeration would forfeit AIT-V's
+                // enumeration-free sampling.
+                let mass = if p.count_is_exact() || single_shard {
+                    p.candidate_count() as f64
+                } else {
+                    index.count(q) as f64
+                };
+                (Partial::Mass(mass), Some(p))
+            }
+            None => (
+                Partial::Done(Response::Unsupported(
+                    "this index kind cannot sample uniformly (AWIT holds non-uniform weights)",
+                )),
+                None,
+            ),
+        },
+        Request::SampleWeighted { q, .. } => match index.prepare_weighted(q) {
+            Some(p) => {
+                let mass = p
+                    .total_weight()
+                    .expect("weighted handles carry their allocation mass");
+                (Partial::Mass(mass), Some(p))
+            }
+            None => (
+                Partial::Done(Response::Unsupported(
+                    "this index kind cannot sample by weight (or the engine was built \
+                     without weights)",
+                )),
+                None,
+            ),
+        },
+        Request::Count { q } => (Partial::Done(Response::Count(index.count(q))), None),
+        Request::Search { q } => {
+            let mut ids = Vec::new();
+            index.search_into(q, &mut ids);
+            for id in &mut ids {
+                *id = to_global(*id);
+            }
+            (Partial::Done(Response::Ids(ids)), None)
+        }
+        Request::Stab { p } => {
+            let mut ids = Vec::new();
+            index.stab_into(p, &mut ids);
+            for id in &mut ids {
+                *id = to_global(*id);
+            }
+            (Partial::Done(Response::Ids(ids)), None)
+        }
+    }
+}

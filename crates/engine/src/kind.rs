@@ -1,0 +1,321 @@
+//! Index selection and the object-safe per-shard index facade.
+//!
+//! Every shard owns one index structure chosen by [`IndexKind`]. The
+//! worker talks to it through [`ShardIndex`], an object-safe trait whose
+//! sampling handles are the erased [`DynPreparedSampler`]s from
+//! `irs-core`, so a single worker loop serves all six structures — and
+//! out-of-tree structures could be plugged in the same way.
+//!
+//! Capability gaps are closed by fallbacks where a fallback is exact, and
+//! surfaced as `None` where it is not:
+//!
+//! | kind | uniform sample | weighted sample | count | stab |
+//! |---|---|---|---|---|
+//! | `Ait` | native | — | native | native |
+//! | `AitV` | native (rejection) | — | via search | via point search |
+//! | `Awit` | uniform weights only | native | native | via point search |
+//! | `Kds` | native | if weighted | native | via point search |
+//! | `HintM` | native | if weighted | native | via point search |
+//! | `IntervalTree` | native | if weighted | native | native |
+
+use irs_ait::{Ait, AitV, Awit};
+use irs_core::erased::{DynPreparedSampler, Erased, ErasedUpperBound};
+use irs_core::{
+    Endpoint, GridEndpoint, Interval, ItemId, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
+    WeightedRangeSampler,
+};
+use irs_hint::HintM;
+use irs_interval_tree::IntervalTree;
+use irs_kds::Kds;
+
+/// Which index structure each shard builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Augmented interval tree (§III): exact `O(log² n + s)` IRS.
+    Ait,
+    /// Space-optimal AIT over virtual intervals (§III-C): `O(n)` space,
+    /// expected `O(log² n + s)` IRS via rejection sampling.
+    AitV,
+    /// Augmented *weighted* interval tree (§IV): weighted IRS in
+    /// `O(log² n + s log n)`.
+    Awit,
+    /// KDS baseline: canonical decomposition, `O(√n + s)` expected.
+    Kds,
+    /// HINTm baseline: hierarchical grid, enumeration-based.
+    HintM,
+    /// Edelsbrunner interval tree baseline: enumeration-based.
+    IntervalTree,
+}
+
+impl IndexKind {
+    /// All six kinds, for test matrices and CLI enumeration.
+    pub const ALL: [IndexKind; 6] = [
+        IndexKind::Ait,
+        IndexKind::AitV,
+        IndexKind::Awit,
+        IndexKind::Kds,
+        IndexKind::HintM,
+        IndexKind::IntervalTree,
+    ];
+
+    /// Stable lowercase name (CLI argument / JSON field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::Ait => "ait",
+            IndexKind::AitV => "ait-v",
+            IndexKind::Awit => "awit",
+            IndexKind::Kds => "kds",
+            IndexKind::HintM => "hint-m",
+            IndexKind::IntervalTree => "interval-tree",
+        }
+    }
+
+    /// Parses [`IndexKind::name`] output (case-sensitive).
+    pub fn parse(s: &str) -> Option<IndexKind> {
+        IndexKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Builds one shard's index over `data` (with `weights` when given).
+    pub(crate) fn build<E: GridEndpoint>(
+        self,
+        data: &[Interval<E>],
+        weights: Option<&[f64]>,
+    ) -> Box<dyn ShardIndex<E>> {
+        match self {
+            IndexKind::Ait => Box::new(Ait::new(data)),
+            IndexKind::AitV => Box::new(AitV::new(data)),
+            IndexKind::Awit => {
+                let uniform = weights.is_none();
+                let owned;
+                let w = match weights {
+                    Some(w) => w,
+                    None => {
+                        owned = vec![1.0; data.len()];
+                        &owned
+                    }
+                };
+                Box::new(AwitShard {
+                    idx: Awit::new(data, w),
+                    uniform,
+                })
+            }
+            IndexKind::Kds => Box::new(WeightedBaseline {
+                idx: match weights {
+                    Some(w) => Kds::new_weighted(data, w),
+                    None => Kds::new(data),
+                },
+                weighted: weights.is_some(),
+            }),
+            IndexKind::HintM => Box::new(WeightedBaseline {
+                idx: match weights {
+                    Some(w) => HintM::new_weighted(data, w),
+                    None => HintM::new(data),
+                },
+                weighted: weights.is_some(),
+            }),
+            IndexKind::IntervalTree => Box::new(WeightedBaseline {
+                idx: match weights {
+                    Some(w) => IntervalTree::new_weighted(data, w),
+                    None => IntervalTree::new(data),
+                },
+                weighted: weights.is_some(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Object-safe facade one shard worker drives.
+///
+/// `search_into`, `count`, and `stab_into` report ids local to the
+/// shard's slice; the worker translates them to dataset-global ids.
+pub(crate) trait ShardIndex<E>: Send + Sync {
+    /// Appends local ids of intervals overlapping `q`.
+    fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>);
+
+    /// Exact `|q ∩ shard|`.
+    fn count(&self, q: Interval<E>) -> usize;
+
+    /// Appends local ids of intervals containing `p`.
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>);
+
+    /// Phase-1 handle for uniform sampling; `None` if this kind cannot
+    /// sample uniformly (AWIT holding non-uniform weights).
+    fn prepare<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>>;
+
+    /// Phase-1 handle for weighted sampling; `None` if unsupported.
+    ///
+    /// Weighted handles report their allocation mass through
+    /// [`DynPreparedSampler::total_weight`], read off the phase-1 state
+    /// (AWIT: cumulative arrays; KDS: prefix sums over the
+    /// decomposition; HINTm / interval tree: the materialized
+    /// candidates) — never by re-running the search.
+    fn prepare_weighted<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>>;
+}
+
+/// Shared fallback: a stabbing query is a degenerate range search.
+fn stab_via_search<E: Endpoint, I: RangeSearch<E>>(idx: &I, p: E, out: &mut Vec<ItemId>) {
+    idx.range_search_into(Interval::point(p), out);
+}
+
+impl<E: GridEndpoint> ShardIndex<E> for Ait<E> {
+    fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
+        self.range_search_into(q, out);
+    }
+
+    fn count(&self, q: Interval<E>) -> usize {
+        self.range_count(q)
+    }
+
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>) {
+        StabbingQuery::stab_into(self, p, out);
+    }
+
+    fn prepare<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        Some(Box::new(Erased(RangeSampler::prepare(self, q))))
+    }
+
+    fn prepare_weighted<'a>(&'a self, _q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        None
+    }
+}
+
+impl<E: GridEndpoint> ShardIndex<E> for AitV<E> {
+    fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
+        self.range_search_into(q, out);
+    }
+
+    fn count(&self, q: Interval<E>) -> usize {
+        // AIT-V has no counting structure (its per-node lists hold
+        // virtual intervals); the exact count costs one search.
+        self.range_search(q).len()
+    }
+
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>) {
+        stab_via_search(self, p, out);
+    }
+
+    fn prepare<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        // Candidate count tallies virtual slots — an upper bound, flagged
+        // so the engine allocates by exact count instead.
+        Some(Box::new(ErasedUpperBound(RangeSampler::prepare(self, q))))
+    }
+
+    fn prepare_weighted<'a>(&'a self, _q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        None
+    }
+}
+
+/// AWIT shard: natively weighted; serves *uniform* requests only when
+/// built with uniform weights (then the two problems coincide).
+struct AwitShard<E> {
+    idx: Awit<E>,
+    uniform: bool,
+}
+
+impl<E: GridEndpoint> ShardIndex<E> for AwitShard<E> {
+    fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
+        self.idx.range_search_into(q, out);
+    }
+
+    fn count(&self, q: Interval<E>) -> usize {
+        self.idx.range_count(q)
+    }
+
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>) {
+        stab_via_search(&self.idx, p, out);
+    }
+
+    fn prepare<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        if self.uniform {
+            Some(Box::new(Erased(self.idx.prepare_weighted(q))))
+        } else {
+            None
+        }
+    }
+
+    fn prepare_weighted<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        let prepared = self.idx.prepare_weighted(q);
+        // O(1) off the node records' cumulative arrays — no enumeration.
+        let mass = prepared.total_weight();
+        Some(Box::new(WithMass(Erased(prepared), mass)))
+    }
+}
+
+/// KDS / HINTm / interval-tree shard: uniform sampling always, weighted
+/// when built with weights. Weighted handles carry their mass (read off
+/// the phase-1 state via each structure's `total_weight`), so the
+/// engine never re-enumerates the result set for allocation.
+struct WeightedBaseline<I> {
+    idx: I,
+    weighted: bool,
+}
+
+/// Erased handle plus its precomputed allocation mass.
+struct WithMass<P>(P, f64);
+
+impl<P: DynPreparedSampler> DynPreparedSampler for WithMass<P> {
+    fn candidate_count(&self) -> usize {
+        self.0.candidate_count()
+    }
+
+    fn count_is_exact(&self) -> bool {
+        self.0.count_is_exact()
+    }
+
+    fn total_weight(&self) -> Option<f64> {
+        Some(self.1)
+    }
+
+    fn sample_into_dyn(&self, rng: &mut dyn rand::RngCore, s: usize, out: &mut Vec<ItemId>) {
+        self.0.sample_into_dyn(rng, s, out);
+    }
+}
+
+macro_rules! impl_weighted_baseline {
+    ($ty:ident, $bound:ident, $stab:expr) => {
+        impl<E: $bound> ShardIndex<E> for WeightedBaseline<$ty<E>> {
+            fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
+                self.idx.range_search_into(q, out);
+            }
+
+            fn count(&self, q: Interval<E>) -> usize {
+                self.idx.range_count(q)
+            }
+
+            fn stab_into(&self, p: E, out: &mut Vec<ItemId>) {
+                let stab: fn(&$ty<E>, E, &mut Vec<ItemId>) = $stab;
+                stab(&self.idx, p, out);
+            }
+
+            fn prepare<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+                Some(Box::new(Erased(RangeSampler::prepare(&self.idx, q))))
+            }
+
+            fn prepare_weighted<'a>(
+                &'a self,
+                q: Interval<E>,
+            ) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+                if !self.weighted {
+                    return None;
+                }
+                let prepared = self.idx.prepare_weighted(q);
+                let mass = prepared.total_weight();
+                Some(Box::new(WithMass(Erased(prepared), mass)))
+            }
+        }
+    };
+}
+
+impl_weighted_baseline!(Kds, Endpoint, |idx, p, out| stab_via_search(idx, p, out));
+impl_weighted_baseline!(HintM, GridEndpoint, |idx, p, out| stab_via_search(
+    idx, p, out
+));
+impl_weighted_baseline!(IntervalTree, Endpoint, |idx, p, out| {
+    StabbingQuery::stab_into(idx, p, out)
+});

@@ -1,0 +1,40 @@
+//! # irs-engine — sharded, concurrent batch IRS query engine
+//!
+//! The index structures in this workspace answer one query at a time on
+//! one thread. This crate scales them out: an [`Engine`] partitions the
+//! dataset round-robin into `K` shards, builds one index per shard (any
+//! of the six structures, chosen by [`IndexKind`]), runs a
+//! worker-per-shard thread pool, and executes batches of typed
+//! [`Request`]s by scatter-gathering across the shards.
+//!
+//! The non-obvious part is keeping sampling *statistically correct*
+//! across shards: the engine first collects exact per-shard result
+//! masses, then draws the per-shard sample allocation from a multinomial
+//! over them, so the merged draws follow exactly the distribution a
+//! single monolithic index would produce. See the module docs of
+//! [`engine`] for the argument, and `DESIGN.md` (§ Engine) for the
+//! architecture diagram.
+//!
+//! ```
+//! use irs_engine::{Engine, EngineConfig, IndexKind, Request};
+//! use irs_core::Interval;
+//!
+//! let data: Vec<_> = (0..1000i64).map(|i| Interval::new(i, i + 20)).collect();
+//! let engine = Engine::new(&data, EngineConfig::new(IndexKind::AitV).shards(3));
+//!
+//! let batch: Vec<_> = (0..10)
+//!     .map(|i| Request::Sample { q: Interval::new(i * 50, i * 50 + 99), s: 4 })
+//!     .collect();
+//! for resp in engine.execute(&batch) {
+//!     assert_eq!(resp.samples().unwrap().len(), 4);
+//! }
+//! ```
+
+pub mod engine;
+mod kind;
+mod request;
+pub mod throughput;
+
+pub use engine::{Engine, EngineConfig};
+pub use kind::IndexKind;
+pub use request::{Request, Response};

@@ -1,0 +1,97 @@
+//! Typed requests and responses of the batch engine.
+
+use irs_core::{Interval, ItemId};
+
+/// One query in a batch submitted to [`crate::Engine::execute`].
+///
+/// All variants are `Copy`, so batches can be assembled and re-submitted
+/// cheaply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request<E> {
+    /// `s` uniform, independent samples from `q ∩ X` (Problem 1).
+    Sample {
+        /// Query interval.
+        q: Interval<E>,
+        /// Sample size.
+        s: usize,
+    },
+    /// `s` weight-proportional, independent samples from `q ∩ X`
+    /// (Problem 2). Requires the engine to hold per-interval weights and
+    /// an index kind that supports weighted sampling.
+    SampleWeighted {
+        /// Query interval.
+        q: Interval<E>,
+        /// Sample size.
+        s: usize,
+    },
+    /// Exact `|q ∩ X|`.
+    Count {
+        /// Query interval.
+        q: Interval<E>,
+    },
+    /// All ids of intervals overlapping `q`.
+    Search {
+        /// Query interval.
+        q: Interval<E>,
+    },
+    /// All ids of intervals containing the point `p`.
+    Stab {
+        /// Stabbing point.
+        p: E,
+    },
+}
+
+impl<E> Request<E> {
+    /// Whether this request needs the two-phase (prepare → allocate →
+    /// draw) sampling path rather than being answerable in one pass.
+    pub(crate) fn is_sampling(&self) -> bool {
+        matches!(
+            self,
+            Request::Sample { .. } | Request::SampleWeighted { .. }
+        )
+    }
+}
+
+/// Result of one [`Request`], in batch order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Ids drawn by [`Request::Sample`] / [`Request::SampleWeighted`].
+    /// Length equals the requested `s` unless the result set is empty,
+    /// in which case it is empty (matching [`irs_core::RangeSampler`]).
+    Samples(Vec<ItemId>),
+    /// Answer to [`Request::Count`].
+    Count(usize),
+    /// Answer to [`Request::Search`] / [`Request::Stab`]; order is
+    /// unspecified, as with the single-index structures.
+    Ids(Vec<ItemId>),
+    /// The engine's index kind cannot serve this request (e.g. weighted
+    /// sampling on an AIT, or uniform sampling on an AWIT built with
+    /// non-uniform weights). The payload says why.
+    Unsupported(&'static str),
+}
+
+impl Response {
+    /// The sample ids, if this is a `Samples` response.
+    pub fn samples(&self) -> Option<&[ItemId]> {
+        match self {
+            Response::Samples(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// The count, if this is a `Count` response.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            Response::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The result ids, if this is an `Ids` response.
+    pub fn ids(&self) -> Option<&[ItemId]> {
+        match self {
+            Response::Ids(ids) => Some(ids),
+            _ => None,
+        }
+    }
+}

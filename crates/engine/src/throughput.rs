@@ -1,0 +1,76 @@
+//! Shared throughput-measurement helpers for engine benchmarks
+//! (`irs-cli bench-engine` and `crates/bench`'s `ext_engine_throughput`
+//! both drive these, so the measurement loop can't drift between them).
+
+use crate::engine::Engine;
+use crate::request::Request;
+use irs_core::{GridEndpoint, Interval};
+use std::time::Instant;
+
+/// Streams `queries` through the engine in batches of `batch` and
+/// returns queries per second. Request construction is included in the
+/// measured time, as a real caller would pay it per batch.
+pub fn batched_qps<E: GridEndpoint>(
+    engine: &Engine<E>,
+    queries: &[Interval<E>],
+    batch: usize,
+    to_request: impl Fn(&Interval<E>) -> Request<E>,
+) -> f64 {
+    let batch = batch.max(1);
+    let start = Instant::now();
+    let mut answered = 0usize;
+    for chunk in queries.chunks(batch) {
+        let requests: Vec<Request<E>> = chunk.iter().map(&to_request).collect();
+        answered += engine.execute(&requests).len();
+    }
+    assert_eq!(answered, queries.len());
+    queries.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Available CPU count with the workspace-wide fallback of 1 — the one
+/// place that policy lives.
+pub fn cpu_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Parses a comma-separated list of positive counts (`"1,2,8"`), the
+/// shared syntax of `--shards`/`--batches` and the `IRS_BENCH_*` env
+/// knobs — one parser, so the CLI and bench binaries can't drift.
+pub fn parse_count_list(s: &str) -> Result<Vec<usize>, String> {
+    let counts: Vec<usize> = s
+        .split(',')
+        .map(|p| match p.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("`{p}` is not a positive integer")),
+        })
+        .collect::<Result<_, _>>()?;
+    if counts.is_empty() {
+        return Err("empty list".into());
+    }
+    Ok(counts)
+}
+
+/// The default shard sweep for scaling runs: powers of two up to the
+/// CPU count, always ending exactly at the CPU count.
+pub fn default_shard_sweep() -> Vec<usize> {
+    let cpus = cpu_count();
+    let mut v: Vec<usize> = std::iter::successors(Some(1usize), |&k| Some(k * 2))
+        .take_while(|&k| k < cpus)
+        .collect();
+    v.push(cpus);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_sweep_ends_at_cpu_count() {
+        let sweep = default_shard_sweep();
+        let cpus = cpu_count();
+        assert_eq!(sweep[0], 1);
+        assert_eq!(*sweep.last().unwrap(), cpus);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]), "{sweep:?}");
+    }
+}

@@ -75,7 +75,10 @@ impl<E: GridEndpoint> HintM<E> {
     /// Builds the weighted variant (see [`HintM::new`] for `m`).
     pub fn new_weighted(data: &[Interval<E>], weights: &[f64]) -> Self {
         assert_eq!(data.len(), weights.len(), "weights must align with data");
-        assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()), "weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive"
+        );
         let mut hint = Self::with_levels(data, Self::default_m(data.len()));
         hint.weights = weights.to_vec();
         hint
@@ -89,10 +92,14 @@ impl<E: GridEndpoint> HintM<E> {
     /// Builds with an explicit hierarchy depth `m` (levels `0..=m`,
     /// `2^m` bottom partitions).
     pub fn with_levels(data: &[Interval<E>], m: u32) -> Self {
-        assert!((1..=24).contains(&m), "m = {m} outside the supported 1..=24");
+        assert!(
+            (1..=24).contains(&m),
+            "m = {m} outside the supported 1..=24"
+        );
         let domain = irs_core::domain_bounds(data);
-        let mut levels: Vec<Vec<Partition<E>>> =
-            (0..=m).map(|l| (0..1u64 << l).map(|_| Partition::EMPTY()).collect()).collect();
+        let mut levels: Vec<Vec<Partition<E>>> = (0..=m)
+            .map(|l| (0..1u64 << l).map(|_| Partition::EMPTY()).collect())
+            .collect();
         let shift = match domain {
             Some((lo, hi)) => {
                 let extent = hi.grid_offset(lo);
@@ -101,9 +108,19 @@ impl<E: GridEndpoint> HintM<E> {
             }
             None => 0,
         };
-        let mut hint = HintM { levels, m, domain, shift, len: data.len(), weights: Vec::new() };
+        let mut hint = HintM {
+            levels,
+            m,
+            domain,
+            shift,
+            len: data.len(),
+            weights: Vec::new(),
+        };
         for (i, &iv) in data.iter().enumerate() {
-            hint.assign(HEntry { iv, id: i as ItemId });
+            hint.assign(HEntry {
+                iv,
+                id: i as ItemId,
+            });
         }
         // Release over-allocation from incremental pushes: the index is
         // static after build, so shrink every sublist.
@@ -345,6 +362,14 @@ pub struct HintPrepared<'a> {
     weights: Option<&'a [f64]>,
 }
 
+impl HintPrepared<'_> {
+    /// Total result-set weight (1 per candidate on the uniform path):
+    /// one pass over the already-materialized candidates, no re-search.
+    pub fn total_weight(&self) -> f64 {
+        irs_core::candidates_weight(&self.candidates, self.weights)
+    }
+}
+
 impl PreparedSampler for HintPrepared<'_> {
     fn candidate_count(&self) -> usize {
         self.candidates.len()
@@ -362,8 +387,11 @@ impl PreparedSampler for HintPrepared<'_> {
                 }
             }
             Some(weights) => {
-                let ws: Vec<f64> =
-                    self.candidates.iter().map(|&id| weights[id as usize]).collect();
+                let ws: Vec<f64> = self
+                    .candidates
+                    .iter()
+                    .map(|&id| weights[id as usize])
+                    .collect();
                 let alias = AliasTable::new(&ws);
                 for _ in 0..s {
                     out.push(self.candidates[alias.sample(rng)]);
@@ -377,7 +405,10 @@ impl<E: GridEndpoint> RangeSampler<E> for HintM<E> {
     type Prepared<'a> = HintPrepared<'a>;
 
     fn prepare(&self, q: Interval<E>) -> HintPrepared<'_> {
-        HintPrepared { candidates: self.range_search(q), weights: None }
+        HintPrepared {
+            candidates: self.range_search(q),
+            weights: None,
+        }
     }
 }
 
@@ -389,7 +420,10 @@ impl<E: GridEndpoint> WeightedRangeSampler<E> for HintM<E> {
             !self.weights.is_empty() || self.len == 0,
             "weighted sampling requires HintM::new_weighted"
         );
-        HintPrepared { candidates: self.range_search(q), weights: Some(&self.weights) }
+        HintPrepared {
+            candidates: self.range_search(q),
+            weights: Some(&self.weights),
+        }
     }
 }
 
@@ -497,8 +531,18 @@ mod tests {
         let data: Vec<_> = (100..200).map(|i| iv(i, i + 10)).collect();
         let h = HintM::new(&data);
         let bf = BruteForce::new(&data);
-        for q in [iv(-1000, 1000), iv(0, 105), iv(205, 400), iv(-5, 99), iv(211, 300)] {
-            assert_eq!(sorted(h.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+        for q in [
+            iv(-1000, 1000),
+            iv(0, 105),
+            iv(205, 400),
+            iv(-5, 99),
+            iv(211, 300),
+        ] {
+            assert_eq!(
+                sorted(h.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
         }
     }
 
@@ -508,7 +552,11 @@ mod tests {
         let h = HintM::new(&data);
         let bf = BruteForce::new(&data);
         for q in [iv(-600, -300), iv(-450, -440), iv(-380, -370)] {
-            assert_eq!(sorted(h.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+            assert_eq!(
+                sorted(h.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
         }
     }
 

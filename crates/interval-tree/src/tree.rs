@@ -52,14 +52,28 @@ impl<E: Endpoint> IntervalTree<E> {
     /// and aligned with `data`.
     pub fn new_weighted(data: &[Interval<E>], weights: &[f64]) -> Self {
         assert_eq!(data.len(), weights.len(), "weights must align with data");
-        assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()), "weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive"
+        );
         Self::build(data, weights.to_vec())
     }
 
     fn build(data: &[Interval<E>], weights: Vec<f64>) -> Self {
-        let entries: Vec<Entry<E>> =
-            data.iter().enumerate().map(|(i, &iv)| Entry { iv, id: i as ItemId }).collect();
-        let mut tree = IntervalTree { nodes: Vec::new(), root: NIL, len: data.len(), weights };
+        let entries: Vec<Entry<E>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &iv)| Entry {
+                iv,
+                id: i as ItemId,
+            })
+            .collect();
+        let mut tree = IntervalTree {
+            nodes: Vec::new(),
+            root: NIL,
+            len: data.len(),
+            weights,
+        };
         tree.root = tree.build_node(entries);
         tree
     }
@@ -94,7 +108,10 @@ impl<E: Endpoint> IntervalTree<E> {
                 here.push(e);
             }
         }
-        debug_assert!(!here.is_empty(), "median endpoint must stab at least one interval");
+        debug_assert!(
+            !here.is_empty(),
+            "median endpoint must stab at least one interval"
+        );
 
         let mut by_lo = here;
         let mut by_hi = by_lo.clone();
@@ -102,7 +119,13 @@ impl<E: Endpoint> IntervalTree<E> {
         by_hi.sort_unstable_by_key(|a| a.iv.hi);
 
         let idx = self.nodes.len() as u32;
-        self.nodes.push(Node { center, by_lo, by_hi, left: NIL, right: NIL });
+        self.nodes.push(Node {
+            center,
+            by_lo,
+            by_hi,
+            left: NIL,
+            right: NIL,
+        });
         let left = self.build_node(left_items);
         let right = self.build_node(right_items);
         let node = &mut self.nodes[idx as usize];
@@ -244,6 +267,14 @@ pub struct IntervalTreePrepared<'a> {
     weights: Option<&'a [f64]>,
 }
 
+impl IntervalTreePrepared<'_> {
+    /// Total result-set weight (1 per candidate on the uniform path):
+    /// one pass over the already-materialized candidates, no re-search.
+    pub fn total_weight(&self) -> f64 {
+        irs_core::candidates_weight(&self.candidates, self.weights)
+    }
+}
+
 impl PreparedSampler for IntervalTreePrepared<'_> {
     fn candidate_count(&self) -> usize {
         self.candidates.len()
@@ -261,8 +292,11 @@ impl PreparedSampler for IntervalTreePrepared<'_> {
                 }
             }
             Some(weights) => {
-                let ws: Vec<f64> =
-                    self.candidates.iter().map(|&id| weights[id as usize]).collect();
+                let ws: Vec<f64> = self
+                    .candidates
+                    .iter()
+                    .map(|&id| weights[id as usize])
+                    .collect();
                 let alias = AliasTable::new(&ws);
                 for _ in 0..s {
                     out.push(self.candidates[alias.sample(rng)]);
@@ -276,7 +310,10 @@ impl<E: Endpoint> RangeSampler<E> for IntervalTree<E> {
     type Prepared<'a> = IntervalTreePrepared<'a>;
 
     fn prepare(&self, q: Interval<E>) -> IntervalTreePrepared<'_> {
-        IntervalTreePrepared { candidates: self.range_search(q), weights: None }
+        IntervalTreePrepared {
+            candidates: self.range_search(q),
+            weights: None,
+        }
     }
 }
 
@@ -288,7 +325,10 @@ impl<E: Endpoint> WeightedRangeSampler<E> for IntervalTree<E> {
             !self.weights.is_empty() || self.len == 0,
             "weighted sampling requires IntervalTree::new_weighted"
         );
-        IntervalTreePrepared { candidates: self.range_search(q), weights: Some(&self.weights) }
+        IntervalTreePrepared {
+            candidates: self.range_search(q),
+            weights: Some(&self.weights),
+        }
     }
 }
 
@@ -332,11 +372,29 @@ mod tests {
 
     #[test]
     fn small_fixture_matches_oracle() {
-        let data = vec![iv(0, 10), iv(5, 6), iv(11, 20), iv(-5, -1), iv(8, 30), iv(2, 2)];
+        let data = vec![
+            iv(0, 10),
+            iv(5, 6),
+            iv(11, 20),
+            iv(-5, -1),
+            iv(8, 30),
+            iv(2, 2),
+        ];
         let t = IntervalTree::new(&data);
         let bf = BruteForce::new(&data);
-        for q in [iv(6, 9), iv(-100, 100), iv(40, 50), iv(10, 11), iv(2, 2), iv(-5, -5)] {
-            assert_eq!(sorted(t.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+        for q in [
+            iv(6, 9),
+            iv(-100, 100),
+            iv(40, 50),
+            iv(10, 11),
+            iv(2, 2),
+            iv(-5, -5),
+        ] {
+            assert_eq!(
+                sorted(t.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
             assert_eq!(t.range_count(q), bf.range_count(q), "count {q:?}");
         }
         for p in [-6, -5, 0, 2, 6, 10, 20, 31] {

@@ -86,7 +86,10 @@ impl<E: Endpoint> Kds<E> {
     /// Builds the weighted variant.
     pub fn new_weighted(data: &[Interval<E>], weights: &[f64]) -> Self {
         assert_eq!(data.len(), weights.len(), "weights must align with data");
-        assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()), "weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive"
+        );
         let mut kds = Self::with_leaf_size(data, DEFAULT_LEAF_SIZE);
         // Weights follow the kd-tree's point permutation.
         let mut point_weights = Vec::with_capacity(kds.points.len());
@@ -109,7 +112,11 @@ impl<E: Endpoint> Kds<E> {
         let mut points: Vec<Point<E>> = data
             .iter()
             .enumerate()
-            .map(|(i, iv)| Point { lo: iv.lo, hi: iv.hi, id: i as ItemId })
+            .map(|(i, iv)| Point {
+                lo: iv.lo,
+                hi: iv.hi,
+                id: i as ItemId,
+            })
             .collect();
         let mut kds = Kds {
             points: Vec::new(),
@@ -263,9 +270,40 @@ pub struct KdsPrepared<'a, E> {
     weighted: bool,
 }
 
+impl<E: Endpoint> KdsPrepared<'_, E> {
+    /// Total result-set weight `Σ_{x ∈ q∩X} w(x)`, read off the canonical
+    /// decomposition: `O(pieces)` via the weight prefix sums — no
+    /// enumeration of the result set. Unweighted handles count 1 per
+    /// candidate.
+    pub fn total_weight(&self) -> f64 {
+        if !self.weighted {
+            return self.candidate_count() as f64;
+        }
+        let prefix = &self.kds.weight_prefix;
+        let full: f64 = self
+            .full
+            .iter()
+            .map(|&(b, e)| {
+                let base = if b == 0 { 0.0 } else { prefix[b as usize - 1] };
+                prefix[e as usize - 1] - base
+            })
+            .sum();
+        let partial: f64 = self
+            .partial
+            .iter()
+            .map(|&pos| self.kds.point_weights[pos as usize])
+            .sum();
+        full + partial
+    }
+}
+
 impl<E: Endpoint> PreparedSampler for KdsPrepared<'_, E> {
     fn candidate_count(&self) -> usize {
-        self.full.iter().map(|&(b, e)| (e - b) as usize).sum::<usize>() + self.partial.len()
+        self.full
+            .iter()
+            .map(|&(b, e)| (e - b) as usize)
+            .sum::<usize>()
+            + self.partial.len()
     }
 
     fn sample_into<R: rand::RngCore + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<ItemId>) {
@@ -303,12 +341,7 @@ impl<E: Endpoint> PreparedSampler for KdsPrepared<'_, E> {
             if k < n_full {
                 let (b, e) = self.full[k];
                 let pos = if self.weighted {
-                    sample_prefix_range(
-                        &self.kds.weight_prefix,
-                        b as usize,
-                        e as usize - 1,
-                        rng,
-                    )
+                    sample_prefix_range(&self.kds.weight_prefix, b as usize, e as usize - 1, rng)
                 } else {
                     rand::Rng::random_range(&mut *rng, b as usize..e as usize)
                 };
@@ -332,7 +365,12 @@ impl<E: Endpoint> RangeSampler<E> for Kds<E> {
         let mut full = Vec::new();
         let mut partial = Vec::new();
         self.decompose(q, &mut full, &mut partial);
-        KdsPrepared { kds: self, full, partial, weighted: false }
+        KdsPrepared {
+            kds: self,
+            full,
+            partial,
+            weighted: false,
+        }
     }
 }
 
@@ -347,7 +385,12 @@ impl<E: Endpoint> WeightedRangeSampler<E> for Kds<E> {
         let mut full = Vec::new();
         let mut partial = Vec::new();
         self.decompose(q, &mut full, &mut partial);
-        KdsPrepared { kds: self, full, partial, weighted: true }
+        KdsPrepared {
+            kds: self,
+            full,
+            partial,
+            weighted: true,
+        }
     }
 }
 
@@ -389,12 +432,23 @@ mod tests {
 
     #[test]
     fn matches_oracle_on_fixture() {
-        let data: Vec<_> =
-            (0..777).map(|i| iv((i * 31) % 500, (i * 31) % 500 + i % 40)).collect();
+        let data: Vec<_> = (0..777)
+            .map(|i| iv((i * 31) % 500, (i * 31) % 500 + i % 40))
+            .collect();
         let kds = Kds::new(&data);
         let bf = BruteForce::new(&data);
-        for q in [iv(0, 550), iv(100, 101), iv(499, 520), iv(-10, -1), iv(250, 250)] {
-            assert_eq!(sorted(kds.range_search(q)), sorted(bf.range_search(q)), "query {q:?}");
+        for q in [
+            iv(0, 550),
+            iv(100, 101),
+            iv(499, 520),
+            iv(-10, -1),
+            iv(250, 250),
+        ] {
+            assert_eq!(
+                sorted(kds.range_search(q)),
+                sorted(bf.range_search(q)),
+                "query {q:?}"
+            );
             assert_eq!(kds.range_count(q), bf.range_count(q), "count {q:?}");
         }
     }
@@ -421,7 +475,10 @@ mod tests {
         for id in kds.sample(q, draws, &mut rng) {
             counts[support.binary_search(&id).expect("sample outside q ∩ X")] += 1;
         }
-        assert!(chi_square_uniformity_ok(&counts, draws as u64), "KDS sampling not uniform");
+        assert!(
+            chi_square_uniformity_ok(&counts, draws as u64),
+            "KDS sampling not uniform"
+        );
     }
 
     #[test]
@@ -433,14 +490,20 @@ mod tests {
         let q = iv(25, 45);
         let support = sorted(bf.range_search(q));
         let total: f64 = support.iter().map(|&id| weights[id as usize]).sum();
-        let expected: Vec<f64> = support.iter().map(|&id| weights[id as usize] / total).collect();
+        let expected: Vec<f64> = support
+            .iter()
+            .map(|&id| weights[id as usize] / total)
+            .collect();
         let mut rng = StdRng::seed_from_u64(22);
         let draws = 250_000usize;
         let mut counts = vec![0u64; support.len()];
         for id in kds.sample_weighted(q, draws, &mut rng) {
             counts[support.binary_search(&id).expect("sample outside q ∩ X")] += 1;
         }
-        assert!(chi_square_ok(&counts, &expected, draws as u64), "KDS weighted sampling off");
+        assert!(
+            chi_square_ok(&counts, &expected, draws as u64),
+            "KDS weighted sampling off"
+        );
     }
 
     #[test]
@@ -451,8 +514,14 @@ mod tests {
         // O(√n) pieces: for n = 65536 expect on the order of hundreds,
         // certainly far below n / leaf_size = 4096.
         let pieces = prepared.full.len() + prepared.partial.len().div_ceil(DEFAULT_LEAF_SIZE);
-        assert!(pieces < 1500, "{pieces} canonical pieces — decomposition not sublinear");
-        assert_eq!(prepared.candidate_count(), kds.range_count(iv(10_000, 50_000)));
+        assert!(
+            pieces < 1500,
+            "{pieces} canonical pieces — decomposition not sublinear"
+        );
+        assert_eq!(
+            prepared.candidate_count(),
+            kds.range_count(iv(10_000, 50_000))
+        );
     }
 
     #[test]

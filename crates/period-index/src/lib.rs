@@ -37,7 +37,9 @@ struct Level<E> {
 
 impl<E> Default for Level<E> {
     fn default() -> Self {
-        Level { entries: Vec::new() }
+        Level {
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -109,7 +111,9 @@ impl<E: GridEndpoint> PeriodIndex<E> {
                 if bucket.levels.len() <= level {
                     bucket.levels.resize_with(level + 1, Level::default);
                 }
-                bucket.levels[level].entries.push((iv.hi, iv.lo, i as ItemId));
+                bucket.levels[level]
+                    .entries
+                    .push((iv.hi, iv.lo, i as ItemId));
             }
             for bucket in &mut buckets {
                 for level in &mut bucket.levels {
@@ -117,7 +121,13 @@ impl<E: GridEndpoint> PeriodIndex<E> {
                 }
             }
         }
-        PeriodIndex { buckets, domain, bucket_width, max_duration, len: data.len() }
+        PeriodIndex {
+            buckets,
+            domain,
+            bucket_width,
+            max_duration,
+            len: data.len(),
+        }
     }
 
     /// Number of intervals indexed.
@@ -250,7 +260,9 @@ impl<E: GridEndpoint> RangeSampler<E> for PeriodIndex<E> {
     type Prepared<'a> = PeriodPrepared;
 
     fn prepare(&self, q: Interval<E>) -> PeriodPrepared {
-        PeriodPrepared { candidates: self.range_search(q) }
+        PeriodPrepared {
+            candidates: self.range_search(q),
+        }
     }
 }
 
@@ -308,7 +320,13 @@ mod tests {
         let bf = BruteForce::new(&data);
         for buckets in [1, 2, 16, 128, 4096] {
             let pi = PeriodIndex::with_buckets(&data, buckets);
-            for q in [iv(0, 450), iv(100, 120), iv(349, 360), iv(-20, -1), iv(170, 170)] {
+            for q in [
+                iv(0, 450),
+                iv(100, 120),
+                iv(349, 360),
+                iv(-20, -1),
+                iv(170, 170),
+            ] {
                 assert_eq!(
                     sorted(pi.range_search(q)),
                     sorted(bf.range_search(q)),
@@ -317,7 +335,11 @@ mod tests {
                 assert_eq!(pi.range_count(q), bf.range_count(q), "buckets {buckets}");
             }
             for p in [0, 170, 349, 400] {
-                assert_eq!(sorted(pi.stab(p)), sorted(bf.stab(p)), "buckets {buckets} stab {p}");
+                assert_eq!(
+                    sorted(pi.stab(p)),
+                    sorted(bf.stab(p)),
+                    "buckets {buckets} stab {p}"
+                );
             }
         }
     }
@@ -339,7 +361,11 @@ mod tests {
         let pi = PeriodIndex::new(&data);
         let bf = BruteForce::new(&data);
         for q in [iv(-400, -100), iv(-250, -240), iv(-199, -150)] {
-            assert_eq!(sorted(pi.range_search(q)), sorted(bf.range_search(q)), "{q:?}");
+            assert_eq!(
+                sorted(pi.range_search(q)),
+                sorted(bf.range_search(q)),
+                "{q:?}"
+            );
         }
     }
 

@@ -28,10 +28,16 @@ impl AliasTable {
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "alias table over zero outcomes");
         let n = weights.len();
-        assert!(n <= u32::MAX as usize, "alias table outcome count exceeds u32");
+        assert!(
+            n <= u32::MAX as usize,
+            "alias table outcome count exceeds u32"
+        );
         let mut total = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w > 0.0, "alias weights must be positive, got {w}");
+            assert!(
+                w.is_finite() && w > 0.0,
+                "alias weights must be positive, got {w}"
+            );
             total += w;
         }
 
@@ -164,7 +170,11 @@ mod tests {
         for (i, &w) in weights.iter().enumerate() {
             let expected = draws as f64 * w / 31.0;
             let rel = (counts[i] - expected).abs() / expected;
-            assert!(rel < 0.05, "outcome {i}: observed {} expected {expected}", counts[i]);
+            assert!(
+                rel < 0.05,
+                "outcome {i}: observed {} expected {expected}",
+                counts[i]
+            );
         }
     }
 

@@ -29,7 +29,10 @@ impl CumulativeSum {
         let mut prefix = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w > 0.0, "cumsum weights must be positive, got {w}");
+            assert!(
+                w.is_finite() && w > 0.0,
+                "cumsum weights must be positive, got {w}"
+            );
             acc += w;
             prefix.push(acc);
         }
@@ -130,7 +133,11 @@ mod tests {
         for (i, &w) in weights.iter().enumerate() {
             let expected = draws as f64 * w / 10.0;
             let rel = (counts[i] - expected).abs() / expected;
-            assert!(rel < 0.05, "outcome {i}: observed {} expected {expected}", counts[i]);
+            assert!(
+                rel < 0.05,
+                "outcome {i}: observed {} expected {expected}",
+                counts[i]
+            );
         }
     }
 
@@ -160,7 +167,11 @@ mod tests {
         for (off, w) in [(0usize, 5.0), (1, 6.0), (2, 7.0)] {
             let expected = draws as f64 * w / total;
             let rel = (counts[off] - expected).abs() / expected;
-            assert!(rel < 0.05, "offset {off}: observed {} expected {expected}", counts[off]);
+            assert!(
+                rel < 0.05,
+                "offset {off}: observed {} expected {expected}",
+                counts[off]
+            );
         }
     }
 

@@ -67,7 +67,12 @@ impl<E: Endpoint> SegmentTree<E> {
         let leaves = slab_count.next_power_of_two();
         let mut nodes = Vec::with_capacity(2 * leaves);
         nodes.resize_with(2 * leaves, || SegNode { items: Vec::new() });
-        let mut tree = SegmentTree { coords, nodes, leaves, len: data.len() };
+        let mut tree = SegmentTree {
+            coords,
+            nodes,
+            leaves,
+            len: data.len(),
+        };
         for (i, iv) in data.iter().enumerate() {
             let lo_slab = tree.point_slab(iv.lo);
             let hi_slab = tree.point_slab(iv.hi);
@@ -78,7 +83,10 @@ impl<E: Endpoint> SegmentTree<E> {
 
     /// Slab index of an endpoint value that is known to be in `coords`.
     fn point_slab(&self, v: E) -> usize {
-        let i = self.coords.binary_search(&v).expect("endpoint must be a coordinate");
+        let i = self
+            .coords
+            .binary_search(&v)
+            .expect("endpoint must be a coordinate");
         2 * i + 1
     }
 
@@ -195,7 +203,11 @@ impl<E: Endpoint> MemoryFootprint for SegmentTree<E> {
     fn heap_bytes(&self) -> usize {
         vec_bytes(&self.coords)
             + self.nodes.capacity() * std::mem::size_of::<SegNode>()
-            + self.nodes.iter().map(|n| vec_bytes(&n.items)).sum::<usize>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| vec_bytes(&n.items))
+                .sum::<usize>()
     }
 }
 
@@ -225,7 +237,14 @@ mod tests {
 
     #[test]
     fn stabbing_matches_oracle() {
-        let data = vec![iv(0, 10), iv(5, 6), iv(11, 20), iv(-5, -1), iv(8, 30), iv(6, 6)];
+        let data = vec![
+            iv(0, 10),
+            iv(5, 6),
+            iv(11, 20),
+            iv(-5, -1),
+            iv(8, 30),
+            iv(6, 6),
+        ];
         let st = SegmentTree::new(&data);
         let bf = BruteForce::new(&data);
         for p in [-6, -5, -3, -1, 0, 5, 6, 7, 10, 11, 15, 20, 30, 31] {
@@ -273,7 +292,10 @@ mod tests {
         let st = SegmentTree::new(&data);
         let total_stored: usize = st.nodes.iter().map(|n| n.items.len()).sum();
         // Each interval appears at O(log n) canonical nodes.
-        assert!(total_stored <= 4096 * 2 * 14, "stored {total_stored} copies");
+        assert!(
+            total_stored <= 4096 * 2 * 14,
+            "stored {total_stored} copies"
+        );
         assert!(total_stored >= 4096, "every interval stored at least once");
     }
 

@@ -86,8 +86,16 @@ impl<E: Endpoint> TimelineIndex<E> {
         let mut events: Vec<Event<E>> = Vec::with_capacity(data.len() * 2);
         let mut starts: Vec<(E, ItemId)> = Vec::with_capacity(data.len());
         for (i, iv) in data.iter().enumerate() {
-            events.push(Event { time: iv.lo, id: i as ItemId, start: true });
-            events.push(Event { time: iv.hi, id: i as ItemId, start: false });
+            events.push(Event {
+                time: iv.lo,
+                id: i as ItemId,
+                start: true,
+            });
+            events.push(Event {
+                time: iv.hi,
+                id: i as ItemId,
+                start: false,
+            });
             starts.push((iv.lo, i as ItemId));
         }
         // Replay order: all events at time t happen "at" t, with starts
@@ -101,7 +109,10 @@ impl<E: Endpoint> TimelineIndex<E> {
         // Checkpoints: active set after each `period` events.
         let mut checkpoints = Vec::with_capacity(events.len() / period + 1);
         let mut active: Vec<ItemId> = Vec::new();
-        checkpoints.push(Checkpoint { event_pos: 0, active: Vec::new() });
+        checkpoints.push(Checkpoint {
+            event_pos: 0,
+            active: Vec::new(),
+        });
         for (pos, e) in events.iter().enumerate() {
             if e.start {
                 active.push(e.id);
@@ -111,10 +122,19 @@ impl<E: Endpoint> TimelineIndex<E> {
             if (pos + 1) % period == 0 {
                 let mut snapshot = active.clone();
                 snapshot.sort_unstable();
-                checkpoints.push(Checkpoint { event_pos: pos + 1, active: snapshot });
+                checkpoints.push(Checkpoint {
+                    event_pos: pos + 1,
+                    active: snapshot,
+                });
             }
         }
-        TimelineIndex { events, checkpoints, starts, len: data.len(), period }
+        TimelineIndex {
+            events,
+            checkpoints,
+            starts,
+            len: data.len(),
+            period,
+        }
     }
 
     /// Number of intervals indexed.
@@ -142,9 +162,9 @@ impl<E: Endpoint> TimelineIndex<E> {
         // t (closed start), while ends at t remain active (closed end).
         // Our sort key places starts before ends per time, so the replay
         // boundary is: all events with time < t, plus start events at t.
-        let boundary = self.events.partition_point(|e| {
-            (e.time, !e.start) < (t, false) || (e.time == t && e.start)
-        });
+        let boundary = self
+            .events
+            .partition_point(|e| (e.time, !e.start) < (t, false) || (e.time == t && e.start));
         // Nearest checkpoint at or before the boundary.
         let ck_idx = self
             .checkpoints
@@ -227,7 +247,9 @@ impl<E: Endpoint> RangeSampler<E> for TimelineIndex<E> {
     type Prepared<'a> = TimelinePrepared;
 
     fn prepare(&self, q: Interval<E>) -> TimelinePrepared {
-        TimelinePrepared { candidates: self.range_search(q) }
+        TimelinePrepared {
+            candidates: self.range_search(q),
+        }
     }
 }
 
@@ -236,7 +258,11 @@ impl<E: Endpoint> MemoryFootprint for TimelineIndex<E> {
         vec_bytes(&self.events)
             + vec_bytes(&self.starts)
             + vec_bytes(&self.checkpoints)
-            + self.checkpoints.iter().map(|c| vec_bytes(&c.active)).sum::<usize>()
+            + self
+                .checkpoints
+                .iter()
+                .map(|c| vec_bytes(&c.active))
+                .sum::<usize>()
     }
 }
 
@@ -290,7 +316,13 @@ mod tests {
         let bf = BruteForce::new(&data);
         for period in [1, 7, 64, 512, 100_000] {
             let tl = TimelineIndex::with_checkpoint_period(&data, period);
-            for q in [iv(0, 450), iv(100, 120), iv(399, 440), iv(-20, -1), iv(250, 250)] {
+            for q in [
+                iv(0, 450),
+                iv(100, 120),
+                iv(399, 440),
+                iv(-20, -1),
+                iv(250, 250),
+            ] {
                 assert_eq!(
                     sorted(tl.range_search(q)),
                     sorted(bf.range_search(q)),
@@ -299,7 +331,11 @@ mod tests {
                 assert_eq!(tl.range_count(q), bf.range_count(q), "period {period}");
             }
             for p in [0, 200, 399, 431] {
-                assert_eq!(sorted(tl.stab(p)), sorted(bf.stab(p)), "period {period} stab {p}");
+                assert_eq!(
+                    sorted(tl.stab(p)),
+                    sorted(bf.stab(p)),
+                    "period {period} stab {p}"
+                );
             }
         }
     }
@@ -324,7 +360,11 @@ mod tests {
         let data: Vec<_> = (0..10_000).map(|i| iv(i, i + 100)).collect();
         let tl = TimelineIndex::with_checkpoint_period(&data, 128);
         // 20k events / 128 → ~156 checkpoints (plus the initial one).
-        assert!(tl.checkpoints.len() >= 150, "{} checkpoints", tl.checkpoints.len());
+        assert!(
+            tl.checkpoints.len() >= 150,
+            "{} checkpoints",
+            tl.checkpoints.len()
+        );
         assert_eq!(tl.active_at(5_000).len(), 101);
     }
 

@@ -30,11 +30,18 @@ fn main() {
         // Volume spikes on big moves.
         volumes.push(1.0 + 5_000.0 * drift.abs() + rng.random_range(0.0..10.0));
     }
-    println!("{n} candles, price domain {:?}", irs::domain_bounds(&data).unwrap());
+    println!(
+        "{n} candles, price domain {:?}",
+        irs::domain_bounds(&data).unwrap()
+    );
 
     let t = Instant::now();
     let awit = Awit::new(&data, &volumes);
-    println!("AWIT built in {:?} ({:.1} MiB)", t.elapsed(), awit.heap_bytes() as f64 / 1048576.0);
+    println!(
+        "AWIT built in {:?} ({:.1} MiB)",
+        t.elapsed(),
+        awit.heap_bytes() as f64 / 1048576.0
+    );
 
     // "When was BTC inside [30k, 40k]?"
     let band = Interval::new(30_000, 40_000);
@@ -56,15 +63,21 @@ fn main() {
     println!("{s} volume-weighted candle samples in {:?}:", t.elapsed());
     for id in &sample {
         let iv = data[*id as usize];
-        println!("  minute {:>7}: range {iv:?}, volume {:8.1}", id, volumes[*id as usize]);
+        println!(
+            "  minute {:>7}: range {iv:?}, volume {:8.1}",
+            id, volumes[*id as usize]
+        );
     }
 
     // Sanity: the average volume of weighted samples must exceed the
     // band's plain average (heavier candles are drawn more often).
     let mut rng2 = StdRng::seed_from_u64(9);
     let big_sample = awit.sample_weighted(band, 20_000, &mut rng2);
-    let avg_sampled: f64 =
-        big_sample.iter().map(|&id| volumes[id as usize]).sum::<f64>() / big_sample.len() as f64;
+    let avg_sampled: f64 = big_sample
+        .iter()
+        .map(|&id| volumes[id as usize])
+        .sum::<f64>()
+        / big_sample.len() as f64;
     let avg_band = band_volume / hits as f64;
     println!("\navg volume: weighted samples {avg_sampled:.1} vs uniform band {avg_band:.1}");
     assert!(

@@ -37,7 +37,10 @@ fn main() {
     for month in 0..6 {
         let q = Interval::new(month * MONTH, (month + 1) * MONTH);
         let ids = ait.range_search(q);
-        let exact: f64 = ids.iter().map(|&id| (data[id as usize].hi - data[id as usize].lo) as f64).sum::<f64>()
+        let exact: f64 = ids
+            .iter()
+            .map(|&id| (data[id as usize].hi - data[id as usize].lo) as f64)
+            .sum::<f64>()
             / ids.len().max(1) as f64;
         let sample = ait.sample(q, s, &mut rng);
         let est: f64 = sample
@@ -56,7 +59,10 @@ fn main() {
             ids.len()
         );
     }
-    assert!(worst_rel_err < 0.25, "sample estimates should track the exact statistic");
+    assert!(
+        worst_rel_err < 0.25,
+        "sample estimates should track the exact statistic"
+    );
 
     // The library keeps lending: stream one day of new borrows through the
     // batched insertion pool (§III-D) and query mid-stream.
@@ -75,6 +81,10 @@ fn main() {
         t.elapsed().as_micros() as f64 / new_borrows.len() as f64
     );
     let today = Interval::new(domain - DAY, domain);
-    println!("records overlapping the last day: {}", ait.range_count(today));
-    ait.validate().expect("index invariants hold after ingestion");
+    println!(
+        "records overlapping the last day: {}",
+        ait.range_count(today)
+    );
+    ait.validate()
+        .expect("index invariants hold after ingestion");
 }

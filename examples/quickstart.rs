@@ -18,22 +18,46 @@ fn main() {
     // Build all indexes.
     let t = Instant::now();
     let ait = Ait::new(&data);
-    println!("AIT built in {:?} ({:.1} MiB)", t.elapsed(), mib(ait.heap_bytes()));
+    println!(
+        "AIT built in {:?} ({:.1} MiB)",
+        t.elapsed(),
+        mib(ait.heap_bytes())
+    );
     let t = Instant::now();
     let aitv = AitV::new(&data);
-    println!("AIT-V built in {:?} ({:.1} MiB)", t.elapsed(), mib(aitv.heap_bytes()));
+    println!(
+        "AIT-V built in {:?} ({:.1} MiB)",
+        t.elapsed(),
+        mib(aitv.heap_bytes())
+    );
     let t = Instant::now();
     let awit = Awit::new(&data, &weights);
-    println!("AWIT built in {:?} ({:.1} MiB)", t.elapsed(), mib(awit.heap_bytes()));
+    println!(
+        "AWIT built in {:?} ({:.1} MiB)",
+        t.elapsed(),
+        mib(awit.heap_bytes())
+    );
     let t = Instant::now();
     let itree = IntervalTree::new(&data);
-    println!("Interval tree built in {:?} ({:.1} MiB)", t.elapsed(), mib(itree.heap_bytes()));
+    println!(
+        "Interval tree built in {:?} ({:.1} MiB)",
+        t.elapsed(),
+        mib(itree.heap_bytes())
+    );
     let t = Instant::now();
     let hint = HintM::new(&data);
-    println!("HINTm built in {:?} ({:.1} MiB)", t.elapsed(), mib(hint.heap_bytes()));
+    println!(
+        "HINTm built in {:?} ({:.1} MiB)",
+        t.elapsed(),
+        mib(hint.heap_bytes())
+    );
     let t = Instant::now();
     let kds = Kds::new(&data);
-    println!("KDS built in {:?} ({:.1} MiB)", t.elapsed(), mib(kds.heap_bytes()));
+    println!(
+        "KDS built in {:?} ({:.1} MiB)",
+        t.elapsed(),
+        mib(kds.heap_bytes())
+    );
 
     // One query: 8% of the domain, s = 1000 (the paper's defaults).
     let workload = irs::datagen::QueryWorkload::from_data(&data);
@@ -49,7 +73,10 @@ fn main() {
         ("Interval tree", timed(&mut rng, |r| itree.sample(q, s, r))),
         ("HINTm", timed(&mut rng, |r| hint.sample(q, s, r))),
         ("KDS", timed(&mut rng, |r| kds.sample(q, s, r))),
-        ("AWIT (weighted)", timed(&mut rng, |r| awit.sample_weighted(q, s, r))),
+        (
+            "AWIT (weighted)",
+            timed(&mut rng, |r| awit.sample_weighted(q, s, r)),
+        ),
     ] {
         let (elapsed, ids) = samples;
         assert!(ids.iter().all(|&id| data[id as usize].overlaps(&q)));
@@ -57,10 +84,7 @@ fn main() {
     }
 }
 
-fn timed<R>(
-    rng: &mut R,
-    f: impl Fn(&mut R) -> Vec<ItemId>,
-) -> (std::time::Duration, Vec<ItemId>) {
+fn timed<R>(rng: &mut R, f: impl Fn(&mut R) -> Vec<ItemId>) -> (std::time::Duration, Vec<ItemId>) {
     let t = Instant::now();
     let out = f(rng);
     (t.elapsed(), out)

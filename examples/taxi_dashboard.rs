@@ -29,7 +29,11 @@ fn main() {
 
     let t = Instant::now();
     let active = ait.range_count(q);
-    println!("\n{} trips active in the window (counted in {:?})", active, t.elapsed());
+    println!(
+        "\n{} trips active in the window (counted in {:?})",
+        active,
+        t.elapsed()
+    );
 
     // Sampling 2,000 trips is enough to draw the activity histogram.
     let s = 2000;

@@ -1,0 +1,285 @@
+//! Workspace-local stand-in for the [`proptest`](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crate-registry access, so this shim
+//! implements the subset of the proptest API the workspace's test suites
+//! use:
+//!
+//! - [`proptest!`] — the test-defining macro, with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header and
+//!   `arg in strategy` bindings.
+//! - Strategies: integer ranges (`0i64..100`), tuples of strategies
+//!   (up to arity 6), and [`collection::vec`] with an exact length or a
+//!   `usize` range.
+//! - [`prop_assert!`] / [`prop_assert_eq!`] — assertion forms.
+//!
+//! Differences from upstream, deliberately accepted for a test-only shim:
+//! no shrinking (a failing case reports its deterministic per-case seed so
+//! it can be replayed), and input generation is seeded from the test
+//! function's name, so each test is reproducible run-to-run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-count configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the workspace's heavier suites all set
+        // an explicit count, so a smaller default keeps unconfigured tests
+        // fast without weakening the configured ones.
+        Self { cases: 64 }
+    }
+}
+
+/// Value generator: the shim's version of `proptest::strategy::Strategy`.
+///
+/// Only generation is supported (no shrink trees).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Collection strategies (`prop::collection` in upstream paths).
+pub mod collection {
+    use super::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `elem`-generated values with a
+    /// length drawn from `size` (an exact `usize` or a `usize` range).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Length bounds for [`collection::vec`]: `lo..hi` (half-open, as in
+/// upstream `proptest`) or an exact length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec-length range");
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec-length range");
+        Self {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy returned by [`collection::vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// FNV-1a over the test name: gives every property test its own stable
+/// seed stream without any global state.
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives the per-case RNG. Public because the [`proptest!`] expansion
+/// calls it; not part of the compatibility surface.
+pub fn case_rng(test_seed: u64, case: u32) -> SmallRng {
+    SmallRng::seed_from_u64(test_seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Shim of upstream's macro: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a plain `#[test]` that loops over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let test_seed = $crate::seed_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let mut __proptest_rng = $crate::case_rng(test_seed, case);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng);)+
+                    let run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case}/{} of `{}` failed (case seed {test_seed:#x}^{case})",
+                            cfg.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assertion macro: in this shim simply panics (no shrinking to abort).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion macro: panics on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion macro: panics on match.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `prop::` paths tests reach through the prelude glob.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Mirror of `proptest::prelude::*` for the names this workspace uses.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::case_rng(1, 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&(0i64..10, 5u32..=6), &mut rng);
+            assert!((0..10).contains(&v.0) && (5..=6).contains(&v.1));
+            let xs = Strategy::generate(&prop::collection::vec(0i64..5, 2..6), &mut rng);
+            assert!((2..6).contains(&xs.len()));
+            assert!(xs.iter().all(|x| (0..5).contains(x)));
+            let exact = Strategy::generate(&prop::collection::vec(0u8..2, 7usize), &mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_form_runs(
+            xs in prop::collection::vec((0i64..100, 0i64..10), 1..20),
+            k in 1usize..5,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((1..5).contains(&k));
+            for &(a, b) in &xs {
+                prop_assert!((0..100).contains(&a));
+                prop_assert_eq!(b.clamp(0, 9), b);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_runs(x in 0i64..5) {
+            prop_assert!((0..5).contains(&x));
+        }
+    }
+}

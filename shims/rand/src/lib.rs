@@ -1,0 +1,396 @@
+//! Workspace-local stand-in for the [`rand`](https://docs.rs/rand/0.9) crate.
+//!
+//! The build environment has no access to a crate registry, so this shim
+//! reimplements the (small) subset of the rand 0.9 API the workspace
+//! actually uses:
+//!
+//! - [`RngCore`] — the object-safe raw-randomness trait, implemented for
+//!   `&mut R` so `&mut dyn RngCore` works as a generic argument.
+//! - [`Rng`] — the extension trait with [`Rng::random_range`], blanket
+//!   implemented for every `RngCore + ?Sized` exactly like upstream.
+//! - [`SeedableRng::seed_from_u64`] plus [`rngs::StdRng`] and
+//!   [`rngs::SmallRng`], both backed by xoshiro256++ seeded via SplitMix64
+//!   (upstream uses ChaCha12 / xoshiro256++; the statistical quality of
+//!   xoshiro256++ passes the workspace's chi-square suites with margin).
+//! - Integer ranges use Lemire's widening-multiply rejection method, so
+//!   draws are exactly uniform (no modulo bias) — the IRS distribution
+//!   tests depend on this.
+//!
+//! Determinism contract: for a fixed seed the draw sequence is stable
+//! across platforms (no `usize`-width dependence on 64-bit targets; the
+//! workspace only targets 64-bit).
+
+/// Raw source of randomness (object-safe subset of rand 0.9's `RngCore`).
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl RngCore for Box<dyn RngCore + '_> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing extension methods, blanket-implemented for every
+/// [`RngCore`] (sized or not), mirroring rand 0.9.
+pub trait Rng: RngCore {
+    /// A uniformly random value from `range` (exactly uniform for integer
+    /// ranges; standard 53-bit-mantissa uniform for float ranges).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool: p = {p} out of [0, 1]"
+        );
+        distr::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (subset: the workspace only seeds from `u64`).
+pub trait SeedableRng: Sized {
+    /// Deterministically derives a full-period generator state from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range-sampling plumbing behind [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+
+    /// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(bits: u64) -> f64 {
+        // 53 mantissa bits: uniform over the 2^53 grid, always < 1.0.
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)` by Lemire's widening-multiply
+    /// rejection — exactly uniform, no modulo bias.
+    #[inline]
+    pub fn uniform_below(rng: &mut (impl RngCore + ?Sized), bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone: the low `(2^64) mod bound` multiples are
+        // over-represented; reject them.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = u128::from(rng.next_u64()) * u128::from(bound);
+            if m as u64 >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Types [`super::Rng::random_range`] can draw uniformly.
+    ///
+    /// The single blanket [`SampleRange`] impl below dispatches through
+    /// this trait; keeping one blanket impl (as upstream does) is what
+    /// lets integer-literal ranges infer their type from the use site.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_exclusive(rng: &mut (impl RngCore + ?Sized), lo: Self, hi: Self) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_inclusive(rng: &mut (impl RngCore + ?Sized), lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty => $u:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_exclusive(rng: &mut (impl RngCore + ?Sized), lo: $t, hi: $t) -> $t {
+                    assert!(lo < hi, "random_range: empty range");
+                    // Two's-complement offset trick maps signed spans onto u64.
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                    lo.wrapping_add(uniform_below(rng, span) as $t)
+                }
+                #[inline]
+                fn sample_inclusive(rng: &mut (impl RngCore + ?Sized), lo: $t, hi: $t) -> $t {
+                    assert!(lo <= hi, "random_range: empty range");
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    );
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_exclusive(rng: &mut (impl RngCore + ?Sized), lo: $t, hi: $t) -> $t {
+                    assert!(lo < hi, "random_range: empty range");
+                    loop {
+                        let v = lo + (hi - lo) * unit_f64(rng.next_u64()) as $t;
+                        // Rounding of lo + span*u can land exactly on `hi`
+                        // for large spans; redraw (probability ~2^-53).
+                        if v < hi {
+                            return v;
+                        }
+                    }
+                }
+                #[inline]
+                fn sample_inclusive(rng: &mut (impl RngCore + ?Sized), lo: $t, hi: $t) -> $t {
+                    assert!(lo <= hi, "random_range: empty range");
+                    lo + (hi - lo) * unit_f64(rng.next_u64()) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_float!(f32, f64);
+
+    /// A range that [`super::Rng::random_range`] can sample from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform value; panics on an empty range.
+        fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        #[inline]
+        fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+            T::sample_exclusive(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+        #[inline]
+        fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// SplitMix64 stream, used to expand a `u64` seed into generator state
+    /// (the standard xoshiro seeding procedure).
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// xoshiro256++ core: 256-bit state, full 2^256-1 period, passes
+    /// BigCrush. Shared by [`StdRng`] and [`SmallRng`].
+    #[derive(Clone, Debug)]
+    struct Xoshiro256PlusPlus {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256PlusPlus {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state (possible only for adversarial seeds) would be
+            // a fixed point; SplitMix64 never produces it from any seed,
+            // but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    macro_rules! rng_newtype {
+        ($(#[$doc:meta])* $name:ident, $salt:expr) => {
+            $(#[$doc])*
+            #[derive(Clone, Debug)]
+            pub struct $name(Xoshiro256PlusPlus);
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(state: u64) -> Self {
+                    // Distinct salt per generator type so StdRng and
+                    // SmallRng streams differ for equal seeds, as upstream.
+                    Self(Xoshiro256PlusPlus::seed_from_u64(state ^ $salt))
+                }
+            }
+
+            impl super::RngCore for $name {
+                #[inline]
+                fn next_u32(&mut self) -> u32 {
+                    (self.0.next_u64() >> 32) as u32
+                }
+                #[inline]
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next_u64()
+                }
+            }
+        };
+    }
+
+    rng_newtype!(
+        /// Stand-in for rand's `StdRng` (upstream: ChaCha12; here
+        /// xoshiro256++ — not cryptographically secure, which no caller in
+        /// this workspace requires).
+        StdRng,
+        0
+    );
+    rng_newtype!(
+        /// Stand-in for rand's `SmallRng` (upstream is also xoshiro256++
+        /// on 64-bit targets).
+        SmallRng,
+        0xA5A5_5A5A_0F0F_F0F0
+    );
+}
+
+// Re-export matching `use rand::...` paths used in the workspace.
+pub use distr::SampleRange;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::{SmallRng, StdRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn std_and_small_streams_differ() {
+        let mut s = StdRng::seed_from_u64(1);
+        let mut m = SmallRng::seed_from_u64(1);
+        assert_ne!(s.next_u64(), m.next_u64());
+    }
+
+    #[test]
+    fn ranges_cover_and_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 hit in 1000 draws");
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let f = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(rng.random_range(4u32..5), 4);
+        assert_eq!(rng.random_range(9i16..=9), 9);
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_mod_small() {
+        // 3 buckets over 90k draws: counts within 2% of 30k each.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u64; 3];
+        for _ in 0..90_000 {
+            counts[rng.random_range(0..3usize)] += 1;
+        }
+        for c in counts {
+            assert!((29_000..=31_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_and_unsized() {
+        fn draw(rng: &mut (impl RngCore + ?Sized)) -> u64 {
+            rng.random_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynref: &mut dyn RngCore = &mut rng;
+        assert!(draw(dynref) < 100);
+        let mut boxed: Box<dyn RngCore> = Box::new(StdRng::seed_from_u64(6));
+        assert!(draw(&mut boxed) < 100);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,15 +1,16 @@
 //! `irs-cli` — command-line front end for the library.
 //!
 //! ```text
-//! irs-cli generate --profile taxi --n 100000 --out trips.csv
-//! irs-cli count    --data trips.csv --lo 100 --hi 5000
-//! irs-cli sample   --data trips.csv --lo 100 --hi 5000 --s 10 [--weighted]
-//! irs-cli stab     --data trips.csv --at 250
+//! irs-cli generate     --profile taxi --n 100000 --out trips.csv
+//! irs-cli count        --data trips.csv --lo 100 --hi 5000
+//! irs-cli sample       --data trips.csv --lo 100 --hi 5000 --s 10 [--weighted]
+//! irs-cli stab         --data trips.csv --at 250
+//! irs-cli bench-engine --n 1000000 --shards 1,2,4,8 --batches 64,256
 //! ```
 //!
 //! Data files are CSV with one `lo,hi[,weight]` triple per line (header
-//! lines starting with a letter are skipped). No external dependencies —
-//! argument parsing is by hand.
+//! lines starting with a letter may open the file). No external
+//! dependencies — argument parsing is by hand.
 
 use irs::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "count" => cmd_count(&opts),
         "sample" => cmd_sample(&opts),
         "stab" => cmd_stab(&opts),
+        "bench-engine" => cmd_bench_engine(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -57,6 +59,13 @@ USAGE:
   irs-cli count    --data <FILE> --lo <LO> --hi <HI>
   irs-cli sample   --data <FILE> --lo <LO> --hi <HI> --s <S> [--weighted] [--seed <S>]
   irs-cli stab     --data <FILE> --at <P>
+  irs-cli bench-engine [--profile <P>] [--n <N>] [--kind <ait|ait-v|awit|kds|hint-m|interval-tree>]
+                       [--shards <K1,K2,..>] [--batches <B1,B2,..>] [--s <S>]
+                       [--queries <Q>] [--extent <PCT>] [--seed <S>]
+
+bench-engine measures engine queries/sec (sample + search workloads) at
+each shard count × batch size on a synthetic dataset (default: 1,000,000
+taxi-profile intervals, shard counts 1..num_cpus doubling, s = 1000).
 
 Data files: CSV lines `lo,hi[,weight]`.";
 
@@ -82,7 +91,10 @@ impl Opts {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn req(&self, key: &str) -> Result<&str, String> {
@@ -90,7 +102,9 @@ impl Opts {
     }
 
     fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
-        self.req(key)?.parse().map_err(|_| format!("--{key}: not a number"))
+        self.req(key)?
+            .parse()
+            .map_err(|_| format!("--{key}: not a number"))
     }
 
     fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -126,16 +140,31 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
 
 fn load(path: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_csv(std::io::BufReader::new(file), path)
+}
+
+/// Parses `lo,hi[,weight]` lines. Header lines (starting with a letter)
+/// are only recognized *before* the first data line; a malformed line in
+/// the data body is an error naming the line, never silently skipped.
+fn parse_csv(reader: impl BufRead, path: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
     let mut data = Vec::new();
     let mut weights = Vec::new();
-    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+    for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| e.to_string())?;
         let line = line.trim();
-        if line.is_empty() || line.starts_with(|c: char| c.is_alphabetic()) {
-            continue; // header or blank
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+        if line.starts_with(|c: char| c.is_alphabetic()) {
+            if data.is_empty() {
+                continue; // header
+            }
+            return Err(err(
+                "malformed data line (non-numeric; headers may only open the file)",
+            ));
         }
         let mut parts = line.split(',');
-        let err = |what: &str| format!("{path}:{}: {what}", lineno + 1);
         let lo: i64 = parts
             .next()
             .and_then(|v| v.trim().parse().ok())
@@ -151,6 +180,11 @@ fn load(path: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
             Some(v) => v.trim().parse().map_err(|_| err("bad weight"))?,
             None => 1.0,
         };
+        // Catch these here with a file:line error; the index builders
+        // only assert, which would abort without naming the bad row.
+        if !(w.is_finite() && w > 0.0) {
+            return Err(err("bad weight (must be positive and finite)"));
+        }
         data.push(Interval::new(lo, hi));
         weights.push(w);
     }
@@ -205,4 +239,147 @@ fn cmd_stab(opts: &Opts) -> Result<(), String> {
         writeln!(out, "{}\t{},{}", id, iv.lo, iv.hi).map_err(|e| e.to_string())?;
     }
     Ok(())
+}
+
+/// Comma-separated positive-count list option, e.g. `--shards 1,2,4,8`
+/// (same syntax and validation as the bench binaries' env knobs).
+fn num_list(opts: &Opts, key: &str, default: Vec<usize>) -> Result<Vec<usize>, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => irs::engine_throughput::parse_count_list(v).map_err(|e| format!("--{key}: {e}")),
+    }
+}
+
+fn cmd_bench_engine(opts: &Opts) -> Result<(), String> {
+    let profile = match opts.get("profile").unwrap_or("taxi") {
+        "book" => irs::datagen::BOOK,
+        "btc" => irs::datagen::BTC,
+        "renfe" => irs::datagen::RENFE,
+        "taxi" => irs::datagen::TAXI,
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    let kind = match opts.get("kind") {
+        None => IndexKind::Ait,
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown kind `{name}`"))?,
+    };
+    let n: usize = opts.num_or("n", 1_000_000)?;
+    let s: usize = opts.num_or("s", 1_000)?;
+    let query_count: usize = opts.num_or("queries", 2_048)?;
+    let extent: f64 = opts.num_or("extent", 1.0)?;
+    if !(0.0..=100.0).contains(&extent) {
+        return Err(format!(
+            "--extent: {extent} is not a percentage in [0, 100]"
+        ));
+    }
+    let seed: u64 = opts.num_or("seed", 42)?;
+    let cpus = irs::engine_throughput::cpu_count();
+    let shard_counts = num_list(
+        opts,
+        "shards",
+        irs::engine_throughput::default_shard_sweep(),
+    )?;
+    let batch_sizes = num_list(opts, "batches", vec![64, 256, 1024])?;
+
+    println!(
+        "# engine throughput — kind = {kind}, profile = {}, n = {n}, s = {s}",
+        profile.name
+    );
+    println!("# {query_count} queries at {extent}% extent, seed = {seed}, {cpus} CPUs");
+    let data = profile.generate(n, seed);
+    let queries =
+        irs::datagen::QueryWorkload::from_data(&data).generate(query_count, extent, seed ^ 0xBE7C);
+    println!(
+        "{:>7} {:>7} {:>14} {:>14}",
+        "shards", "batch", "sample q/s", "search q/s"
+    );
+    // Scaling ratio baseline: the *first shard count's* run at the same
+    // batch size, labeled with that count (only "vs 1-shard" when the
+    // list starts at 1).
+    let base_shards = shard_counts[0];
+    let mut baseline_sample: Vec<Option<f64>> = vec![None; batch_sizes.len()];
+    for &shards in &shard_counts {
+        let engine = Engine::new(&data, EngineConfig::new(kind).shards(shards).seed(seed));
+        for (bi, &batch) in batch_sizes.iter().enumerate() {
+            let sample_qps = irs::engine_throughput::batched_qps(&engine, &queries, batch, |&q| {
+                Request::Sample { q, s }
+            });
+            let search_qps = irs::engine_throughput::batched_qps(&engine, &queries, batch, |&q| {
+                Request::Search { q }
+            });
+            let speedup = match baseline_sample[bi] {
+                None => {
+                    baseline_sample[bi] = Some(sample_qps);
+                    String::new()
+                }
+                Some(base) => {
+                    format!(
+                        "  ({:.2}x sample vs {base_shards}-shard)",
+                        sample_qps / base
+                    )
+                }
+            };
+            println!("{shards:>7} {batch:>7} {sample_qps:>14.0} {search_qps:>14.0}{speedup}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
+        parse_csv(text.as_bytes(), "test.csv")
+    }
+
+    #[test]
+    fn plain_rows_parse_with_default_weight() {
+        let (data, weights) = parse("1,5\n2,8,3.5\n").unwrap();
+        assert_eq!(data, vec![Interval::new(1, 5), Interval::new(2, 8)]);
+        assert_eq!(weights, vec![1.0, 3.5]);
+    }
+
+    #[test]
+    fn leading_header_and_blank_lines_are_skipped() {
+        let (data, _) = parse("lo,hi,weight\n\n10,20\n30,40\n").unwrap();
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn malformed_line_mid_file_errors_with_line_number() {
+        // Previously this line was silently skipped as a "header".
+        let err = parse("1,5\nnot,a,row\n2,8\n").unwrap_err();
+        assert!(
+            err.contains("test.csv:2"),
+            "error must name the line: {err}"
+        );
+        assert!(err.contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn numeric_garbage_errors_with_line_number() {
+        let err = parse("1,5\n3,\n").unwrap_err();
+        assert!(err.contains("test.csv:2"), "{err}");
+        let err = parse("1,5\n4,2\n").unwrap_err();
+        assert!(err.contains("lo > hi"), "{err}");
+        let err = parse("1,5\n4,9,heavy\n").unwrap_err();
+        assert!(err.contains("bad weight"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_or_non_finite_weights_error_with_line_number() {
+        // These parse as f64 but would abort deep inside the index
+        // builders; the loader must reject them with file:line instead.
+        for bad in ["-3", "0", "NaN", "inf"] {
+            let err = parse(&format!("1,5,2\n2,8,{bad}\n")).unwrap_err();
+            assert!(err.contains("test.csv:2"), "`{bad}`: {err}");
+            assert!(err.contains("bad weight"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse("").unwrap_err().contains("no intervals"));
+        assert!(parse("lo,hi\n").unwrap_err().contains("no intervals"));
+    }
 }

@@ -42,22 +42,39 @@
 //! assert!(hits > 0);
 //! ```
 //!
+//! ## Scaling out
+//!
+//! [`Engine`] (crate `irs-engine`) shards a dataset across a
+//! worker-per-shard thread pool and executes batches of typed requests
+//! ([`Request::Sample`], [`Request::Count`], …) over any of the six
+//! structures, keeping sampling distribution-identical to a single
+//! monolithic index via multinomial cross-shard allocation.
+//!
 //! See the crate-level docs of [`irs_ait`], [`irs_hint`], [`irs_kds`], and
 //! [`irs_interval_tree`] for per-structure details, and `DESIGN.md` /
-//! `EXPERIMENTS.md` in the repository for the reproduction methodology.
+//! `README.md` in the repository for the architecture and reproduction
+//! methodology.
 
 pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionStats};
 pub use irs_core::{
     domain_bounds, pair_sort_indices, BruteForce, Endpoint, GridEndpoint, Interval, Interval64,
-    ItemId, MemoryFootprint, PreparedSampler, RangeCount, RangeSampler, RangeSearch,
-    StabbingQuery, WeightedRangeSampler,
+    ItemId, MemoryFootprint, PreparedSampler, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
+    WeightedRangeSampler,
 };
+pub use irs_engine::{Engine, EngineConfig, IndexKind, Request, Response};
 pub use irs_hint::HintM;
 pub use irs_interval_tree::IntervalTree;
 pub use irs_kds::Kds;
 pub use irs_period_index::PeriodIndex;
 pub use irs_segment_tree::SegmentTree;
 pub use irs_timeline::TimelineIndex;
+
+/// Engine throughput-measurement helpers (re-export of
+/// [`irs_engine::throughput`]), shared by `irs-cli bench-engine` and the
+/// bench binaries.
+pub mod engine_throughput {
+    pub use irs_engine::throughput::*;
+}
 
 /// Dataset and workload generation (re-export of [`irs_datagen`]).
 pub mod datagen {
@@ -76,10 +93,11 @@ pub mod prelude {
         Interval, Interval64, ItemId, MemoryFootprint, PreparedSampler, RangeCount, RangeSampler,
         RangeSearch, StabbingQuery, WeightedRangeSampler,
     };
+    pub use irs_engine::{Engine, EngineConfig, IndexKind, Request, Response};
     pub use irs_hint::HintM;
     pub use irs_interval_tree::IntervalTree;
     pub use irs_kds::Kds;
     pub use irs_period_index::PeriodIndex;
-pub use irs_segment_tree::SegmentTree;
-pub use irs_timeline::TimelineIndex;
+    pub use irs_segment_tree::SegmentTree;
+    pub use irs_timeline::TimelineIndex;
 }

@@ -28,20 +28,90 @@ fn check_profile(profile: irs::datagen::DatasetProfile, n: usize, seed: u64) {
     for extent in [0.0, 1.0, 8.0, 32.0] {
         for q in workload.generate(8, extent, seed ^ 0xABCD) {
             let expect = sorted(bf.range_search(q));
-            assert_eq!(sorted(ait.range_search(q)), expect, "{} AIT {q:?}", profile.name);
-            assert_eq!(sorted(aitv.range_search(q)), expect, "{} AIT-V {q:?}", profile.name);
-            assert_eq!(sorted(itree.range_search(q)), expect, "{} itree {q:?}", profile.name);
-            assert_eq!(sorted(hint.range_search(q)), expect, "{} HINTm {q:?}", profile.name);
-            assert_eq!(sorted(kds.range_search(q)), expect, "{} KDS {q:?}", profile.name);
-            assert_eq!(sorted(timeline.range_search(q)), expect, "{} timeline {q:?}", profile.name);
-            assert_eq!(sorted(period.range_search(q)), expect, "{} period {q:?}", profile.name);
-            assert_eq!(sorted(segtree.range_search(q)), expect, "{} segtree {q:?}", profile.name);
-            assert_eq!(timeline.range_count(q), expect.len(), "{} timeline count", profile.name);
-            assert_eq!(period.range_count(q), expect.len(), "{} period count", profile.name);
-            assert_eq!(ait.range_count(q), expect.len(), "{} AIT count", profile.name);
-            assert_eq!(hint.range_count(q), expect.len(), "{} HINTm count", profile.name);
-            assert_eq!(kds.range_count(q), expect.len(), "{} KDS count", profile.name);
-            assert_eq!(itree.range_count(q), expect.len(), "{} itree count", profile.name);
+            assert_eq!(
+                sorted(ait.range_search(q)),
+                expect,
+                "{} AIT {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                sorted(aitv.range_search(q)),
+                expect,
+                "{} AIT-V {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                sorted(itree.range_search(q)),
+                expect,
+                "{} itree {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                sorted(hint.range_search(q)),
+                expect,
+                "{} HINTm {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                sorted(kds.range_search(q)),
+                expect,
+                "{} KDS {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                sorted(timeline.range_search(q)),
+                expect,
+                "{} timeline {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                sorted(period.range_search(q)),
+                expect,
+                "{} period {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                sorted(segtree.range_search(q)),
+                expect,
+                "{} segtree {q:?}",
+                profile.name
+            );
+            assert_eq!(
+                timeline.range_count(q),
+                expect.len(),
+                "{} timeline count",
+                profile.name
+            );
+            assert_eq!(
+                period.range_count(q),
+                expect.len(),
+                "{} period count",
+                profile.name
+            );
+            assert_eq!(
+                ait.range_count(q),
+                expect.len(),
+                "{} AIT count",
+                profile.name
+            );
+            assert_eq!(
+                hint.range_count(q),
+                expect.len(),
+                "{} HINTm count",
+                profile.name
+            );
+            assert_eq!(
+                kds.range_count(q),
+                expect.len(),
+                "{} KDS count",
+                profile.name
+            );
+            assert_eq!(
+                itree.range_count(q),
+                expect.len(),
+                "{} itree count",
+                profile.name
+            );
         }
     }
 }

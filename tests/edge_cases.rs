@@ -15,14 +15,46 @@ fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
 fn assert_all_agree(data: &[Interval64], q: Interval64, label: &str) {
     let bf = BruteForce::new(data);
     let expect = sorted(bf.range_search(q));
-    assert_eq!(sorted(Ait::new(data).range_search(q)), expect, "{label}: AIT");
-    assert_eq!(sorted(AitV::new(data).range_search(q)), expect, "{label}: AIT-V");
-    assert_eq!(sorted(IntervalTree::new(data).range_search(q)), expect, "{label}: itree");
-    assert_eq!(sorted(HintM::new(data).range_search(q)), expect, "{label}: HINTm");
-    assert_eq!(sorted(Kds::new(data).range_search(q)), expect, "{label}: KDS");
-    assert_eq!(sorted(TimelineIndex::new(data).range_search(q)), expect, "{label}: timeline");
-    assert_eq!(sorted(PeriodIndex::new(data).range_search(q)), expect, "{label}: period");
-    assert_eq!(sorted(SegmentTree::new(data).range_search(q)), expect, "{label}: segtree");
+    assert_eq!(
+        sorted(Ait::new(data).range_search(q)),
+        expect,
+        "{label}: AIT"
+    );
+    assert_eq!(
+        sorted(AitV::new(data).range_search(q)),
+        expect,
+        "{label}: AIT-V"
+    );
+    assert_eq!(
+        sorted(IntervalTree::new(data).range_search(q)),
+        expect,
+        "{label}: itree"
+    );
+    assert_eq!(
+        sorted(HintM::new(data).range_search(q)),
+        expect,
+        "{label}: HINTm"
+    );
+    assert_eq!(
+        sorted(Kds::new(data).range_search(q)),
+        expect,
+        "{label}: KDS"
+    );
+    assert_eq!(
+        sorted(TimelineIndex::new(data).range_search(q)),
+        expect,
+        "{label}: timeline"
+    );
+    assert_eq!(
+        sorted(PeriodIndex::new(data).range_search(q)),
+        expect,
+        "{label}: period"
+    );
+    assert_eq!(
+        sorted(SegmentTree::new(data).range_search(q)),
+        expect,
+        "{label}: segtree"
+    );
 }
 
 #[test]
@@ -50,7 +82,9 @@ fn single_interval_all_query_relations() {
 fn touching_chain_of_intervals() {
     // Consecutive intervals share exactly one endpoint; closed-interval
     // semantics make both sides match at the joints.
-    let data: Vec<Interval64> = (0..50).map(|i| Interval::new(i * 10, (i + 1) * 10)).collect();
+    let data: Vec<Interval64> = (0..50)
+        .map(|i| Interval::new(i * 10, (i + 1) * 10))
+        .collect();
     for joint in [10i64, 250, 490] {
         assert_all_agree(&data, Interval::point(joint), "joint");
     }
@@ -88,7 +122,9 @@ fn query_equals_domain_boundaries() {
 fn ait_case1_only_and_case2_only_paths() {
     // Query strictly left (or right) of every center exercises a pure
     // case-1 (case-2) descent with no fork.
-    let data: Vec<Interval64> = (0..128).map(|i| Interval::new(i * 100, i * 100 + 90)).collect();
+    let data: Vec<Interval64> = (0..128)
+        .map(|i| Interval::new(i * 100, i * 100 + 90))
+        .collect();
     let ait = Ait::new(&data);
     let bf = BruteForce::new(&data);
     // Far-left query: a prefix of the dataset.
@@ -126,7 +162,11 @@ fn ait_case3_at_root_uses_child_al_lists() {
 
 #[test]
 fn awit_range_weight_at_boundaries() {
-    let data = vec![Interval::new(0i64, 10), Interval::new(10, 20), Interval::new(20, 30)];
+    let data = vec![
+        Interval::new(0i64, 10),
+        Interval::new(10, 20),
+        Interval::new(20, 30),
+    ];
     let weights = vec![1.0, 10.0, 100.0];
     let awit = Awit::new(&data, &weights);
     assert_eq!(awit.range_weight(Interval::point(10)), 11.0);
@@ -137,7 +177,9 @@ fn awit_range_weight_at_boundaries() {
 
 #[test]
 fn timeline_time_travel_matches_stab() {
-    let data: Vec<Interval64> = (0..300).map(|i| Interval::new(i % 97, i % 97 + i % 13)).collect();
+    let data: Vec<Interval64> = (0..300)
+        .map(|i| Interval::new(i % 97, i % 97 + i % 13))
+        .collect();
     let tl = TimelineIndex::with_checkpoint_period(&data, 16);
     let bf = BruteForce::new(&data);
     for p in [0i64, 13, 50, 96, 108, 200] {
@@ -148,11 +190,21 @@ fn timeline_time_travel_matches_stab() {
 #[test]
 fn hint_minimum_levels_degenerate_grid() {
     // m = 1 gives only 3 partitions total; everything replicates heavily.
-    let data: Vec<Interval64> = (0..200).map(|i| Interval::new(i * 3, i * 3 + 100)).collect();
+    let data: Vec<Interval64> = (0..200)
+        .map(|i| Interval::new(i * 3, i * 3 + 100))
+        .collect();
     let hint = HintM::with_levels(&data, 1);
     let bf = BruteForce::new(&data);
-    for q in [Interval::new(0, 700), Interval::new(300, 310), Interval::new(599, 700)] {
-        assert_eq!(sorted(hint.range_search(q)), sorted(bf.range_search(q)), "{q:?}");
+    for q in [
+        Interval::new(0, 700),
+        Interval::new(300, 310),
+        Interval::new(599, 700),
+    ] {
+        assert_eq!(
+            sorted(hint.range_search(q)),
+            sorted(bf.range_search(q)),
+            "{q:?}"
+        );
     }
 }
 
@@ -170,11 +222,11 @@ fn samplers_respect_closed_boundary_membership() {
     // The sample support must include intervals touching the query only
     // at a single shared endpoint.
     let data = vec![
-        Interval::new(0i64, 100),   // ends exactly at q.lo
-        Interval::new(200, 300),    // starts exactly at q.hi
-        Interval::new(120, 180),    // inside
-        Interval::new(0, 99),       // misses by one
-        Interval::new(201, 300),    // misses by one
+        Interval::new(0i64, 100), // ends exactly at q.lo
+        Interval::new(200, 300),  // starts exactly at q.hi
+        Interval::new(120, 180),  // inside
+        Interval::new(0, 99),     // misses by one
+        Interval::new(201, 300),  // misses by one
     ];
     let q = Interval::new(100, 200);
     let mut rng = StdRng::seed_from_u64(3);
@@ -209,7 +261,11 @@ fn dynamic_awit_interleaves_with_static_equivalence() {
         final_weights.push(3.0);
     }
     let static_awit = Awit::new(&final_data, &final_weights);
-    for q in [Interval::new(0, 600), Interval::new(25, 45), Interval::new(505, 510)] {
+    for q in [
+        Interval::new(0, 600),
+        Interval::new(25, 45),
+        Interval::new(505, 510),
+    ] {
         assert_eq!(dynamic.range_count(q), static_awit.range_count(q), "{q:?}");
         let dw = dynamic.range_weight(q);
         let sw = static_awit.range_weight(q);

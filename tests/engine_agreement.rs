@@ -1,0 +1,293 @@
+//! Engine correctness: for every `IndexKind` and shard count, the
+//! sharded engine must answer exactly like the brute-force oracle — and
+//! its cross-shard sampling must be distribution-identical to a single
+//! monolithic index (multinomial allocation, Theorem 3 preserved under
+//! sharding).
+
+use irs::prelude::*;
+use irs::sampling::stats::{chi_square_ok, chi_square_uniformity_ok, total_variation};
+use irs::BruteForce;
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 7];
+const DRAWS: usize = 120_000;
+
+fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
+    v.sort_unstable();
+    v
+}
+
+fn dataset(n: usize, seed: u64) -> Vec<Interval64> {
+    irs::datagen::TAXI.generate(n, seed)
+}
+
+fn queries(data: &[Interval64], count: usize, seed: u64) -> Vec<Interval64> {
+    let workload = irs::datagen::QueryWorkload::from_data(data);
+    let mut qs = Vec::new();
+    for extent in [0.5, 8.0, 32.0] {
+        qs.extend(workload.generate(count, extent, seed ^ extent.to_bits()));
+    }
+    qs
+}
+
+/// Count / search / stab agree with the oracle for every kind × shard
+/// count, and samples always come from `q ∩ X`.
+#[test]
+fn engine_matches_oracle_for_all_kinds_and_shard_counts() {
+    let data = dataset(3000, 11);
+    let bf = BruteForce::new(&data);
+    let qs = queries(&data, 4, 0xE77);
+    for kind in IndexKind::ALL {
+        for shards in SHARD_COUNTS {
+            let engine = Engine::new(
+                &data,
+                EngineConfig::new(kind)
+                    .shards(shards)
+                    .seed(1000 + shards as u64),
+            );
+            assert_eq!(engine.shard_count(), shards);
+            assert_eq!(engine.len(), data.len());
+            for &q in &qs {
+                let expect = sorted(bf.range_search(q));
+                assert_eq!(
+                    sorted(engine.search(q)),
+                    expect,
+                    "{kind} K={shards} search {q:?}"
+                );
+                assert_eq!(
+                    engine.count(q),
+                    expect.len(),
+                    "{kind} K={shards} count {q:?}"
+                );
+                assert_eq!(
+                    sorted(engine.stab(q.lo)),
+                    sorted(bf.stab(q.lo)),
+                    "{kind} K={shards} stab {:?}",
+                    q.lo
+                );
+                let samples = engine.sample(q, 64);
+                if expect.is_empty() {
+                    assert!(
+                        samples.is_empty(),
+                        "{kind} K={shards}: samples from empty set"
+                    );
+                } else {
+                    assert_eq!(samples.len(), 64, "{kind} K={shards}: short sample");
+                    for id in samples {
+                        assert!(
+                            data[id as usize].overlaps(&q),
+                            "{kind} K={shards}: sample {id} outside {q:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sharded uniform sampling is unbiased: the empirical distribution over
+/// the support passes a chi-square uniformity test — i.e. it matches the
+/// distribution a single monolithic index produces (which the
+/// single-index suites verify to be uniform).
+#[test]
+fn sharded_uniform_sampling_is_unbiased() {
+    let data = dataset(2500, 23);
+    let bf = BruteForce::new(&data);
+    // A query whose support is big enough to be interesting and small
+    // enough for per-bucket expectations to be solid.
+    let q = queries(&data, 8, 0x5EED)
+        .into_iter()
+        .find(|&q| (100..=600).contains(&bf.range_count(q)))
+        .expect("workload yields a mid-size support");
+    let support = sorted(bf.range_search(q));
+    for kind in IndexKind::ALL {
+        for shards in SHARD_COUNTS {
+            let engine = Engine::new(&data, EngineConfig::new(kind).shards(shards).seed(77));
+            let samples = engine.sample(q, DRAWS);
+            assert_eq!(samples.len(), DRAWS);
+            let mut counts = vec![0u64; support.len()];
+            for id in samples {
+                let pos = support.binary_search(&id).expect("sample inside support");
+                counts[pos] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "{kind} K={shards}: some support member never sampled"
+            );
+            let uniform = vec![1.0 / support.len() as f64; support.len()];
+            assert!(
+                chi_square_uniformity_ok(&counts, DRAWS as u64),
+                "{kind} K={shards}: sharded uniform sampling biased (tv = {:.4})",
+                total_variation(&counts, &uniform, DRAWS as u64)
+            );
+        }
+    }
+}
+
+/// Sharded weighted sampling matches the exact weight-proportional
+/// distribution for every weighted-capable kind.
+#[test]
+fn sharded_weighted_sampling_matches_weights() {
+    let data = dataset(2500, 31);
+    let weights = irs::datagen::uniform_weights(data.len(), 0xBEEF);
+    let bf = BruteForce::new_weighted(&data, &weights);
+    let q = queries(&data, 8, 0xFACE)
+        .into_iter()
+        .find(|&q| (100..=600).contains(&bf.range_count(q)))
+        .expect("workload yields a mid-size support");
+    let support = sorted(bf.range_search(q));
+    let mass: f64 = support.iter().map(|&id| weights[id as usize]).sum();
+    let expected: Vec<f64> = support
+        .iter()
+        .map(|&id| weights[id as usize] / mass)
+        .collect();
+    for kind in [
+        IndexKind::Awit,
+        IndexKind::Kds,
+        IndexKind::HintM,
+        IndexKind::IntervalTree,
+    ] {
+        for shards in SHARD_COUNTS {
+            let engine = Engine::new_weighted(
+                &data,
+                &weights,
+                EngineConfig::new(kind).shards(shards).seed(99),
+            );
+            let samples = engine.sample_weighted(q, DRAWS);
+            assert_eq!(samples.len(), DRAWS);
+            let mut counts = vec![0u64; support.len()];
+            for id in samples {
+                let pos = support.binary_search(&id).expect("sample inside support");
+                counts[pos] += 1;
+            }
+            assert!(
+                chi_square_ok(&counts, &expected, DRAWS as u64),
+                "{kind} K={shards}: sharded weighted sampling off-distribution (tv = {:.4})",
+                total_variation(&counts, &expected, DRAWS as u64)
+            );
+        }
+    }
+}
+
+/// Capability mismatches surface as `Unsupported`, not wrong answers.
+#[test]
+fn unsupported_requests_are_flagged() {
+    let data = dataset(500, 41);
+    let weights = irs::datagen::uniform_weights(data.len(), 3);
+    let q = Interval::new(0, irs::datagen::TAXI.domain_size / 2);
+
+    // AIT / AIT-V cannot sample by weight.
+    for kind in [IndexKind::Ait, IndexKind::AitV] {
+        let engine = Engine::new(&data, EngineConfig::new(kind).shards(2));
+        let out = engine.execute(&[Request::SampleWeighted { q, s: 5 }]);
+        assert!(
+            matches!(out[0], Response::Unsupported(_)),
+            "{kind}: {:?}",
+            out[0]
+        );
+    }
+
+    // An AWIT holding real weights cannot serve *uniform* sampling…
+    let awit = Engine::new_weighted(
+        &data,
+        &weights,
+        EngineConfig::new(IndexKind::Awit).shards(2),
+    );
+    let out = awit.execute(&[Request::Sample { q, s: 5 }]);
+    assert!(matches!(out[0], Response::Unsupported(_)), "{:?}", out[0]);
+    // …but an unweighted AWIT engine can (weighted ≡ uniform there).
+    let awit_uniform = Engine::new(&data, EngineConfig::new(IndexKind::Awit).shards(2));
+    assert_eq!(awit_uniform.sample(q, 5).len(), 5);
+
+    // Kinds built without weights reject weighted sampling.
+    let kds = Engine::new(&data, EngineConfig::new(IndexKind::Kds).shards(2));
+    let out = kds.execute(&[Request::SampleWeighted { q, s: 5 }]);
+    assert!(matches!(out[0], Response::Unsupported(_)), "{:?}", out[0]);
+}
+
+/// Mixed batches answer in order, identically to one-by-one execution,
+/// and identical seeds replay identically.
+#[test]
+fn batches_are_ordered_and_seeded_replay_is_exact() {
+    let data = dataset(1500, 53);
+    let bf = BruteForce::new(&data);
+    let qs = queries(&data, 2, 0xAB);
+    let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(3).seed(5));
+    let mut batch = Vec::new();
+    for &q in &qs {
+        batch.push(Request::Count { q });
+        batch.push(Request::Search { q });
+        batch.push(Request::Sample { q, s: 16 });
+        batch.push(Request::Stab { p: q.hi });
+    }
+    let out1 = engine.execute_seeded(&batch, 0xD00D);
+    let out2 = engine.execute_seeded(&batch, 0xD00D);
+    assert_eq!(out1, out2, "seeded replay must be exact");
+    for (i, &q) in qs.iter().enumerate() {
+        let base = i * 4;
+        assert_eq!(out1[base], Response::Count(bf.range_count(q)));
+        assert_eq!(
+            sorted(out1[base + 1].ids().unwrap().to_vec()),
+            sorted(bf.range_search(q))
+        );
+        let samples = out1[base + 2].samples().unwrap();
+        assert!(samples.iter().all(|&id| data[id as usize].overlaps(&q)));
+        assert_eq!(
+            sorted(out1[base + 3].ids().unwrap().to_vec()),
+            sorted(bf.stab(q.hi))
+        );
+    }
+    // Unseeded executions advance the stream: two sample batches differ.
+    let a = engine.sample(qs[0], 32);
+    let b = engine.sample(qs[0], 32);
+    assert_ne!(a, b, "independent batches drew identical samples");
+}
+
+/// A shared engine must survive concurrent `execute` callers (batches
+/// serialize internally; interleaved sampling batches used to deadlock
+/// the phase-1/phase-2 allocation exchange).
+#[test]
+fn concurrent_executes_on_shared_engine_complete() {
+    let data = dataset(2000, 61);
+    let bf = BruteForce::new(&data);
+    let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(4).seed(9));
+    let qs = queries(&data, 3, 0xCC);
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let engine = &engine;
+            let qs = &qs;
+            let bf = &bf;
+            scope.spawn(move || {
+                for round in 0..10 {
+                    let q = qs[(t + round) % qs.len()];
+                    let out = engine.execute(&[Request::Sample { q, s: 32 }, Request::Count { q }]);
+                    let expect = bf.range_count(q);
+                    assert_eq!(out[1], Response::Count(expect));
+                    assert_eq!(
+                        out[0].samples().unwrap().len(),
+                        if expect == 0 { 0 } else { 32 }
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// More shards than intervals: empty shards must build and answer.
+#[test]
+fn tiny_datasets_tolerate_excess_shards() {
+    let data: Vec<Interval64> = (0..5).map(|i| Interval::new(i * 10, i * 10 + 15)).collect();
+    let bf = BruteForce::new(&data);
+    for kind in IndexKind::ALL {
+        let engine = Engine::new(&data, EngineConfig::new(kind).shards(7));
+        let q = Interval::new(12, 33);
+        assert_eq!(engine.count(q), bf.range_count(q), "{kind}");
+        assert_eq!(
+            sorted(engine.search(q)),
+            sorted(bf.range_search(q)),
+            "{kind}"
+        );
+        let s = engine.sample(q, 40);
+        assert_eq!(s.len(), 40, "{kind}");
+        assert!(s.iter().all(|&id| data[id as usize].overlaps(&q)), "{kind}");
+    }
+}

@@ -43,15 +43,24 @@ fn u32_endpoints_work_everywhere() {
 
 #[test]
 fn i16_endpoints_work() {
-    let data: Vec<Interval<i16>> =
-        (-50i16..50).map(|i| Interval::new(i, i.saturating_add(20))).collect();
+    let data: Vec<Interval<i16>> = (-50i16..50)
+        .map(|i| Interval::new(i, i.saturating_add(20)))
+        .collect();
     let bf = BruteForce::new(&data);
     let ait = Ait::new(&data);
     let hint = HintM::new(&data);
     for p in [-60i16, -50, 0, 30, 69, 70, 80] {
         let q = Interval::point(p);
-        assert_eq!(sorted(ait.range_search(q)), sorted(bf.range_search(q)), "stab {p}");
-        assert_eq!(sorted(hint.range_search(q)), sorted(bf.range_search(q)), "stab {p}");
+        assert_eq!(
+            sorted(ait.range_search(q)),
+            sorted(bf.range_search(q)),
+            "stab {p}"
+        );
+        assert_eq!(
+            sorted(hint.range_search(q)),
+            sorted(bf.range_search(q)),
+            "stab {p}"
+        );
     }
 }
 
@@ -106,7 +115,15 @@ fn char_endpoints_compile_and_answer() {
     ];
     let ait = Ait::new(&data);
     let bf = BruteForce::new(&data);
-    for q in [Interval::new('b', 'd'), Interval::point('n'), Interval::new('q', 'y')] {
-        assert_eq!(sorted(ait.range_search(q)), sorted(bf.range_search(q)), "{q:?}");
+    for q in [
+        Interval::new('b', 'd'),
+        Interval::point('n'),
+        Interval::new('q', 'y'),
+    ] {
+        assert_eq!(
+            sorted(ait.range_search(q)),
+            sorted(bf.range_search(q)),
+            "{q:?}"
+        );
     }
 }

@@ -31,7 +31,10 @@ fn assert_uniform(
             .binary_search(&id)
             .unwrap_or_else(|_| panic!("{name}: sample {id} outside q ∩ X for {q:?}"));
         counts[pos] += 1;
-        assert!(data[id as usize].overlaps(&q), "{name}: non-overlapping sample");
+        assert!(
+            data[id as usize].overlaps(&q),
+            "{name}: non-overlapping sample"
+        );
     }
     assert!(
         chi_square_uniformity_ok(&counts, DRAWS as u64),
@@ -60,7 +63,13 @@ fn unweighted_samplers_are_uniform() {
     let mut rng = StdRng::seed_from_u64(1000);
     assert_uniform("AIT", &data, q, ait.sample(q, DRAWS, &mut rng), &support);
     assert_uniform("AIT-V", &data, q, aitv.sample(q, DRAWS, &mut rng), &support);
-    assert_uniform("IntervalTree", &data, q, itree.sample(q, DRAWS, &mut rng), &support);
+    assert_uniform(
+        "IntervalTree",
+        &data,
+        q,
+        itree.sample(q, DRAWS, &mut rng),
+        &support,
+    );
     assert_uniform("HINTm", &data, q, hint.sample(q, DRAWS, &mut rng), &support);
     assert_uniform("KDS", &data, q, kds.sample(q, DRAWS, &mut rng), &support);
 }
@@ -71,9 +80,16 @@ fn weighted_samplers_match_weight_proportions() {
     let weights = irs::datagen::uniform_weights(data.len(), 24);
     let q = irs::datagen::QueryWorkload::from_data(&data).generate(1, 6.0, 25)[0];
     let support = support_of(&data, q);
-    assert!((30..2000).contains(&support.len()), "support size {}", support.len());
+    assert!(
+        (30..2000).contains(&support.len()),
+        "support size {}",
+        support.len()
+    );
     let total: f64 = support.iter().map(|&id| weights[id as usize]).sum();
-    let expected: Vec<f64> = support.iter().map(|&id| weights[id as usize] / total).collect();
+    let expected: Vec<f64> = support
+        .iter()
+        .map(|&id| weights[id as usize] / total)
+        .collect();
 
     let awit = Awit::new(&data, &weights);
     let itree = IntervalTree::new_weighted(&data, &weights);

@@ -16,8 +16,11 @@ fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
 fn long_mixed_stream_matches_fresh_build() {
     let base = irs::datagen::BOOK.generate(2_000, 50);
     let mut ait = Ait::new(&base);
-    let mut live: Vec<(Interval64, ItemId)> =
-        base.iter().enumerate().map(|(i, &iv)| (iv, i as ItemId)).collect();
+    let mut live: Vec<(Interval64, ItemId)> = base
+        .iter()
+        .enumerate()
+        .map(|(i, &iv)| (iv, i as ItemId))
+        .collect();
     let mut rng = StdRng::seed_from_u64(51);
     let fresh_pool = irs::datagen::BOOK.generate(3_000, 52);
 
@@ -54,7 +57,10 @@ fn long_mixed_stream_matches_fresh_build() {
     let workload = irs::datagen::QueryWorkload::new((0, irs::datagen::BOOK.domain_size));
     for q in workload.generate(25, 8.0, 53) {
         let expect: Vec<ItemId> = sorted(
-            live.iter().filter(|(x, _)| x.overlaps(&q)).map(|&(_, id)| id).collect(),
+            live.iter()
+                .filter(|(x, _)| x.overlaps(&q))
+                .map(|&(_, id)| id)
+                .collect(),
         );
         assert_eq!(sorted(ait.range_search(q)), expect, "query {q:?}");
     }
@@ -74,7 +80,10 @@ fn sampling_stays_uniform_after_updates() {
     for i in 0..10 {
         ait.insert_buffered(Interval::new(i * 40, i * 40 + 95));
     }
-    assert!(ait.pool_len() > 0, "want a live pool during the sampling test");
+    assert!(
+        ait.pool_len() > 0,
+        "want a live pool during the sampling test"
+    );
 
     let q = Interval::new(200, 260);
     let support = sorted(ait.range_search(q));
@@ -83,7 +92,9 @@ fn sampling_stays_uniform_after_updates() {
     let mut rng = StdRng::seed_from_u64(54);
     let mut counts = vec![0u64; support.len()];
     for id in ait.sample(q, draws, &mut rng) {
-        counts[support.binary_search(&id).expect("sample outside result set")] += 1;
+        counts[support
+            .binary_search(&id)
+            .expect("sample outside result set")] += 1;
     }
     assert!(
         chi_square_uniformity_ok(&counts, draws as u64),
@@ -113,6 +124,10 @@ fn interleaved_pool_queries_see_everything() {
             ait.insert_buffered(Interval::new(i, i + 10));
         }
         expected += 1;
-        assert_eq!(ait.range_count(Interval::new(-100, 1000)), expected, "at step {i}");
+        assert_eq!(
+            ait.range_count(Interval::new(-100, 1000)),
+            expected,
+            "at step {i}"
+        );
     }
 }
