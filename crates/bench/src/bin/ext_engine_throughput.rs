@@ -13,7 +13,7 @@
 
 use irs_bench::{time, BenchConfig, JsonRow};
 use irs_engine::throughput::{batched_qps, cpu_count, default_shard_sweep};
-use irs_engine::{Engine, EngineConfig, IndexKind, Request};
+use irs_engine::{Engine, EngineConfig, IndexKind, Query};
 
 fn env_list(key: &str, default: Vec<usize>) -> Vec<usize> {
     match std::env::var(key) {
@@ -52,15 +52,15 @@ fn main() {
     );
     for &kind in &kinds {
         for &shards in &shard_counts {
-            let (build, engine) =
-                time(|| Engine::new(&data, EngineConfig::new(kind).shards(shards).seed(cfg.seed)));
+            let (build, engine) = time(|| {
+                Engine::try_new(&data, EngineConfig::new(kind).shards(shards).seed(cfg.seed))
+                    .expect("engine build")
+            });
             for &batch in &batch_sizes {
-                let sample_qps = batched_qps(&engine, &queries, batch, |&q| Request::Sample {
-                    q,
-                    s: cfg.s,
-                });
-                let search_qps = batched_qps(&engine, &queries, batch, |&q| Request::Search { q });
-                let count_qps = batched_qps(&engine, &queries, batch, |&q| Request::Count { q });
+                let sample_qps =
+                    batched_qps(&engine, &queries, batch, |&q| Query::Sample { q, s: cfg.s });
+                let search_qps = batched_qps(&engine, &queries, batch, |&q| Query::Search { q });
+                let count_qps = batched_qps(&engine, &queries, batch, |&q| Query::Count { q });
                 println!(
                     "{:>14} {shards:>7} {batch:>7} {sample_qps:>12.0} {search_qps:>12.0} {count_qps:>12.0}",
                     kind.name()

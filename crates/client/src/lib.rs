@@ -1,0 +1,396 @@
+//! # irs-client — the unified fallible query facade
+//!
+//! One entry point over every IRS backend in the workspace: build a
+//! [`Client`] with [`Irs::builder`], and the same typed, panic-free API
+//! serves a monolithic single-threaded index (`shards(1)`, the default)
+//! or the sharded [`irs_engine::Engine`] (`shards(k)` for `k > 1`) —
+//! the backend choice is a construction knob, not an API fork.
+//!
+//! ```
+//! use irs_client::Irs;
+//! use irs_engine::IndexKind;
+//! use irs_core::Interval;
+//!
+//! let data: Vec<_> = (0..10_000i64).map(|i| Interval::new(i, i + 50)).collect();
+//! let client = Irs::builder()
+//!     .kind(IndexKind::Ait)
+//!     .shards(4)
+//!     .seed(7)
+//!     .build(&data)?;
+//!
+//! let q = Interval::new(100, 200);
+//! assert_eq!(client.count(q)?, 151);
+//! assert_eq!(client.sample(q, 8)?.len(), 8);
+//!
+//! // Capability discovery instead of probe-and-catch:
+//! assert!(!client.capabilities().weighted_sample); // no weights supplied
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The facade's contract, shared with the engine and pinned by the
+//! workspace's capability property tests:
+//!
+//! - **Everything is fallible and typed.** Construction returns
+//!   [`BuildError`] (weights validated up front, the offending index
+//!   named); queries return [`QueryError`]. Nothing on the query path
+//!   panics.
+//! - **An empty result set is not an error**: sampling an empty
+//!   `q ∩ X` yields `Ok` with an empty vector, counting it `Ok(0)`.
+//! - **Capabilities are queryable metadata** ([`Client::capabilities`]):
+//!   an operation claimed there succeeds; one denied there fails with
+//!   [`QueryError::UnsupportedOperation`] / [`QueryError::NotWeighted`].
+//! - **The backend is distribution-transparent**: sampling through a
+//!   `Client` follows exactly the distribution of the underlying
+//!   structure, monolithic or sharded (the engine's multinomial
+//!   allocation argument; chi-square suites pin both paths).
+
+#![deny(missing_docs)]
+
+mod stream;
+
+pub use stream::SampleStream;
+
+use irs_core::{
+    splitmix64 as mix, validate_weights, BuildError, Capabilities, GridEndpoint, Interval, ItemId,
+    Operation, QueryError,
+};
+use irs_engine::{DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Namespace for the facade's entry point: [`Irs::builder`].
+pub struct Irs;
+
+impl Irs {
+    /// Starts configuring a [`Client`]; finish with
+    /// [`IrsBuilder::build`].
+    pub fn builder() -> IrsBuilder {
+        IrsBuilder {
+            kind: IndexKind::Ait,
+            shards: 1,
+            seed: 0x1D5_EA5E,
+            weights: None,
+        }
+    }
+}
+
+/// Configures and builds a [`Client`].
+///
+/// Defaults: [`IndexKind::Ait`], one shard (monolithic backend), no
+/// weights, a fixed seed.
+#[derive(Clone, Debug)]
+pub struct IrsBuilder {
+    kind: IndexKind,
+    shards: usize,
+    seed: u64,
+    weights: Option<Vec<f64>>,
+}
+
+impl IrsBuilder {
+    /// Selects the index structure (see [`IndexKind`]).
+    pub fn kind(mut self, kind: IndexKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Selects the backend: `1` (the default, clamped to ≥ 1) serves
+    /// queries from one in-process index; `k > 1` builds the sharded
+    /// [`Engine`] with `k` worker threads.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Seeds every draw stream the client derives; a fixed seed and
+    /// config replay identically.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Supplies per-interval weights (`weights[i]` belongs to
+    /// `data[i]`), enabling [`Operation::WeightedSample`] on kinds that
+    /// support it. Validated in [`IrsBuilder::build`].
+    pub fn weights(mut self, weights: impl Into<Vec<f64>>) -> Self {
+        self.weights = Some(weights.into());
+        self
+    }
+
+    /// Builds the client over `data`.
+    ///
+    /// Weights (when supplied) are validated before any index is
+    /// built: a length mismatch or a non-positive / non-finite weight
+    /// is a [`BuildError`] naming the offending index — bad weights
+    /// never reach alias tables or cumulative arrays.
+    pub fn build<E: GridEndpoint>(self, data: &[Interval<E>]) -> Result<Client<E>, BuildError> {
+        if let Some(w) = &self.weights {
+            validate_weights(data.len(), w)?;
+        }
+        let weighted = self.weights.is_some();
+        let backend = if self.shards > 1 {
+            let config = EngineConfig::new(self.kind)
+                .shards(self.shards)
+                .seed(self.seed);
+            let engine = match &self.weights {
+                Some(w) => Engine::try_new_weighted(data, w, config)?,
+                None => Engine::try_new(data, config)?,
+            };
+            Backend::Sharded(engine)
+        } else {
+            Backend::Mono {
+                index: self.kind.build_index(data, self.weights.as_deref()),
+                rng: Mutex::new(SmallRng::seed_from_u64(self.seed)),
+            }
+        };
+        Ok(Client {
+            backend,
+            kind: self.kind,
+            weighted,
+            len: data.len(),
+            seed: self.seed,
+            stream_counter: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Where a [`Client`] sends its queries.
+enum Backend<E> {
+    /// One in-process index behind the object-safe [`DynIndex`] facade;
+    /// ids it reports are already dataset-global. The RNG serves the
+    /// unseeded [`Client::run`] path (the engine manages its own).
+    Mono {
+        index: Box<dyn DynIndex<E>>,
+        rng: Mutex<SmallRng>,
+    },
+    /// The sharded worker-per-shard engine.
+    Sharded(Engine<E>),
+}
+
+/// A handle serving one-shot queries, batches, and sample streams over
+/// either backend. Build one with [`Irs::builder`].
+///
+/// All methods take `&self` and are safe to share across threads.
+pub struct Client<E> {
+    backend: Backend<E>,
+    kind: IndexKind,
+    weighted: bool,
+    len: usize,
+    seed: u64,
+    /// Decorrelates the draw streams of successive [`SampleStream`]s
+    /// on the monolithic backend.
+    stream_counter: AtomicU64,
+}
+
+impl<E: GridEndpoint> Client<E> {
+    /// The configured index kind.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// What this client supports, as queryable metadata. Operations
+    /// denied here fail with a typed [`QueryError`]; operations claimed
+    /// here succeed.
+    pub fn capabilities(&self) -> Capabilities {
+        self.kind.capabilities(self.weighted)
+    }
+
+    /// Number of shards behind the facade (1 = monolithic backend).
+    pub fn shard_count(&self) -> usize {
+        match &self.backend {
+            Backend::Mono { .. } => 1,
+            Backend::Sharded(engine) => engine.shard_count(),
+        }
+    }
+
+    /// Total intervals indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the client holds zero intervals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether per-interval weights were supplied at build time.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Executes a batch: one `Result` per [`Query`], in order. An empty
+    /// result set is `Ok` (empty samples / zero count), never an error.
+    ///
+    /// Each call advances the client's draw stream, so samples are
+    /// independent across calls; use [`Client::run_seeded`] to pin the
+    /// stream.
+    pub fn run(&self, queries: &[Query<E>]) -> Vec<Result<QueryOutput, QueryError>> {
+        match &self.backend {
+            Backend::Sharded(engine) => engine.run(queries),
+            Backend::Mono { index, rng } => {
+                if queries.iter().any(Query::is_sampling) {
+                    // A poisoned lock means another batch panicked inside
+                    // an index; the RNG state is still fine to reuse.
+                    let mut rng = rng.lock().unwrap_or_else(|e| e.into_inner());
+                    self.run_mono(index.as_ref(), queries, &mut rng)
+                } else {
+                    // Read-only batch: skip the RNG lock so concurrent
+                    // count/search/stab callers don't serialize on it.
+                    let mut unused = SmallRng::seed_from_u64(0);
+                    self.run_mono(index.as_ref(), queries, &mut unused)
+                }
+            }
+        }
+    }
+
+    /// [`Client::run`] with an explicit seed: identical seed, batch,
+    /// and client config reproduce identical results.
+    pub fn run_seeded(
+        &self,
+        queries: &[Query<E>],
+        seed: u64,
+    ) -> Vec<Result<QueryOutput, QueryError>> {
+        match &self.backend {
+            Backend::Sharded(engine) => engine.run_seeded(queries, seed),
+            Backend::Mono { index, .. } => {
+                self.run_mono(index.as_ref(), queries, &mut SmallRng::seed_from_u64(seed))
+            }
+        }
+    }
+
+    /// Convenience: exact `|q ∩ X|`.
+    pub fn count(&self, q: Interval<E>) -> Result<usize, QueryError> {
+        match self.run(&[Query::Count { q }]).swap_remove(0)? {
+            QueryOutput::Count(n) => Ok(n),
+            _ => Err(protocol_error(Operation::Count)),
+        }
+    }
+
+    /// Convenience: ids of all intervals overlapping `q`.
+    pub fn search(&self, q: Interval<E>) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::Search { q }]).swap_remove(0)? {
+            QueryOutput::Ids(ids) => Ok(ids),
+            _ => Err(protocol_error(Operation::Search)),
+        }
+    }
+
+    /// Convenience: ids of all intervals containing `p`.
+    pub fn stab(&self, p: E) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::Stab { p }]).swap_remove(0)? {
+            QueryOutput::Ids(ids) => Ok(ids),
+            _ => Err(protocol_error(Operation::Stab)),
+        }
+    }
+
+    /// Convenience: `s` uniform samples from `q ∩ X` (empty if the
+    /// result set is empty — that is not an error).
+    pub fn sample(&self, q: Interval<E>, s: usize) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::Sample { q, s }]).swap_remove(0)? {
+            QueryOutput::Samples(ids) => Ok(ids),
+            _ => Err(protocol_error(Operation::UniformSample)),
+        }
+    }
+
+    /// Convenience: `s` weight-proportional samples from `q ∩ X`.
+    pub fn sample_weighted(&self, q: Interval<E>, s: usize) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::SampleWeighted { q, s }]).swap_remove(0)? {
+            QueryOutput::Samples(ids) => Ok(ids),
+            _ => Err(protocol_error(Operation::WeightedSample)),
+        }
+    }
+
+    /// A prepare-once-draw-many uniform sample stream over `q ∩ X`.
+    ///
+    /// On the monolithic backend, phase 1 (candidate computation) runs
+    /// exactly once, here; every draw afterwards costs only phase 2.
+    /// On the sharded backend the stream refills through engine
+    /// batches, re-preparing per refill — raise
+    /// [`SampleStream::with_chunk`] to amortize. See [`SampleStream`]
+    /// for the termination and error contract.
+    pub fn sample_stream(&self, q: Interval<E>) -> Result<SampleStream<'_, E>, QueryError> {
+        self.stream(q, Operation::UniformSample)
+    }
+
+    /// A prepare-once-draw-many *weighted* sample stream over `q ∩ X`.
+    pub fn weighted_sample_stream(
+        &self,
+        q: Interval<E>,
+    ) -> Result<SampleStream<'_, E>, QueryError> {
+        self.stream(q, Operation::WeightedSample)
+    }
+
+    fn stream(&self, q: Interval<E>, op: Operation) -> Result<SampleStream<'_, E>, QueryError> {
+        if !self.capabilities().supports(op) {
+            return Err(self.kind.unsupported_error(self.weighted, op));
+        }
+        let rng_seed = self.seed ^ mix(self.stream_counter.fetch_add(1, Ordering::Relaxed) + 1);
+        stream::new_stream(self, q, op, rng_seed)
+    }
+
+    /// The backend, for the stream module.
+    pub(crate) fn backend(&self) -> &Backend<E> {
+        &self.backend
+    }
+
+    /// Runs a whole batch against the monolithic index. Ids the index
+    /// reports are global already (it spans the full dataset).
+    fn run_mono(
+        &self,
+        index: &dyn DynIndex<E>,
+        queries: &[Query<E>],
+        rng: &mut SmallRng,
+    ) -> Vec<Result<QueryOutput, QueryError>> {
+        let caps = self.capabilities();
+        queries
+            .iter()
+            .map(|query| {
+                let op = query.operation();
+                if !caps.supports(op) {
+                    return Err(self.kind.unsupported_error(self.weighted, op));
+                }
+                match *query {
+                    Query::Count { q } => Ok(QueryOutput::Count(index.count(q))),
+                    Query::Search { q } => {
+                        let mut ids = Vec::new();
+                        index.search_into(q, &mut ids);
+                        Ok(QueryOutput::Ids(ids))
+                    }
+                    Query::Stab { p } => {
+                        let mut ids = Vec::new();
+                        index.stab_into(p, &mut ids);
+                        Ok(QueryOutput::Ids(ids))
+                    }
+                    Query::Sample { q, s } => {
+                        // `prepare` returning `None` despite a positive
+                        // capability claim would be an index bug; map it
+                        // to the typed error rather than panicking.
+                        let handle = index
+                            .prepare(q)
+                            .ok_or_else(|| self.kind.unsupported_error(self.weighted, op))?;
+                        let mut out = Vec::with_capacity(s);
+                        handle.sample_into_dyn(rng as &mut dyn RngCore, s, &mut out);
+                        Ok(QueryOutput::Samples(out))
+                    }
+                    Query::SampleWeighted { q, s } => {
+                        let handle = index
+                            .prepare_weighted(q)
+                            .ok_or_else(|| self.kind.unsupported_error(self.weighted, op))?;
+                        let mut out = Vec::with_capacity(s);
+                        handle.sample_into_dyn(rng as &mut dyn RngCore, s, &mut out);
+                        Ok(QueryOutput::Samples(out))
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A mismatched output variant can only mean a facade bug; report it as
+/// a typed error rather than panicking the caller.
+fn protocol_error(op: Operation) -> QueryError {
+    QueryError::UnsupportedOperation {
+        op,
+        reason: "client protocol error: mismatched output variant",
+    }
+}

@@ -1,0 +1,154 @@
+//! Prepare-once-draw-many sample streams.
+
+use crate::{Backend, Client};
+use irs_core::erased::DynPreparedSampler;
+use irs_core::{GridEndpoint, Interval, ItemId, Operation, QueryError};
+use irs_engine::{Engine, Query, QueryOutput};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many draws a stream fetches from its backend per refill.
+const DEFAULT_CHUNK: usize = 512;
+
+/// An iterator of i.i.d. samples from one query's result set, created
+/// by [`Client::sample_stream`] / [`Client::weighted_sample_stream`].
+///
+/// Draws are **independent and unbounded**: the stream keeps yielding
+/// for as long as the result set is non-empty (cap it with
+/// [`Iterator::take`]). It ends (`None`) only when the result set is
+/// empty or the backend fails mid-stream; [`SampleStream::error`]
+/// distinguishes the two.
+///
+/// On the monolithic backend the query's candidate computation (phase 1
+/// of the paper's cost split) ran once, at stream creation; each draw
+/// afterwards costs only phase-2 work. On the sharded backend draws are
+/// fetched through engine batches of [`SampleStream::with_chunk`] size,
+/// re-preparing per refill.
+pub struct SampleStream<'a, E> {
+    source: Source<'a, E>,
+    q: Interval<E>,
+    weighted: bool,
+    chunk: usize,
+    rng: SmallRng,
+    /// Pending draws, yielded from the back.
+    buf: Vec<ItemId>,
+    exhausted: bool,
+    error: Option<QueryError>,
+}
+
+enum Source<'a, E> {
+    /// Phase-1 handle kept warm for the stream's whole life.
+    Mono(Box<dyn DynPreparedSampler + 'a>),
+    /// Draws fetched through engine batches.
+    Sharded(&'a Engine<E>),
+}
+
+/// Builds a stream over `client`'s backend; `op` is already
+/// capability-checked by the caller.
+pub(crate) fn new_stream<E: GridEndpoint>(
+    client: &Client<E>,
+    q: Interval<E>,
+    op: Operation,
+    rng_seed: u64,
+) -> Result<SampleStream<'_, E>, QueryError> {
+    let weighted = op == Operation::WeightedSample;
+    let source = match client.backend() {
+        Backend::Sharded(engine) => Source::Sharded(engine),
+        Backend::Mono { index, .. } => {
+            let handle = if weighted {
+                index.prepare_weighted(q)
+            } else {
+                index.prepare(q)
+            };
+            // `None` despite a positive capability claim would be an
+            // index bug; surface the typed error instead of panicking.
+            match handle {
+                Some(h) => Source::Mono(h),
+                None => return Err(client.kind().unsupported_error(client.is_weighted(), op)),
+            }
+        }
+    };
+    Ok(SampleStream {
+        source,
+        q,
+        weighted,
+        chunk: DEFAULT_CHUNK,
+        rng: SmallRng::seed_from_u64(rng_seed),
+        buf: Vec::new(),
+        exhausted: false,
+        error: None,
+    })
+}
+
+impl<'a, E: GridEndpoint> SampleStream<'a, E> {
+    /// Sets how many draws are fetched from the backend per refill
+    /// (clamped to ≥ 1; default 512). Larger chunks amortize the
+    /// engine's batch round-trip on the sharded backend.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// The backend failure that ended the stream, if any. `None` after
+    /// the stream ends means the result set was genuinely empty.
+    pub fn error(&self) -> Option<&QueryError> {
+        self.error.as_ref()
+    }
+
+    fn refill(&mut self) {
+        match &mut self.source {
+            Source::Mono(handle) => {
+                handle.sample_into_dyn(
+                    &mut self.rng as &mut dyn RngCore,
+                    self.chunk,
+                    &mut self.buf,
+                );
+            }
+            Source::Sharded(engine) => {
+                let query = if self.weighted {
+                    Query::SampleWeighted {
+                        q: self.q,
+                        s: self.chunk,
+                    }
+                } else {
+                    Query::Sample {
+                        q: self.q,
+                        s: self.chunk,
+                    }
+                };
+                match engine.run(&[query]).swap_remove(0) {
+                    Ok(QueryOutput::Samples(ids)) => self.buf = ids,
+                    Ok(_) => {
+                        self.error = Some(crate::protocol_error(if self.weighted {
+                            Operation::WeightedSample
+                        } else {
+                            Operation::UniformSample
+                        }));
+                    }
+                    Err(e) => self.error = Some(e),
+                }
+            }
+        }
+    }
+}
+
+impl<'a, E: GridEndpoint> Iterator for SampleStream<'a, E> {
+    type Item = ItemId;
+
+    fn next(&mut self) -> Option<ItemId> {
+        if let Some(id) = self.buf.pop() {
+            return Some(id);
+        }
+        if self.exhausted {
+            return None;
+        }
+        self.refill();
+        if self.buf.is_empty() {
+            // Empty refill: the result set is empty (or the backend
+            // failed — see `error()`); either way the stream is over.
+            self.exhausted = true;
+            return None;
+        }
+        self.buf.pop()
+    }
+}

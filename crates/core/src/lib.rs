@@ -13,6 +13,10 @@
 //! - [`erased::DynPreparedSampler`] — object-safe erasure of the phase-2
 //!   handle, so heterogeneous indexes can sit behind one `dyn` type (the
 //!   sharded `irs-engine` builds on this).
+//! - [`query`] — the fallible query vocabulary shared by every backend:
+//!   typed [`QueryError`]/[`BuildError`] taxonomies, the [`Capabilities`]
+//!   descriptor, and the one weight-validation gate
+//!   ([`validate_weights`]) used at every construction site.
 //! - [`MemoryFootprint`] — deterministic deep-size accounting used to
 //!   reproduce the paper's memory tables without allocator hooks.
 //! - [`oracle::BruteForce`] — the linear-scan reference implementation each
@@ -27,6 +31,8 @@ pub mod erased;
 pub mod footprint;
 pub mod interval;
 pub mod oracle;
+pub mod query;
+pub mod seed;
 pub mod traits;
 
 pub use dataset::{candidates_weight, domain_bounds, pair_sort_indices, pair_sorted};
@@ -34,6 +40,8 @@ pub use erased::{DynPreparedSampler, Erased, ErasedUpperBound};
 pub use footprint::{slice_bytes, vec_bytes, MemoryFootprint};
 pub use interval::{Endpoint, GridEndpoint, Interval, Interval64, ItemId};
 pub use oracle::BruteForce;
+pub use query::{validate_weights, BuildError, Capabilities, Operation, QueryError};
+pub use seed::splitmix64;
 pub use traits::{
     PreparedSampler, RangeCount, RangeSampler, RangeSearch, StabbingQuery, WeightedRangeSampler,
 };

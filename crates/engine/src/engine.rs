@@ -12,9 +12,9 @@
 //!
 //! # Batch protocol
 //!
-//! [`Engine::execute`] scatters the whole batch to every worker. Count,
-//! search, and stab requests finish in one pass (counts sum, id lists
-//! concatenate). Sampling requests need two phases to stay exact:
+//! [`Engine::run`] scatters the whole batch to every worker. Count,
+//! search, and stab queries finish in one pass (counts sum, id lists
+//! concatenate). Sampling queries need two phases to stay exact:
 //!
 //! 1. every shard runs candidate computation (phase 1 of the paper's
 //!    cost split) and reports its *allocation mass* — the exact local
@@ -31,11 +31,34 @@
 //! AIT-V reports an upper bound as its candidate count (virtual slots),
 //! so its workers substitute the exact count from a range search —
 //! flagged by [`DynPreparedSampler::count_is_exact`].
+//!
+//! # Failure model
+//!
+//! Nothing on the query path panics. Operations the engine's kind
+//! cannot serve return [`QueryError::UnsupportedOperation`] /
+//! [`QueryError::NotWeighted`], consistent with
+//! [`Engine::capabilities`]. A worker thread that dies (its index code
+//! panicked, or the process is tearing down) surfaces as
+//! [`QueryError::ShardFailed`]: if the death is observed before phase 1
+//! completes, every query of the batch errs (a partial cross-shard
+//! count or merge would be silently wrong); if it happens during phase
+//! 2, the batch's sampling queries err (their draws are lost) while
+//! its non-sampling answers stand — they were already complete, with
+//! every shard contributing, when the worker died. Every query of
+//! every *subsequent* batch errs, since the dead worker's channel
+//! stays closed. `Drop` never blocks on a dead worker: live workers
+//! exit on the shutdown message and dead ones have already unwound, so
+//! `join` returns immediately either way.
 
-use crate::kind::{IndexKind, ShardIndex};
+use crate::kind::{DynIndex, IndexKind};
+use crate::query::{Query, QueryOutput};
+#[allow(deprecated)]
 use crate::request::{Request, Response};
 use irs_core::erased::DynPreparedSampler;
-use irs_core::{GridEndpoint, Interval, ItemId};
+use irs_core::{
+    splitmix64 as mix, validate_weights, BuildError, Capabilities, GridEndpoint, Interval, ItemId,
+    Operation, QueryError,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -79,22 +102,25 @@ impl EngineConfig {
     }
 }
 
-/// Per-request phase-1 result a worker reports.
+/// Per-query phase-1 result a worker reports.
 enum Partial {
-    /// Sampling request: exact allocation mass (count or weight sum).
+    /// Sampling query: exact allocation mass (count or weight sum).
     Mass(f64),
-    /// Non-sampling request, fully answered (ids already global).
-    Done(Response),
+    /// Non-sampling query, fully answered (ids already global).
+    Done(QueryOutput),
+    /// The shard's index cannot serve this operation (the engine mints
+    /// the matching typed error; all shards agree, sharing one kind).
+    Unsupported,
 }
 
 /// One batch round-trip, scattered to every worker.
 struct Job<E> {
-    requests: Arc<Vec<Request<E>>>,
+    queries: Arc<Vec<Query<E>>>,
     /// Per-worker draw seed for this batch.
     seed: u64,
     phase1_tx: Sender<(usize, Vec<Partial>)>,
-    /// Per-request sample allocation for this shard; only received when
-    /// the batch contains sampling requests.
+    /// Per-query sample allocation for this shard; only received when
+    /// the batch contains sampling queries.
     alloc_rx: Receiver<Vec<usize>>,
     phase2_tx: Sender<(usize, Vec<Vec<ItemId>>)>,
 }
@@ -102,22 +128,27 @@ struct Job<E> {
 enum Msg<E> {
     Batch(Job<E>),
     Shutdown,
+    /// Test hook: panic the worker, simulating an index bug, to
+    /// exercise the [`QueryError::ShardFailed`] paths.
+    #[allow(dead_code)]
+    Crash,
 }
 
 /// Sharded, concurrent batch query engine over any [`IndexKind`].
 ///
 /// ```
-/// use irs_engine::{Engine, EngineConfig, IndexKind, Request, Response};
+/// use irs_engine::{Engine, EngineConfig, IndexKind, Query, QueryOutput};
 /// use irs_core::Interval;
 ///
 /// let data: Vec<_> = (0..10_000i64).map(|i| Interval::new(i, i + 50)).collect();
-/// let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(4));
-/// let out = engine.execute(&[
-///     Request::Count { q: Interval::new(100, 200) },
-///     Request::Sample { q: Interval::new(100, 200), s: 8 },
+/// let engine = Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(4))?;
+/// let out = engine.run(&[
+///     Query::Count { q: Interval::new(100, 200) },
+///     Query::Sample { q: Interval::new(100, 200), s: 8 },
 /// ]);
-/// assert_eq!(out[0], Response::Count(151));
-/// assert_eq!(out[1].samples().unwrap().len(), 8);
+/// assert_eq!(out[0], Ok(QueryOutput::Count(151)));
+/// assert_eq!(out[1].as_ref().unwrap().samples().unwrap().len(), 8);
+/// # Ok::<(), irs_core::BuildError>(())
 /// ```
 pub struct Engine<E> {
     txs: Vec<Sender<Msg<E>>>,
@@ -132,28 +163,56 @@ pub struct Engine<E> {
     /// in flight could reach the workers in different orders and
     /// deadlock on the allocation exchange. Parallelism lives *inside* a
     /// batch (across shards), so concurrent callers queue here instead —
-    /// batch up rather than fanning out many tiny executes.
+    /// batch up rather than fanning out many tiny runs.
     in_flight: Mutex<()>,
 }
 
 impl<E: GridEndpoint> Engine<E> {
     /// Builds an engine over unweighted intervals. Shard indexes are
     /// built concurrently, one per worker thread.
-    pub fn new(data: &[Interval<E>], config: EngineConfig) -> Self {
+    pub fn try_new(data: &[Interval<E>], config: EngineConfig) -> Result<Self, BuildError> {
         Self::build(data, None, config)
     }
 
     /// Builds an engine over weighted intervals (`weights[i]` belongs to
-    /// `data[i]`; must be positive and finite).
+    /// `data[i]`).
     ///
-    /// # Panics
-    /// Panics if `weights` is misaligned with `data`.
-    pub fn new_weighted(data: &[Interval<E>], weights: &[f64], config: EngineConfig) -> Self {
-        assert_eq!(data.len(), weights.len(), "weights must align with data");
+    /// Weights are validated up front: a length mismatch or any
+    /// non-positive / non-finite weight is rejected as a [`BuildError`]
+    /// naming the offending index, before any shard index is built.
+    pub fn try_new_weighted(
+        data: &[Interval<E>],
+        weights: &[f64],
+        config: EngineConfig,
+    ) -> Result<Self, BuildError> {
+        validate_weights(data.len(), weights)?;
         Self::build(data, Some(weights), config)
     }
 
-    fn build(data: &[Interval<E>], weights: Option<&[f64]>, config: EngineConfig) -> Self {
+    /// Deprecated panicking constructor.
+    ///
+    /// # Panics
+    /// Panics if a shard worker cannot be started.
+    #[deprecated(note = "use `Engine::try_new` (fallible) instead")]
+    pub fn new(data: &[Interval<E>], config: EngineConfig) -> Self {
+        Self::try_new(data, config).expect("engine construction failed")
+    }
+
+    /// Deprecated panicking constructor.
+    ///
+    /// # Panics
+    /// Panics on misaligned or invalid weights; use
+    /// [`Engine::try_new_weighted`] for a typed [`BuildError`] instead.
+    #[deprecated(note = "use `Engine::try_new_weighted` (fallible) instead")]
+    pub fn new_weighted(data: &[Interval<E>], weights: &[f64], config: EngineConfig) -> Self {
+        Self::try_new_weighted(data, weights, config).expect("engine construction failed")
+    }
+
+    fn build(
+        data: &[Interval<E>],
+        weights: Option<&[f64]>,
+        config: EngineConfig,
+    ) -> Result<Self, BuildError> {
         let shards = config.shards.max(1);
         let kind = config.kind;
 
@@ -175,28 +234,36 @@ impl<E: GridEndpoint> Engine<E> {
             txs.push(tx);
             let ready = ready_tx.clone();
             let has_weights = weights.is_some();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("irs-shard-{shard_id}"))
-                    .spawn(move || {
-                        let index = kind.build(&local, has_weights.then_some(local_w.as_slice()));
-                        // Data and weights are owned by the index (or its
-                        // wrapper) from here; the shard only needs the
-                        // stride mapping.
-                        let _ = ready.send(shard_id);
-                        worker_loop(&*index, shard_id, shards, &rx);
-                    })
-                    .expect("spawn shard worker"),
-            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("irs-shard-{shard_id}"))
+                .spawn(move || {
+                    let index = kind.build_index(&local, has_weights.then_some(local_w.as_slice()));
+                    // Data and weights are owned by the index (or its
+                    // wrapper) from here; the shard only needs the
+                    // stride mapping.
+                    let _ = ready.send(shard_id);
+                    worker_loop(&*index, shard_id, shards, &rx);
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                // Dropping `txs` unblocks the already-started workers,
+                // whose recv fails and whose threads then exit.
+                Err(_) => return Err(BuildError::ShardDied { shard: shard_id }),
+            }
         }
         drop(ready_tx);
+        let mut ready = vec![false; shards];
         for _ in 0..shards {
-            ready_rx
-                .recv()
-                .expect("shard worker died during index build");
+            match ready_rx.recv() {
+                Ok(shard_id) => ready[shard_id] = true,
+                Err(_) => {
+                    let shard = ready.iter().position(|&r| !r).unwrap_or(0);
+                    return Err(BuildError::ShardDied { shard });
+                }
+            }
         }
 
-        Engine {
+        Ok(Engine {
             txs,
             workers,
             kind,
@@ -205,12 +272,20 @@ impl<E: GridEndpoint> Engine<E> {
             base_seed: config.seed,
             batch_counter: AtomicU64::new(0),
             in_flight: Mutex::new(()),
-        }
+        })
     }
 
     /// The configured index kind.
     pub fn kind(&self) -> IndexKind {
         self.kind
+    }
+
+    /// What this engine supports, as queryable metadata:
+    /// [`IndexKind::capabilities`] of its kind, given whether weights
+    /// were supplied at build time. Operations denied here fail with a
+    /// typed [`QueryError`]; operations claimed here succeed.
+    pub fn capabilities(&self) -> Capabilities {
+        self.kind.capabilities(self.weighted)
     }
 
     /// Number of shards (= worker threads).
@@ -233,103 +308,146 @@ impl<E: GridEndpoint> Engine<E> {
         self.weighted
     }
 
-    /// Executes a batch, one [`Response`] per [`Request`] in order.
+    /// Executes a batch: one `Result` per [`Query`], in order. An empty
+    /// result set is `Ok` (empty samples / zero count), never an error.
     ///
     /// Each call advances the engine's draw stream, so samples are
-    /// independent across calls; use [`Engine::execute_seeded`] to pin
-    /// the stream.
+    /// independent across calls; use [`Engine::run_seeded`] to pin the
+    /// stream.
     ///
     /// Safe to call from many threads on a shared engine; batches
     /// serialize internally (the parallelism is across shards *within*
     /// a batch), so prefer one large batch over many concurrent small
     /// ones.
-    pub fn execute(&self, requests: &[Request<E>]) -> Vec<Response> {
+    pub fn run(&self, queries: &[Query<E>]) -> Vec<Result<QueryOutput, QueryError>> {
         let batch = self.batch_counter.fetch_add(1, Ordering::Relaxed);
-        self.execute_seeded(requests, self.base_seed.wrapping_add(mix(batch)))
+        self.run_seeded(queries, self.base_seed.wrapping_add(mix(batch)))
     }
 
-    /// [`Engine::execute`] with an explicit seed: identical seed, batch,
-    /// and engine config reproduce identical responses.
-    pub fn execute_seeded(&self, requests: &[Request<E>], seed: u64) -> Vec<Response> {
-        if requests.is_empty() {
+    /// [`Engine::run`] with an explicit seed: identical seed, batch,
+    /// and engine config reproduce identical results.
+    pub fn run_seeded(
+        &self,
+        queries: &[Query<E>],
+        seed: u64,
+    ) -> Vec<Result<QueryOutput, QueryError>> {
+        if queries.is_empty() {
             return Vec::new();
         }
         // One batch in flight at a time (see `in_flight`); a poisoned
         // lock just means another batch panicked — this one can proceed.
         let _serialized = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
         let shards = self.txs.len();
-        let requests = Arc::new(requests.to_vec());
-        let has_sampling = requests.iter().any(Request::is_sampling);
+        let caps = self.capabilities();
+        let queries = Arc::new(queries.to_vec());
+        // Workers make the same deterministic check on the raw query
+        // list, so both sides agree on whether phase 2 happens — even
+        // when every sampling query turns out to be unsupported.
+        let has_sampling = queries.iter().any(Query::is_sampling);
 
-        // Scatter.
+        // Scatter. A send can only fail if the worker is dead; the
+        // whole batch fails then (partial answers would be wrong).
         let (p1_tx, p1_rx) = mpsc::channel();
         let (p2_tx, p2_rx) = mpsc::channel();
         let mut alloc_txs = Vec::with_capacity(shards);
         for (k, tx) in self.txs.iter().enumerate() {
             let (alloc_tx, alloc_rx) = mpsc::channel();
             alloc_txs.push(alloc_tx);
-            tx.send(Msg::Batch(Job {
-                requests: Arc::clone(&requests),
+            let sent = tx.send(Msg::Batch(Job {
+                queries: Arc::clone(&queries),
                 seed: seed ^ mix(k as u64 + 1),
                 phase1_tx: p1_tx.clone(),
                 alloc_rx,
                 phase2_tx: p2_tx.clone(),
-            }))
-            .expect("shard worker alive");
+            }));
+            if sent.is_err() {
+                // Workers that already got the job see the result
+                // channels close and abandon the batch.
+                return vec![Err(QueryError::ShardFailed { shard: k }); queries.len()];
+            }
         }
         drop(p1_tx);
         drop(p2_tx);
 
-        // Gather phase 1.
+        // Gather phase 1. Workers drop their phase-1 senders as soon as
+        // they have reported, so a dead shard shows up here as a closed
+        // channel instead of a hang.
         let mut phase1: Vec<Vec<Partial>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut answered = vec![false; shards];
         for _ in 0..shards {
-            let (k, partials) = p1_rx.recv().expect("shard worker answered phase 1");
-            phase1[k] = partials;
+            match p1_rx.recv() {
+                Ok((k, partials)) => {
+                    phase1[k] = partials;
+                    answered[k] = true;
+                }
+                Err(_) => {
+                    let shard = answered.iter().position(|&a| !a).unwrap_or(0);
+                    return vec![Err(QueryError::ShardFailed { shard }); queries.len()];
+                }
+            }
         }
 
-        // Merge finished requests; allocate sampling requests.
+        // Merge finished queries; allocate sampling queries. Capability
+        // verdicts come from the engine's own metadata (all shards run
+        // the same kind, so the workers' prepare checks agree with it).
         let mut rng = SmallRng::seed_from_u64(seed ^ ALLOC_SALT);
-        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
-        let mut allocs: Vec<Vec<usize>> = vec![vec![0; requests.len()]; shards];
-        for (i, req) in requests.iter().enumerate() {
-            if req.is_sampling() {
-                let s = match *req {
-                    Request::Sample { s, .. } | Request::SampleWeighted { s, .. } => s,
+        let mut results: Vec<Option<Result<QueryOutput, QueryError>>> = vec![None; queries.len()];
+        let mut allocs: Vec<Vec<usize>> = vec![vec![0; queries.len()]; shards];
+        for (i, query) in queries.iter().enumerate() {
+            let op = query.operation();
+            if !caps.supports(op) || matches!(phase1[0][i], Partial::Unsupported) {
+                results[i] = Some(Err(self.kind.unsupported_error(self.weighted, op)));
+                continue;
+            }
+            if query.is_sampling() {
+                let s = match *query {
+                    Query::Sample { s, .. } | Query::SampleWeighted { s, .. } => s,
                     _ => unreachable!(),
                 };
-                // All shards run the same kind, so capability verdicts
-                // agree; shard 0 speaks for all.
-                if let Partial::Done(resp) = &phase1[0][i] {
-                    responses[i] = Some(resp.clone());
-                    continue;
-                }
                 let masses: Vec<f64> = phase1
                     .iter()
                     .map(|p| match p[i] {
                         Partial::Mass(m) => m,
-                        Partial::Done(_) => unreachable!("kind-uniform capability"),
+                        // All shards share one kind, so capability
+                        // verdicts are uniform across shards.
+                        _ => 0.0,
                     })
                     .collect();
                 multinomial_into(&mut rng, &masses, s, |shard, n| allocs[shard][i] = n);
             } else {
-                responses[i] = Some(merge_finished(&phase1, i));
+                results[i] = Some(Ok(merge_finished(&phase1, i)));
             }
         }
 
-        // Phase 2: only sampling batches need the second round-trip (the
-        // workers make the same deterministic check on the request list).
+        // Phase 2: only sampling batches need the second round-trip.
         if has_sampling {
             for (alloc_tx, alloc) in alloc_txs.into_iter().zip(allocs) {
                 // A worker that died mid-batch surfaces at the recv below.
                 let _ = alloc_tx.send(alloc);
             }
             let mut drawn: Vec<Vec<Vec<ItemId>>> = (0..shards).map(|_| Vec::new()).collect();
+            let mut answered = vec![false; shards];
+            let mut failed: Option<usize> = None;
             for _ in 0..shards {
-                let (k, v) = p2_rx.recv().expect("shard worker answered phase 2");
-                drawn[k] = v;
+                match p2_rx.recv() {
+                    Ok((k, v)) => {
+                        drawn[k] = v;
+                        answered[k] = true;
+                    }
+                    Err(_) => {
+                        failed = Some(answered.iter().position(|&a| !a).unwrap_or(0));
+                        break;
+                    }
+                }
             }
-            for (i, resp) in responses.iter_mut().enumerate() {
-                if resp.is_some() {
+            for (i, slot) in results.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                if let Some(shard) = failed {
+                    // Non-sampling answers from phase 1 stand (every
+                    // shard contributed); only the draws are lost.
+                    *slot = Some(Err(QueryError::ShardFailed { shard }));
                     continue;
                 }
                 let mut merged = Vec::new();
@@ -340,67 +458,103 @@ impl<E: GridEndpoint> Engine<E> {
                 // output order carries no shard signal. (The draws are
                 // i.i.d., so this is cosmetic, not corrective.)
                 shuffle(&mut rng, &mut merged);
-                *resp = Some(Response::Samples(merged));
+                *slot = Some(Ok(QueryOutput::Samples(merged)));
             }
         }
 
-        responses
+        results
             .into_iter()
-            .map(|r| r.expect("every request answered"))
+            .enumerate()
+            // Every slot is filled above; the fallback keeps even a
+            // protocol bug from panicking the query path.
+            .map(|(i, r)| r.unwrap_or(Err(QueryError::ShardFailed { shard: i % shards })))
+            .collect()
+    }
+
+    /// Deprecated batch entry point; use [`Engine::run`].
+    #[deprecated(note = "use `Engine::run`, which returns typed `Result`s")]
+    #[allow(deprecated)]
+    pub fn execute(&self, requests: &[Request<E>]) -> Vec<Response> {
+        self.run(requests).into_iter().map(Response::from).collect()
+    }
+
+    /// Deprecated seeded batch entry point; use [`Engine::run_seeded`].
+    #[deprecated(note = "use `Engine::run_seeded`, which returns typed `Result`s")]
+    #[allow(deprecated)]
+    pub fn execute_seeded(&self, requests: &[Request<E>], seed: u64) -> Vec<Response> {
+        self.run_seeded(requests, seed)
+            .into_iter()
+            .map(Response::from)
             .collect()
     }
 
     /// Convenience: exact `|q ∩ X|`.
-    pub fn count(&self, q: Interval<E>) -> usize {
-        match &self.execute(&[Request::Count { q }])[0] {
-            Response::Count(n) => *n,
-            other => unreachable!("count returned {other:?}"),
+    pub fn count(&self, q: Interval<E>) -> Result<usize, QueryError> {
+        match self.run(&[Query::Count { q }]).swap_remove(0)? {
+            QueryOutput::Count(n) => Ok(n),
+            _ => Err(self.protocol_error(Operation::Count)),
         }
     }
 
     /// Convenience: ids of all intervals overlapping `q`.
-    pub fn search(&self, q: Interval<E>) -> Vec<ItemId> {
-        match self.execute(&[Request::Search { q }]).swap_remove(0) {
-            Response::Ids(ids) => ids,
-            other => unreachable!("search returned {other:?}"),
+    pub fn search(&self, q: Interval<E>) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::Search { q }]).swap_remove(0)? {
+            QueryOutput::Ids(ids) => Ok(ids),
+            _ => Err(self.protocol_error(Operation::Search)),
         }
     }
 
     /// Convenience: ids of all intervals containing `p`.
-    pub fn stab(&self, p: E) -> Vec<ItemId> {
-        match self.execute(&[Request::Stab { p }]).swap_remove(0) {
-            Response::Ids(ids) => ids,
-            other => unreachable!("stab returned {other:?}"),
+    pub fn stab(&self, p: E) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::Stab { p }]).swap_remove(0)? {
+            QueryOutput::Ids(ids) => Ok(ids),
+            _ => Err(self.protocol_error(Operation::Stab)),
         }
     }
 
-    /// Convenience: `s` uniform samples from `q ∩ X`.
-    ///
-    /// # Panics
-    /// Panics if the engine's kind cannot sample uniformly (AWIT built
-    /// with non-uniform weights) — use [`Engine::execute`] to handle
-    /// [`Response::Unsupported`] gracefully.
-    pub fn sample(&self, q: Interval<E>, s: usize) -> Vec<ItemId> {
-        match self.execute(&[Request::Sample { q, s }]).swap_remove(0) {
-            Response::Samples(ids) => ids,
-            Response::Unsupported(why) => panic!("uniform sampling unsupported: {why}"),
-            other => unreachable!("sample returned {other:?}"),
+    /// Convenience: `s` uniform samples from `q ∩ X` (empty if the
+    /// result set is empty — that is not an error).
+    pub fn sample(&self, q: Interval<E>, s: usize) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::Sample { q, s }]).swap_remove(0)? {
+            QueryOutput::Samples(ids) => Ok(ids),
+            _ => Err(self.protocol_error(Operation::UniformSample)),
         }
     }
 
     /// Convenience: `s` weight-proportional samples from `q ∩ X`.
-    ///
-    /// # Panics
-    /// Panics if the kind cannot sample by weight (AIT, AIT-V) or the
-    /// engine was built without weights.
-    pub fn sample_weighted(&self, q: Interval<E>, s: usize) -> Vec<ItemId> {
-        match self
-            .execute(&[Request::SampleWeighted { q, s }])
-            .swap_remove(0)
+    pub fn sample_weighted(&self, q: Interval<E>, s: usize) -> Result<Vec<ItemId>, QueryError> {
+        match self.run(&[Query::SampleWeighted { q, s }]).swap_remove(0)? {
+            QueryOutput::Samples(ids) => Ok(ids),
+            _ => Err(self.protocol_error(Operation::WeightedSample)),
+        }
+    }
+
+    /// A mismatched output variant can only mean an engine bug; report
+    /// it as an unsupported operation rather than panicking the caller.
+    fn protocol_error(&self, op: Operation) -> QueryError {
+        QueryError::UnsupportedOperation {
+            op,
+            reason: "engine protocol error: mismatched output variant",
+        }
+    }
+
+    /// Test hook: kill one shard's worker thread, simulating an index
+    /// bug, so suites can exercise the [`QueryError::ShardFailed`] and
+    /// non-hanging `Drop` paths. Hidden, not deprecated: not part of
+    /// the supported API.
+    #[doc(hidden)]
+    pub fn crash_shard_for_tests(&self, shard: usize) {
+        if let Some(tx) = self.txs.get(shard) {
+            let _ = tx.send(Msg::Crash);
+        }
+        // Wait for the worker to actually die, so the next `run` (and
+        // not a test race) observes the closed channel.
+        while self
+            .txs
+            .get(shard)
+            .is_some_and(|tx| tx.send(Msg::Crash).is_ok())
         {
-            Response::Samples(ids) => ids,
-            Response::Unsupported(why) => panic!("weighted sampling unsupported: {why}"),
-            other => unreachable!("sample_weighted returned {other:?}"),
+            std::thread::yield_now();
         }
     }
 }
@@ -408,9 +562,13 @@ impl<E: GridEndpoint> Engine<E> {
 impl<E> Drop for Engine<E> {
     fn drop(&mut self) {
         for tx in &self.txs {
+            // Fails only if the worker is already gone — fine either way.
             let _ = tx.send(Msg::Shutdown);
         }
         for handle in self.workers.drain(..) {
+            // A panicked worker yields `Err`; there is nothing to do
+            // with it here, and the join itself cannot block: live
+            // workers exit on Shutdown, dead ones have already unwound.
             let _ = handle.join();
         }
     }
@@ -418,31 +576,24 @@ impl<E> Drop for Engine<E> {
 
 const ALLOC_SALT: u64 = 0xA110_CA7E_5EED_0001;
 
-/// SplitMix64 finalizer: decorrelates seed/shard/batch indices.
-fn mix(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Merges a non-sampling request's per-shard results.
-fn merge_finished(phase1: &[Vec<Partial>], i: usize) -> Response {
+/// Merges a non-sampling query's per-shard results. Only called for
+/// queries whose phase-1 partials are all `Done` (capability-checked
+/// upstream); anything else contributes nothing to the merge.
+fn merge_finished(phase1: &[Vec<Partial>], i: usize) -> QueryOutput {
     let mut count_sum = 0usize;
     let mut ids_merged: Option<Vec<ItemId>> = None;
     for partials in phase1 {
         match &partials[i] {
-            Partial::Done(Response::Count(n)) => count_sum += n,
-            Partial::Done(Response::Ids(ids)) => ids_merged
+            Partial::Done(QueryOutput::Count(n)) => count_sum += n,
+            Partial::Done(QueryOutput::Ids(ids)) => ids_merged
                 .get_or_insert_with(Vec::new)
                 .extend_from_slice(ids),
-            Partial::Done(other) => return other.clone(),
-            Partial::Mass(_) => unreachable!("non-sampling request got a mass"),
+            _ => {}
         }
     }
     match ids_merged {
-        Some(ids) => Response::Ids(ids),
-        None => Response::Count(count_sum),
+        Some(ids) => QueryOutput::Ids(ids),
+        None => QueryOutput::Count(count_sum),
     }
 }
 
@@ -490,32 +641,43 @@ fn shuffle(rng: &mut SmallRng, v: &mut [ItemId]) {
 /// batches until shutdown. Local ids are translated to global ids with
 /// the round-robin stride mapping before leaving the shard.
 fn worker_loop<E: GridEndpoint>(
-    index: &dyn ShardIndex<E>,
+    index: &dyn DynIndex<E>,
     shard_id: usize,
     shards: usize,
     rx: &Receiver<Msg<E>>,
 ) {
     let to_global = |local: ItemId| -> ItemId { local * shards as ItemId + shard_id as ItemId };
-    while let Ok(Msg::Batch(job)) = rx.recv() {
+    loop {
+        let job = match rx.recv() {
+            Ok(Msg::Batch(job)) => job,
+            Ok(Msg::Crash) => panic!("shard {shard_id}: crash requested by test hook"),
+            Ok(Msg::Shutdown) | Err(_) => return,
+        };
         let Job {
-            requests,
+            queries,
             seed,
             phase1_tx,
             alloc_rx,
             phase2_tx,
         } = job;
-        let has_sampling = requests.iter().any(Request::is_sampling);
+        let has_sampling = queries.iter().any(Query::is_sampling);
 
         // Phase 1: candidate computation; keep sampling handles warm.
         let mut prepared: Vec<Option<Box<dyn DynPreparedSampler + '_>>> =
-            Vec::with_capacity(requests.len());
-        let mut partials = Vec::with_capacity(requests.len());
-        for req in requests.iter() {
-            let (partial, handle) = phase1_one(index, req, &to_global, shards == 1);
+            Vec::with_capacity(queries.len());
+        let mut partials = Vec::with_capacity(queries.len());
+        for query in queries.iter() {
+            let (partial, handle) = phase1_one(index, query, &to_global, shards == 1);
             partials.push(partial);
             prepared.push(handle);
         }
-        if phase1_tx.send((shard_id, partials)).is_err() {
+        let reported = phase1_tx.send((shard_id, partials)).is_ok();
+        // Drop the phase-1 sender *now*: the engine's gather loop uses
+        // channel closure to detect dead shards, which only works if
+        // live shards aren't still holding their senders while blocked
+        // on the allocation exchange below.
+        drop(phase1_tx);
+        if !reported {
             continue; // engine gave up on the batch
         }
 
@@ -543,15 +705,15 @@ fn worker_loop<E: GridEndpoint>(
     }
 }
 
-/// Phase 1 for a single request on one shard.
+/// Phase 1 for a single query on one shard.
 fn phase1_one<'a, E: GridEndpoint>(
-    index: &'a dyn ShardIndex<E>,
-    req: &Request<E>,
+    index: &'a dyn DynIndex<E>,
+    query: &Query<E>,
     to_global: &impl Fn(ItemId) -> ItemId,
     single_shard: bool,
 ) -> (Partial, Option<Box<dyn DynPreparedSampler + 'a>>) {
-    match *req {
-        Request::Sample { q, .. } => match index.prepare(q) {
+    match *query {
+        Query::Sample { q, .. } => match index.prepare(q) {
             Some(p) => {
                 // AIT-V's candidate count tallies virtual slots (an upper
                 // bound); proportional allocation needs the exact count —
@@ -566,44 +728,34 @@ fn phase1_one<'a, E: GridEndpoint>(
                 };
                 (Partial::Mass(mass), Some(p))
             }
-            None => (
-                Partial::Done(Response::Unsupported(
-                    "this index kind cannot sample uniformly (AWIT holds non-uniform weights)",
-                )),
-                None,
-            ),
+            None => (Partial::Unsupported, None),
         },
-        Request::SampleWeighted { q, .. } => match index.prepare_weighted(q) {
-            Some(p) => {
-                let mass = p
-                    .total_weight()
-                    .expect("weighted handles carry their allocation mass");
-                (Partial::Mass(mass), Some(p))
-            }
-            None => (
-                Partial::Done(Response::Unsupported(
-                    "this index kind cannot sample by weight (or the engine was built \
-                     without weights)",
-                )),
-                None,
-            ),
+        Query::SampleWeighted { q, .. } => match index.prepare_weighted(q) {
+            Some(p) => match p.total_weight() {
+                // Weighted handles carry their allocation mass; a handle
+                // without one cannot be allocated against, so the query
+                // is reported unsupported rather than mis-allocated.
+                Some(mass) => (Partial::Mass(mass), Some(p)),
+                None => (Partial::Unsupported, None),
+            },
+            None => (Partial::Unsupported, None),
         },
-        Request::Count { q } => (Partial::Done(Response::Count(index.count(q))), None),
-        Request::Search { q } => {
+        Query::Count { q } => (Partial::Done(QueryOutput::Count(index.count(q))), None),
+        Query::Search { q } => {
             let mut ids = Vec::new();
             index.search_into(q, &mut ids);
             for id in &mut ids {
                 *id = to_global(*id);
             }
-            (Partial::Done(Response::Ids(ids)), None)
+            (Partial::Done(QueryOutput::Ids(ids)), None)
         }
-        Request::Stab { p } => {
+        Query::Stab { p } => {
             let mut ids = Vec::new();
             index.stab_into(p, &mut ids);
             for id in &mut ids {
                 *id = to_global(*id);
             }
-            (Partial::Done(Response::Ids(ids)), None)
+            (Partial::Done(QueryOutput::Ids(ids)), None)
         }
     }
 }

@@ -1,28 +1,27 @@
-//! Index selection and the object-safe per-shard index facade.
+//! Index selection, capability metadata, and the object-safe index facade.
 //!
-//! Every shard owns one index structure chosen by [`IndexKind`]. The
-//! worker talks to it through [`ShardIndex`], an object-safe trait whose
-//! sampling handles are the erased [`DynPreparedSampler`]s from
-//! `irs-core`, so a single worker loop serves all six structures — and
-//! out-of-tree structures could be plugged in the same way.
+//! Every backend owns one or more index structures chosen by
+//! [`IndexKind`]. Workers (and `irs-client`'s monolithic backend) talk
+//! to them through [`DynIndex`], an object-safe trait whose sampling
+//! handles are the erased [`DynPreparedSampler`]s from `irs-core`, so a
+//! single driver loop serves all six structures — and out-of-tree
+//! structures could be plugged in the same way.
 //!
-//! Capability gaps are closed by fallbacks where a fallback is exact, and
-//! surfaced as `None` where it is not:
-//!
-//! | kind | uniform sample | weighted sample | count | stab |
-//! |---|---|---|---|---|
-//! | `Ait` | native | — | native | native |
-//! | `AitV` | native (rejection) | — | via search | via point search |
-//! | `Awit` | uniform weights only | native | native | via point search |
-//! | `Kds` | native | if weighted | native | via point search |
-//! | `HintM` | native | if weighted | native | via point search |
-//! | `IntervalTree` | native | if weighted | native | native |
+//! What each kind can do is *queryable metadata*, not a doc table:
+//! [`IndexKind::capabilities`] reports per-operation support (given
+//! whether the backend was built with weights), and
+//! [`IndexKind::unsupported_error`] is the one place the matching typed
+//! [`QueryError`] is minted, so capability claims and error payloads
+//! cannot drift. Capability gaps inside the facade are closed by
+//! fallbacks only where the fallback is *exact* (stab = point search;
+//! AIT-V count = search) and surfaced as `None` — mapped to a typed
+//! error upstream — where it is not.
 
 use irs_ait::{Ait, AitV, Awit};
 use irs_core::erased::{DynPreparedSampler, Erased, ErasedUpperBound};
 use irs_core::{
-    Endpoint, GridEndpoint, Interval, ItemId, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
-    WeightedRangeSampler,
+    Capabilities, Endpoint, GridEndpoint, Interval, ItemId, Operation, QueryError, RangeCount,
+    RangeSampler, RangeSearch, StabbingQuery, WeightedRangeSampler,
 };
 use irs_hint::HintM;
 use irs_interval_tree::IntervalTree;
@@ -75,12 +74,70 @@ impl IndexKind {
         IndexKind::ALL.iter().copied().find(|k| k.name() == s)
     }
 
-    /// Builds one shard's index over `data` (with `weights` when given).
-    pub(crate) fn build<E: GridEndpoint>(
+    /// What this kind supports, given whether the backend holds
+    /// per-interval weights.
+    ///
+    /// This is the authoritative capability table, as data. The
+    /// contract (pinned by the capability property tests): an operation
+    /// claimed here succeeds through [`crate::Engine::run`], and an
+    /// operation denied here fails with exactly
+    /// [`IndexKind::unsupported_error`]\(op\).
+    pub fn capabilities(self, weighted: bool) -> Capabilities {
+        Capabilities {
+            // AWIT answers uniform IRS only when weighted IRS coincides
+            // with it — i.e. when built with uniform (absent) weights.
+            uniform_sample: !(self == IndexKind::Awit && weighted),
+            weighted_sample: weighted && !matches!(self, IndexKind::Ait | IndexKind::AitV),
+            exact_count: true,
+            search: true,
+            stab: true,
+            // Engine/client builds are static snapshots. (`DynamicAwit`
+            // supports updates, but outside these backends.)
+            update: false,
+        }
+    }
+
+    /// The typed error for an operation this kind (built `weighted` or
+    /// not) cannot serve. The single source of unsupported-operation
+    /// payloads, shared by the engine and the client facade.
+    pub fn unsupported_error(self, weighted: bool, op: Operation) -> QueryError {
+        match op {
+            Operation::WeightedSample if matches!(self, IndexKind::Ait | IndexKind::AitV) => {
+                QueryError::UnsupportedOperation {
+                    op,
+                    reason: "AIT and AIT-V index unweighted intervals only; \
+                             use AWIT (or a weighted baseline) for Problem 2",
+                }
+            }
+            Operation::WeightedSample if !weighted => QueryError::NotWeighted,
+            Operation::UniformSample => QueryError::UnsupportedOperation {
+                op,
+                reason: "an AWIT holding non-uniform weights cannot sample uniformly; \
+                         build it without weights (then the two problems coincide)",
+            },
+            Operation::Update => QueryError::UnsupportedOperation {
+                op,
+                reason: "engine and client backends are static snapshots; \
+                         rebuild to change the dataset",
+            },
+            _ => QueryError::UnsupportedOperation {
+                op,
+                reason: "this index kind cannot serve the operation",
+            },
+        }
+    }
+
+    /// Builds one index of this kind over `data` (with `weights` when
+    /// given), behind the object-safe [`DynIndex`] facade.
+    ///
+    /// Weights are **not** validated here — callers go through
+    /// [`irs_core::validate_weights`] first (the engine's `try_new_weighted`
+    /// and the client builder both do).
+    pub fn build_index<E: GridEndpoint>(
         self,
         data: &[Interval<E>],
         weights: Option<&[f64]>,
-    ) -> Box<dyn ShardIndex<E>> {
+    ) -> Box<dyn DynIndex<E>> {
         match self {
             IndexKind::Ait => Box::new(Ait::new(data)),
             IndexKind::AitV => Box::new(AitV::new(data)),
@@ -130,11 +187,15 @@ impl std::fmt::Display for IndexKind {
     }
 }
 
-/// Object-safe facade one shard worker drives.
+/// Object-safe facade over any one index structure.
 ///
-/// `search_into`, `count`, and `stab_into` report ids local to the
-/// shard's slice; the worker translates them to dataset-global ids.
-pub(crate) trait ShardIndex<E>: Send + Sync {
+/// Shard workers and `irs-client`'s monolithic backend both drive
+/// queries through this trait; build one with
+/// [`IndexKind::build_index`]. `search_into`, `count`, and `stab_into`
+/// report ids local to the slice the index was built from (a shard
+/// worker translates them to dataset-global ids; over the full dataset
+/// they already *are* global).
+pub trait DynIndex<E>: Send + Sync {
     /// Appends local ids of intervals overlapping `q`.
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>);
 
@@ -163,7 +224,7 @@ fn stab_via_search<E: Endpoint, I: RangeSearch<E>>(idx: &I, p: E, out: &mut Vec<
     idx.range_search_into(Interval::point(p), out);
 }
 
-impl<E: GridEndpoint> ShardIndex<E> for Ait<E> {
+impl<E: GridEndpoint> DynIndex<E> for Ait<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.range_search_into(q, out);
     }
@@ -185,7 +246,7 @@ impl<E: GridEndpoint> ShardIndex<E> for Ait<E> {
     }
 }
 
-impl<E: GridEndpoint> ShardIndex<E> for AitV<E> {
+impl<E: GridEndpoint> DynIndex<E> for AitV<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.range_search_into(q, out);
     }
@@ -218,7 +279,7 @@ struct AwitShard<E> {
     uniform: bool,
 }
 
-impl<E: GridEndpoint> ShardIndex<E> for AwitShard<E> {
+impl<E: GridEndpoint> DynIndex<E> for AwitShard<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.idx.range_search_into(q, out);
     }
@@ -279,7 +340,7 @@ impl<P: DynPreparedSampler> DynPreparedSampler for WithMass<P> {
 
 macro_rules! impl_weighted_baseline {
     ($ty:ident, $bound:ident, $stab:expr) => {
-        impl<E: $bound> ShardIndex<E> for WeightedBaseline<$ty<E>> {
+        impl<E: $bound> DynIndex<E> for WeightedBaseline<$ty<E>> {
             fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
                 self.idx.range_search_into(q, out);
             }

@@ -5,7 +5,17 @@
 //! dataset round-robin into `K` shards, builds one index per shard (any
 //! of the six structures, chosen by [`IndexKind`]), runs a
 //! worker-per-shard thread pool, and executes batches of typed
-//! [`Request`]s by scatter-gathering across the shards.
+//! [`Query`]s by scatter-gathering across the shards.
+//!
+//! The API is **fallible end to end**: [`Engine::run`] returns one
+//! `Result<QueryOutput, QueryError>` per query, construction goes
+//! through [`Engine::try_new`] / [`Engine::try_new_weighted`] (weights
+//! validated up front into a typed [`irs_core::BuildError`]), and what
+//! an engine can serve is queryable via [`Engine::capabilities`] —
+//! nothing on the query path panics, and a dead shard worker surfaces
+//! as [`irs_core::QueryError::ShardFailed`] instead of an abort. The
+//! pre-`QueryError` surface ([`Request`], [`Response`],
+//! `Engine::execute`) survives one release as deprecated shims.
 //!
 //! The non-obvious part is keeping sampling *statistically correct*
 //! across shards: the engine first collects exact per-shard result
@@ -16,25 +26,29 @@
 //! architecture diagram.
 //!
 //! ```
-//! use irs_engine::{Engine, EngineConfig, IndexKind, Request};
+//! use irs_engine::{Engine, EngineConfig, IndexKind, Query};
 //! use irs_core::Interval;
 //!
 //! let data: Vec<_> = (0..1000i64).map(|i| Interval::new(i, i + 20)).collect();
-//! let engine = Engine::new(&data, EngineConfig::new(IndexKind::AitV).shards(3));
+//! let engine = Engine::try_new(&data, EngineConfig::new(IndexKind::AitV).shards(3))?;
 //!
 //! let batch: Vec<_> = (0..10)
-//!     .map(|i| Request::Sample { q: Interval::new(i * 50, i * 50 + 99), s: 4 })
+//!     .map(|i| Query::Sample { q: Interval::new(i * 50, i * 50 + 99), s: 4 })
 //!     .collect();
-//! for resp in engine.execute(&batch) {
-//!     assert_eq!(resp.samples().unwrap().len(), 4);
+//! for result in engine.run(&batch) {
+//!     assert_eq!(result?.samples().unwrap().len(), 4);
 //! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod engine;
 mod kind;
+mod query;
 mod request;
 pub mod throughput;
 
 pub use engine::{Engine, EngineConfig};
-pub use kind::IndexKind;
+pub use kind::{DynIndex, IndexKind};
+pub use query::{Query, QueryOutput};
+#[allow(deprecated)]
 pub use request::{Request, Response};

@@ -1,0 +1,128 @@
+//! Typed queries and outputs of the fallible batch API.
+//!
+//! One [`Query`] in, one `Result<QueryOutput, QueryError>` out, in batch
+//! order — see [`crate::Engine::run`]. Failure is carried by
+//! [`irs_core::QueryError`], never by a panic or a sentinel variant; an
+//! empty result set is `Ok` (an empty sample vector / `Ok(0)` count),
+//! not an error.
+
+use irs_core::{Interval, ItemId, Operation};
+
+/// One query in a batch submitted to [`crate::Engine::run`].
+///
+/// All variants are `Copy`, so batches can be assembled and re-submitted
+/// cheaply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query<E> {
+    /// `s` uniform, independent samples from `q ∩ X` (Problem 1).
+    Sample {
+        /// Query interval.
+        q: Interval<E>,
+        /// Sample size.
+        s: usize,
+    },
+    /// `s` weight-proportional, independent samples from `q ∩ X`
+    /// (Problem 2). Requires a backend built with per-interval weights
+    /// and an index kind that supports weighted sampling — check
+    /// [`crate::Engine::capabilities`] or handle the typed error.
+    SampleWeighted {
+        /// Query interval.
+        q: Interval<E>,
+        /// Sample size.
+        s: usize,
+    },
+    /// Exact `|q ∩ X|`.
+    Count {
+        /// Query interval.
+        q: Interval<E>,
+    },
+    /// All ids of intervals overlapping `q`.
+    Search {
+        /// Query interval.
+        q: Interval<E>,
+    },
+    /// All ids of intervals containing the point `p`.
+    Stab {
+        /// Stabbing point.
+        p: E,
+    },
+}
+
+impl<E> Query<E> {
+    /// The [`Operation`] this query exercises, for matching against a
+    /// backend's [`irs_core::Capabilities`].
+    pub fn operation(&self) -> Operation {
+        match self {
+            Query::Sample { .. } => Operation::UniformSample,
+            Query::SampleWeighted { .. } => Operation::WeightedSample,
+            Query::Count { .. } => Operation::Count,
+            Query::Search { .. } => Operation::Search,
+            Query::Stab { .. } => Operation::Stab,
+        }
+    }
+
+    /// Whether this query draws samples — i.e. needs the two-phase
+    /// (prepare → allocate → draw) path and an RNG stream, rather than
+    /// being answerable in one read-only pass.
+    pub fn is_sampling(&self) -> bool {
+        matches!(self, Query::Sample { .. } | Query::SampleWeighted { .. })
+    }
+}
+
+/// Successful result of one [`Query`], in batch order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// Ids drawn by [`Query::Sample`] / [`Query::SampleWeighted`].
+    /// Length equals the requested `s` unless the result set is empty,
+    /// in which case it is empty (matching [`irs_core::RangeSampler`]).
+    Samples(Vec<ItemId>),
+    /// Answer to [`Query::Count`].
+    Count(usize),
+    /// Answer to [`Query::Search`] / [`Query::Stab`]; order is
+    /// unspecified, as with the single-index structures.
+    Ids(Vec<ItemId>),
+}
+
+impl QueryOutput {
+    /// The sample ids, if this is a `Samples` output.
+    pub fn samples(&self) -> Option<&[ItemId]> {
+        match self {
+            QueryOutput::Samples(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// The count, if this is a `Count` output.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            QueryOutput::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The result ids, if this is an `Ids` output.
+    pub fn ids(&self) -> Option<&[ItemId]> {
+        match self {
+            QueryOutput::Ids(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output, returning the sample ids of a `Samples`
+    /// variant (sparing the clone `samples()` would force on callers
+    /// that own the output).
+    pub fn into_samples(self) -> Option<Vec<ItemId>> {
+        match self {
+            QueryOutput::Samples(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output, returning the ids of an `Ids` variant.
+    pub fn into_ids(self) -> Option<Vec<ItemId>> {
+        match self {
+            QueryOutput::Ids(ids) => Some(ids),
+            _ => None,
+        }
+    }
+}

@@ -1,75 +1,45 @@
-//! Typed requests and responses of the batch engine.
+//! Deprecated pre-`QueryError` request/response surface.
+//!
+//! The engine's query API became fallible in one release: [`Query`] /
+//! [`QueryOutput`] with [`crate::Engine::run`] returning
+//! `Vec<Result<QueryOutput, QueryError>>`. This module keeps the old
+//! names compiling for that release as thin shims:
+//!
+//! | old | new |
+//! |---|---|
+//! | `Request<E>` | [`Query<E>`](Query) (alias — same variants) |
+//! | `Response` | `Result<QueryOutput, QueryError>` |
+//! | `Response::Unsupported(why)` | `Err(QueryError::…)` (typed; `why` stays `&'static str` here) |
+//! | `Engine::execute(batch)` | [`crate::Engine::run`] |
+//!
+//! The shims will be removed in the next release.
 
-use irs_core::{Interval, ItemId};
+use crate::query::{Query, QueryOutput};
+use irs_core::{ItemId, QueryError};
 
-/// One query in a batch submitted to [`crate::Engine::execute`].
-///
-/// All variants are `Copy`, so batches can be assembled and re-submitted
-/// cheaply.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Request<E> {
-    /// `s` uniform, independent samples from `q ∩ X` (Problem 1).
-    Sample {
-        /// Query interval.
-        q: Interval<E>,
-        /// Sample size.
-        s: usize,
-    },
-    /// `s` weight-proportional, independent samples from `q ∩ X`
-    /// (Problem 2). Requires the engine to hold per-interval weights and
-    /// an index kind that supports weighted sampling.
-    SampleWeighted {
-        /// Query interval.
-        q: Interval<E>,
-        /// Sample size.
-        s: usize,
-    },
-    /// Exact `|q ∩ X|`.
-    Count {
-        /// Query interval.
-        q: Interval<E>,
-    },
-    /// All ids of intervals overlapping `q`.
-    Search {
-        /// Query interval.
-        q: Interval<E>,
-    },
-    /// All ids of intervals containing the point `p`.
-    Stab {
-        /// Stabbing point.
-        p: E,
-    },
-}
+/// Old name of [`Query`]; the variants are identical, so existing
+/// construction sites (`Request::Sample { q, s }`) keep compiling.
+#[deprecated(note = "use `Query` and `Engine::run` (fallible) instead")]
+pub type Request<E> = Query<E>;
 
-impl<E> Request<E> {
-    /// Whether this request needs the two-phase (prepare → allocate →
-    /// draw) sampling path rather than being answerable in one pass.
-    pub(crate) fn is_sampling(&self) -> bool {
-        matches!(
-            self,
-            Request::Sample { .. } | Request::SampleWeighted { .. }
-        )
-    }
-}
-
-/// Result of one [`Request`], in batch order.
+/// Result of one `Request`, in batch order — the old, infallible-looking
+/// response type whose `Unsupported` variant hid errors in a string.
+/// The payload stays `&'static str` so pre-migration matchers keep
+/// compiling; the typed cause lives in [`QueryError`] on the new path.
+#[deprecated(note = "use `Result<QueryOutput, QueryError>` from `Engine::run` instead")]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
-    /// Ids drawn by [`Request::Sample`] / [`Request::SampleWeighted`].
-    /// Length equals the requested `s` unless the result set is empty,
-    /// in which case it is empty (matching [`irs_core::RangeSampler`]).
+    /// Ids drawn by a sampling request.
     Samples(Vec<ItemId>),
-    /// Answer to [`Request::Count`].
+    /// Answer to a count request.
     Count(usize),
-    /// Answer to [`Request::Search`] / [`Request::Stab`]; order is
-    /// unspecified, as with the single-index structures.
+    /// Answer to a search/stab request.
     Ids(Vec<ItemId>),
-    /// The engine's index kind cannot serve this request (e.g. weighted
-    /// sampling on an AIT, or uniform sampling on an AWIT built with
-    /// non-uniform weights). The payload says why.
+    /// The engine could not serve the request; the payload says why.
     Unsupported(&'static str),
 }
 
+#[allow(deprecated)]
 impl Response {
     /// The sample ids, if this is a `Samples` response.
     pub fn samples(&self) -> Option<&[ItemId]> {
@@ -92,6 +62,26 @@ impl Response {
         match self {
             Response::Ids(ids) => Some(ids),
             _ => None,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<Result<QueryOutput, QueryError>> for Response {
+    fn from(result: Result<QueryOutput, QueryError>) -> Self {
+        match result {
+            Ok(QueryOutput::Samples(ids)) => Response::Samples(ids),
+            Ok(QueryOutput::Count(n)) => Response::Count(n),
+            Ok(QueryOutput::Ids(ids)) => Response::Ids(ids),
+            // Flatten the typed error into the old static-str payload
+            // (the shard id of `ShardFailed` is only on the new path).
+            Err(QueryError::UnsupportedOperation { reason, .. }) => Response::Unsupported(reason),
+            Err(QueryError::NotWeighted) => Response::Unsupported(
+                "weighted sampling requested, but the backend was built without weights",
+            ),
+            Err(QueryError::ShardFailed { .. }) => {
+                Response::Unsupported("a shard worker thread died")
+            }
         }
     }
 }

@@ -3,25 +3,31 @@
 //! both drive these, so the measurement loop can't drift between them).
 
 use crate::engine::Engine;
-use crate::request::Request;
+use crate::query::Query;
 use irs_core::{GridEndpoint, Interval};
 use std::time::Instant;
 
 /// Streams `queries` through the engine in batches of `batch` and
-/// returns queries per second. Request construction is included in the
-/// measured time, as a real caller would pay it per batch.
+/// returns queries per second. Query construction is included in the
+/// measured time, as a real caller would pay it per batch; benchmarks
+/// drive only operations their engine supports, so an `Err` result
+/// (capability mismatch or dead shard) fails loudly here rather than
+/// inflating the rate.
 pub fn batched_qps<E: GridEndpoint>(
     engine: &Engine<E>,
     queries: &[Interval<E>],
     batch: usize,
-    to_request: impl Fn(&Interval<E>) -> Request<E>,
+    to_query: impl Fn(&Interval<E>) -> Query<E>,
 ) -> f64 {
     let batch = batch.max(1);
     let start = Instant::now();
     let mut answered = 0usize;
     for chunk in queries.chunks(batch) {
-        let requests: Vec<Request<E>> = chunk.iter().map(&to_request).collect();
-        answered += engine.execute(&requests).len();
+        let batch_queries: Vec<Query<E>> = chunk.iter().map(&to_query).collect();
+        for result in engine.run(&batch_queries) {
+            result.expect("benchmark query failed");
+            answered += 1;
+        }
     }
     assert_eq!(answered, queries.len());
     queries.len() as f64 / start.elapsed().as_secs_f64()

@@ -1,8 +1,9 @@
 //! Ex. 3 of the paper: a historical cryptocurrency database. Each candle's
 //! [low, high] price range is an interval; "when did BTC trade inside
 //! [30,000, 40,000]?" is a range query over those intervals. Volume-
-//! weighted sampling (AWIT) surfaces the candles that mattered most, with
-//! probability exactly proportional to traded volume.
+//! weighted sampling (AWIT behind the `Irs::builder()` facade) surfaces
+//! the candles that mattered most, with probability exactly proportional
+//! to traded volume.
 //!
 //! ```sh
 //! cargo run --release --example crypto_candles
@@ -12,7 +13,7 @@ use irs::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A random-walk price series: one [low, high] candle per minute over
     // ~two years, plus a traded volume per candle.
     let n = 1_000_000;
@@ -35,19 +36,26 @@ fn main() {
         irs::domain_bounds(&data).unwrap()
     );
 
+    // The builder validates the volumes up front (a NaN or negative
+    // volume would be a typed BuildError naming the row), then builds
+    // an AWIT for volume-proportional IRS.
     let t = Instant::now();
-    let awit = Awit::new(&data, &volumes);
-    println!(
-        "AWIT built in {:?} ({:.1} MiB)",
-        t.elapsed(),
-        awit.heap_bytes() as f64 / 1048576.0
-    );
+    let client = Irs::builder()
+        .kind(IndexKind::Awit)
+        .weights(volumes.clone())
+        .seed(9)
+        .build(&data)?;
+    println!("AWIT client built in {:?}", t.elapsed());
 
     // "When was BTC inside [30k, 40k]?"
     let band = Interval::new(30_000, 40_000);
     let t = Instant::now();
-    let hits = awit.range_count(band);
-    let band_volume = awit.range_weight(band);
+    let hits = client.count(band)?;
+    let band_volume: f64 = client
+        .search(band)?
+        .iter()
+        .map(|&id| volumes[id as usize])
+        .sum();
     println!(
         "\n{} candles touched {band:?} (total volume {:.0}) — counted in {:?}",
         hits,
@@ -59,7 +67,7 @@ fn main() {
     // should for a "what moved the market in this band" view.
     let s = 20;
     let t = Instant::now();
-    let sample = awit.sample_weighted(band, s, &mut rng);
+    let sample = client.sample_weighted(band, s)?;
     println!("{s} volume-weighted candle samples in {:?}:", t.elapsed());
     for id in &sample {
         let iv = data[*id as usize];
@@ -70,9 +78,10 @@ fn main() {
     }
 
     // Sanity: the average volume of weighted samples must exceed the
-    // band's plain average (heavier candles are drawn more often).
-    let mut rng2 = StdRng::seed_from_u64(9);
-    let big_sample = awit.sample_weighted(band, 20_000, &mut rng2);
+    // band's plain average (heavier candles are drawn more often). The
+    // big sample comes off a stream — candidate computation ran once,
+    // 20,000 draws amortized behind it.
+    let big_sample: Vec<ItemId> = client.weighted_sample_stream(band)?.take(20_000).collect();
     let avg_sampled: f64 = big_sample
         .iter()
         .map(|&id| volumes[id as usize])
@@ -84,4 +93,14 @@ fn main() {
         avg_sampled > avg_band,
         "volume weighting should bias samples toward heavy candles"
     );
+
+    // And the facade stays honest about what this build cannot do:
+    // an AWIT holding real volumes refuses *uniform* sampling with a
+    // typed error instead of a silently wrong answer.
+    assert!(!client.capabilities().uniform_sample);
+    assert!(matches!(
+        client.sample(band, 5),
+        Err(QueryError::UnsupportedOperation { .. })
+    ));
+    Ok(())
 }

@@ -1,11 +1,13 @@
-//! A fleet-operations dashboard backed by the sharded engine: one
-//! `Engine` serves every widget on the page — live counts, a sampled
-//! activity histogram, a weighted "revenue-proportional" sample, and a
-//! point-in-time drill-down — as a single mixed batch per refresh.
+//! A fleet-operations dashboard backed by the sharded engine through
+//! the unified facade: one `Client` serves every widget on the page —
+//! live counts, a sampled activity histogram, a weighted
+//! "revenue-proportional" sample, and a point-in-time drill-down — as a
+//! single mixed batch per refresh, every answer a typed `Result`.
 //!
-//! Compare `examples/taxi_dashboard.rs`, which renders one widget from
-//! one single-threaded index; here the same workload runs sharded and
-//! batched, the way a service facing many concurrent dashboards would.
+//! Compare `examples/taxi_dashboard.rs`, which runs the same facade
+//! over one single-threaded index; here `.shards(k)` swaps in the
+//! worker-per-shard engine and nothing else about the code changes —
+//! that is the point of the `Backend` abstraction.
 //!
 //! ```sh
 //! cargo run --release --example engine_dashboard
@@ -17,7 +19,7 @@ use std::time::Instant;
 /// Seconds in a week; trips are timestamped within one week here.
 const WEEK: i64 = 7 * 24 * 3600;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 500_000;
     let data = irs::datagen::clustered(n, WEEK, 14, 5400, 900, 11);
     // "Fare" weights: longer trips earn proportionally more.
@@ -28,15 +30,16 @@ fn main() {
 
     let shards = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
     let t = Instant::now();
-    let engine = Engine::new_weighted(
-        &data,
-        &weights,
-        EngineConfig::new(IndexKind::Kds).shards(shards).seed(7),
-    );
+    let client = Irs::builder()
+        .kind(IndexKind::Kds)
+        .shards(shards)
+        .weights(weights.clone())
+        .seed(7)
+        .build(&data)?;
     println!(
         "{n} taxi trips indexed into {} {} shards in {:?}",
-        engine.shard_count(),
-        engine.kind(),
+        client.shard_count(),
+        client.kind(),
         t.elapsed()
     );
 
@@ -48,14 +51,16 @@ fn main() {
         |day: i64| Interval::new(day * 24 * 3600 + 17 * 3600, day * 24 * 3600 + 22 * 3600);
     let mut batch = Vec::new();
     for day in 0..7 {
-        batch.push(Request::Count { q: evening(day) });
-        batch.push(Request::Sample { q: evening(day), s });
+        batch.push(Query::Count { q: evening(day) });
+        batch.push(Query::Sample { q: evening(day), s });
     }
-    batch.push(Request::SampleWeighted { q: evening(3), s });
-    batch.push(Request::Stab { p: 4 * 24 * 3600 });
+    batch.push(Query::SampleWeighted { q: evening(3), s });
+    batch.push(Query::Stab { p: 4 * 24 * 3600 });
 
     let t = Instant::now();
-    let out = engine.execute(&batch);
+    // Every answer is a typed Result; `?` on the collect surfaces the
+    // first failure (unsupported op, dead shard) instead of a panic.
+    let out: Vec<QueryOutput> = client.run(&batch).into_iter().collect::<Result<_, _>>()?;
     let refresh = t.elapsed();
 
     println!("\nevening activity (17:00-22:00), count + {s}-trip sample per day:");
@@ -100,4 +105,5 @@ fn main() {
     // Sanity: the engine agrees with a direct oracle count on one window.
     let bf = irs::BruteForce::new(&data);
     assert_eq!(out[6].count().unwrap(), bf.range_count(evening(3)));
+    Ok(())
 }

@@ -1,95 +1,107 @@
-//! Quickstart: build every index over the same dataset, run one IRS query,
-//! and compare what each structure costs.
+//! Quickstart: one facade over every index structure. Build a
+//! [`Client`] per kind with `Irs::builder()`, discover what each kind
+//! can do from its [`Capabilities`] (no probing, no panics), and run
+//! the same IRS query through all of them.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use irs::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 200_000;
     println!("generating {n} Renfe-like trip intervals...");
     let data = irs::datagen::RENFE.generate(n, 42);
     let weights = irs::datagen::uniform_weights(n, 43);
 
-    // Build all indexes.
-    let t = Instant::now();
-    let ait = Ait::new(&data);
-    println!(
-        "AIT built in {:?} ({:.1} MiB)",
-        t.elapsed(),
-        mib(ait.heap_bytes())
-    );
-    let t = Instant::now();
-    let aitv = AitV::new(&data);
-    println!(
-        "AIT-V built in {:?} ({:.1} MiB)",
-        t.elapsed(),
-        mib(aitv.heap_bytes())
-    );
-    let t = Instant::now();
-    let awit = Awit::new(&data, &weights);
-    println!(
-        "AWIT built in {:?} ({:.1} MiB)",
-        t.elapsed(),
-        mib(awit.heap_bytes())
-    );
-    let t = Instant::now();
-    let itree = IntervalTree::new(&data);
-    println!(
-        "Interval tree built in {:?} ({:.1} MiB)",
-        t.elapsed(),
-        mib(itree.heap_bytes())
-    );
-    let t = Instant::now();
-    let hint = HintM::new(&data);
-    println!(
-        "HINTm built in {:?} ({:.1} MiB)",
-        t.elapsed(),
-        mib(hint.heap_bytes())
-    );
-    let t = Instant::now();
-    let kds = Kds::new(&data);
-    println!(
-        "KDS built in {:?} ({:.1} MiB)",
-        t.elapsed(),
-        mib(kds.heap_bytes())
-    );
+    // Capability discovery: what each kind supports is queryable
+    // metadata, reported for the build configuration (with/without
+    // weights) before any query runs.
+    println!("\ncapabilities (built without weights | with weights):");
+    println!("{:<14} {:>12} {:>12}", "kind", "uniform", "weighted");
+    for kind in IndexKind::ALL {
+        let plain = kind.capabilities(false);
+        let weighted = kind.capabilities(true);
+        println!(
+            "{:<14} {:>12} {:>12}",
+            kind.name(),
+            format!(
+                "{}|{}",
+                flag(plain.uniform_sample),
+                flag(weighted.uniform_sample)
+            ),
+            format!(
+                "{}|{}",
+                flag(plain.weighted_sample),
+                flag(weighted.weighted_sample)
+            ),
+        );
+    }
 
     // One query: 8% of the domain, s = 1000 (the paper's defaults).
     let workload = irs::datagen::QueryWorkload::from_data(&data);
     let q = workload.generate(1, 8.0, 7)[0];
     let s = 1000;
     println!("\nquery {q:?}, s = {s}");
-    println!("result-set size |q ∩ X| = {}", ait.range_count(q));
 
-    let mut rng = StdRng::seed_from_u64(1);
-    for (name, samples) in [
-        ("AIT", timed(&mut rng, |r| ait.sample(q, s, r))),
-        ("AIT-V", timed(&mut rng, |r| aitv.sample(q, s, r))),
-        ("Interval tree", timed(&mut rng, |r| itree.sample(q, s, r))),
-        ("HINTm", timed(&mut rng, |r| hint.sample(q, s, r))),
-        ("KDS", timed(&mut rng, |r| kds.sample(q, s, r))),
-        (
-            "AWIT (weighted)",
-            timed(&mut rng, |r| awit.sample_weighted(q, s, r)),
-        ),
-    ] {
-        let (elapsed, ids) = samples;
+    // The same fallible facade serves every structure.
+    for kind in IndexKind::ALL {
+        let t = Instant::now();
+        let client = Irs::builder().kind(kind).seed(1).build(&data)?;
+        let built = t.elapsed();
+        let hits = client.count(q)?;
+        let t = Instant::now();
+        let ids = client.sample(q, s)?;
+        let sampled = t.elapsed();
         assert!(ids.iter().all(|&id| data[id as usize].overlaps(&q)));
-        println!("{name:<16} {s} samples in {elapsed:?}");
+        println!(
+            "{:<14} built {built:>10.2?}, |q ∩ X| = {hits}, {s} samples in {sampled:?}",
+            kind.name()
+        );
     }
-}
 
-fn timed<R>(rng: &mut R, f: impl Fn(&mut R) -> Vec<ItemId>) -> (std::time::Duration, Vec<ItemId>) {
+    // Weighted IRS (Problem 2): supply weights, pick a weighted-capable
+    // kind, and the same surface serves weight-proportional samples.
+    let client = Irs::builder()
+        .kind(IndexKind::Awit)
+        .weights(weights.clone())
+        .seed(2)
+        .build(&data)?;
     let t = Instant::now();
-    let out = f(rng);
-    (t.elapsed(), out)
+    let ids = client.sample_weighted(q, s)?;
+    println!(
+        "\nawit (weighted) {s} weight-proportional samples in {:?}",
+        t.elapsed()
+    );
+    assert_eq!(ids.len(), s);
+
+    // A kind that *cannot* serve an operation says so with a typed
+    // error — compare `client.capabilities()` up front, or match on it.
+    let ait = Irs::builder().kind(IndexKind::Ait).build(&data)?;
+    match ait.sample_weighted(q, s) {
+        Err(QueryError::UnsupportedOperation { op, reason }) => {
+            println!("ait refuses `{op}` with a typed error: {reason}")
+        }
+        other => panic!("expected a typed capability error, got {other:?}"),
+    }
+
+    // Prepare-once-draw-many: the stream pays the query's candidate
+    // computation once, then draws are O(1)-ish forever.
+    let stream_ids: Vec<ItemId> = client.weighted_sample_stream(q)?.take(5 * s).collect();
+    assert_eq!(stream_ids.len(), 5 * s);
+    println!(
+        "sample stream drew {} more weighted samples",
+        stream_ids.len()
+    );
+    Ok(())
 }
 
-fn mib(bytes: usize) -> f64 {
-    bytes as f64 / (1024.0 * 1024.0)
+fn flag(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
 }

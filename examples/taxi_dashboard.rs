@@ -4,31 +4,35 @@
 //! random sample instead, and the sample histogram tracks the true
 //! distribution.
 //!
+//! Served through the `Irs::builder()` facade over a monolithic AIT
+//! (the default single-shard backend); compare
+//! `examples/engine_dashboard.rs`, where the same facade fronts the
+//! sharded engine.
+//!
 //! ```sh
 //! cargo run --release --example taxi_dashboard
 //! ```
 
 use irs::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
 
 /// Seconds in a week; trips are timestamped within one week here.
 const WEEK: i64 = 7 * 24 * 3600;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthetic trips: rush-hour clustered starts, taxi-like durations.
     let n = 500_000;
     let data = irs::datagen::clustered(n, WEEK, 14, 5400, 900, 11);
     println!("{n} taxi trips over one week");
 
-    let ait = Ait::new(&data);
+    let client = Irs::builder().kind(IndexKind::Ait).seed(5).build(&data)?;
 
     // The dashboard window: day 3, 17:00-22:00.
     let day3 = 3 * 24 * 3600;
     let q = Interval::new(day3 + 17 * 3600, day3 + 22 * 3600);
 
     let t = Instant::now();
-    let active = ait.range_count(q);
+    let active = client.count(q)?;
     println!(
         "\n{} trips active in the window (counted in {:?})",
         active,
@@ -37,15 +41,14 @@ fn main() {
 
     // Sampling 2,000 trips is enough to draw the activity histogram.
     let s = 2000;
-    let mut rng = StdRng::seed_from_u64(5);
     let t = Instant::now();
-    let sample = ait.sample(q, s, &mut rng);
+    let sample = client.sample(q, s)?;
     let t_sample = t.elapsed();
 
     // Exact histogram (what a full scan would render) vs sampled estimate:
     // bucket trips by their start hour-of-day.
     let t = Instant::now();
-    let full: Vec<ItemId> = ait.range_search(q);
+    let full = client.search(q)?;
     let t_full = t.elapsed();
 
     let hist = |ids: &[ItemId]| {
@@ -79,4 +82,16 @@ fn main() {
         / 2.0;
     println!("\ntotal variation distance (sample vs exact): {tv:.4}");
     assert!(tv < 0.1, "sampled histogram diverged from the exact one");
+
+    // Live refresh: the dashboard keeps drawing from the same window.
+    // The stream paid the query's candidate computation once, so each
+    // refresh costs only the draws.
+    let t = Instant::now();
+    let refreshed: Vec<ItemId> = client.sample_stream(q)?.take(3 * s).collect();
+    println!(
+        "three more {s}-trip refreshes streamed in {:?} (prepare-once-draw-many)",
+        t.elapsed()
+    );
+    assert_eq!(refreshed.len(), 3 * s);
+    Ok(())
 }

@@ -13,7 +13,6 @@
 //! dependencies — argument parsing is by hand.
 
 use irs::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
 use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
 
@@ -197,8 +196,11 @@ fn parse_csv(reader: impl BufRead, path: &str) -> Result<(Vec<Interval64>, Vec<f
 fn cmd_count(opts: &Opts) -> Result<(), String> {
     let (data, _) = load(opts.req("data")?)?;
     let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
-    let ait = Ait::new(&data);
-    println!("{}", ait.range_count(q));
+    let client = Irs::builder()
+        .kind(IndexKind::Ait)
+        .build(&data)
+        .map_err(|e| e.to_string())?;
+    println!("{}", client.count(q).map_err(|e| e.to_string())?);
     Ok(())
 }
 
@@ -207,14 +209,24 @@ fn cmd_sample(opts: &Opts) -> Result<(), String> {
     let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
     let s: usize = opts.num("s")?;
     let seed: u64 = opts.num_or("seed", 42)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let ids = if opts.get("weighted").is_some() {
-        let awit = Awit::new(&data, &weights);
-        awit.sample_weighted(q, s, &mut rng)
+    // One facade, two problems: AWIT for weighted IRS, AIT for uniform.
+    // (The loader has already validated the weights with file:line
+    // errors; the builder re-validates as its own gate.)
+    let weighted = opts.get("weighted").is_some();
+    let builder = if weighted {
+        Irs::builder()
+            .kind(IndexKind::Awit)
+            .weights(weights.clone())
     } else {
-        let ait = Ait::new(&data);
-        ait.sample(q, s, &mut rng)
+        Irs::builder().kind(IndexKind::Ait)
     };
+    let client = builder.seed(seed).build(&data).map_err(|e| e.to_string())?;
+    let ids = if weighted {
+        client.sample_weighted(q, s)
+    } else {
+        client.sample(q, s)
+    }
+    .map_err(|e| e.to_string())?;
     if ids.is_empty() {
         eprintln!("(empty result set)");
     }
@@ -231,10 +243,13 @@ fn cmd_sample(opts: &Opts) -> Result<(), String> {
 fn cmd_stab(opts: &Opts) -> Result<(), String> {
     let (data, _) = load(opts.req("data")?)?;
     let p: i64 = opts.num("at")?;
-    let ait = Ait::new(&data);
+    let client = Irs::builder()
+        .kind(IndexKind::Ait)
+        .build(&data)
+        .map_err(|e| e.to_string())?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    for id in irs::StabbingQuery::stab(&ait, p) {
+    for id in client.stab(p).map_err(|e| e.to_string())? {
         let iv = data[id as usize];
         writeln!(out, "{}\t{},{}", id, iv.lo, iv.hi).map_err(|e| e.to_string())?;
     }
@@ -298,13 +313,14 @@ fn cmd_bench_engine(opts: &Opts) -> Result<(), String> {
     let base_shards = shard_counts[0];
     let mut baseline_sample: Vec<Option<f64>> = vec![None; batch_sizes.len()];
     for &shards in &shard_counts {
-        let engine = Engine::new(&data, EngineConfig::new(kind).shards(shards).seed(seed));
+        let engine = Engine::try_new(&data, EngineConfig::new(kind).shards(shards).seed(seed))
+            .map_err(|e| e.to_string())?;
         for (bi, &batch) in batch_sizes.iter().enumerate() {
             let sample_qps = irs::engine_throughput::batched_qps(&engine, &queries, batch, |&q| {
-                Request::Sample { q, s }
+                Query::Sample { q, s }
             });
             let search_qps = irs::engine_throughput::batched_qps(&engine, &queries, batch, |&q| {
-                Request::Search { q }
+                Query::Search { q }
             });
             let speedup = match baseline_sample[bi] {
                 None => {

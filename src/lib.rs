@@ -20,48 +20,61 @@
 //!
 //! ## Quickstart
 //!
+//! The unified facade ([`Irs`], crate `irs-client`) serves every
+//! structure — and the sharded engine — behind one typed, fallible API:
+//!
 //! ```
 //! use irs::prelude::*;
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! // 100k synthetic taxi-trip-like intervals.
 //! let data = irs::datagen::TAXI.generate(100_000, 42);
-//! let ait = Ait::new(&data);
+//! let client = Irs::builder().kind(IndexKind::Ait).seed(7).build(&data)?;
 //!
 //! // Sample 10 trips active in a time window, in O(log²n + s).
 //! let q = Interval::new(10_000_000, 11_000_000);
-//! let mut rng = StdRng::seed_from_u64(7);
-//! let sample_ids = ait.sample(q, 10, &mut rng);
+//! let sample_ids = client.sample(q, 10)?;
 //! assert_eq!(sample_ids.len(), 10);
 //! for id in sample_ids {
 //!     assert!(data[id as usize].overlaps(&q));
 //! }
 //!
 //! // Exact result-set size without enumerating it (Corollary 1).
-//! let hits = ait.range_count(q);
-//! assert!(hits > 0);
+//! assert!(client.count(q)? > 0);
+//!
+//! // Capability discovery instead of probe-and-catch:
+//! assert!(!client.capabilities().weighted_sample); // built without weights
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Failures are typed ([`QueryError`], [`BuildError`]), never panics or
+//! string sentinels; an empty result set is `Ok`, not an error. The
+//! single-structure APIs ([`Ait::new`] + [`RangeSampler`] etc.) remain
+//! available for direct, RNG-in-hand use.
 //!
 //! ## Scaling out
 //!
-//! [`Engine`] (crate `irs-engine`) shards a dataset across a
-//! worker-per-shard thread pool and executes batches of typed requests
-//! ([`Request::Sample`], [`Request::Count`], …) over any of the six
-//! structures, keeping sampling distribution-identical to a single
-//! monolithic index via multinomial cross-shard allocation.
+//! `Irs::builder().shards(k)` (for `k > 1`) puts the same facade over
+//! [`Engine`] (crate `irs-engine`): the dataset shards across a
+//! worker-per-shard thread pool executing batches of typed [`Query`]s,
+//! with sampling kept distribution-identical to a single monolithic
+//! index via multinomial cross-shard allocation.
 //!
-//! See the crate-level docs of [`irs_ait`], [`irs_hint`], [`irs_kds`], and
-//! [`irs_interval_tree`] for per-structure details, and `DESIGN.md` /
+//! See the crate-level docs of [`irs_client`], [`irs_ait`], [`irs_hint`],
+//! [`irs_kds`], and [`irs_interval_tree`] for details, and `DESIGN.md` /
 //! `README.md` in the repository for the architecture and reproduction
 //! methodology.
 
 pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionStats};
+pub use irs_client::{Client, Irs, IrsBuilder, SampleStream};
 pub use irs_core::{
-    domain_bounds, pair_sort_indices, BruteForce, Endpoint, GridEndpoint, Interval, Interval64,
-    ItemId, MemoryFootprint, PreparedSampler, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
+    domain_bounds, pair_sort_indices, validate_weights, BruteForce, BuildError, Capabilities,
+    Endpoint, GridEndpoint, Interval, Interval64, ItemId, MemoryFootprint, Operation,
+    PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
     WeightedRangeSampler,
 };
-pub use irs_engine::{Engine, EngineConfig, IndexKind, Request, Response};
+pub use irs_engine::{DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
+#[allow(deprecated)]
+pub use irs_engine::{Request, Response};
 pub use irs_hint::HintM;
 pub use irs_interval_tree::IntervalTree;
 pub use irs_kds::Kds;
@@ -89,11 +102,15 @@ pub mod sampling {
 /// One-stop imports for applications.
 pub mod prelude {
     pub use irs_ait::{Ait, AitV, Awit, DynamicAwit};
+    pub use irs_client::{Client, Irs, IrsBuilder, SampleStream};
     pub use irs_core::{
-        Interval, Interval64, ItemId, MemoryFootprint, PreparedSampler, RangeCount, RangeSampler,
-        RangeSearch, StabbingQuery, WeightedRangeSampler,
+        BuildError, Capabilities, Interval, Interval64, ItemId, MemoryFootprint, Operation,
+        PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
+        WeightedRangeSampler,
     };
-    pub use irs_engine::{Engine, EngineConfig, IndexKind, Request, Response};
+    pub use irs_engine::{Engine, EngineConfig, IndexKind, Query, QueryOutput};
+    #[allow(deprecated)]
+    pub use irs_engine::{Request, Response};
     pub use irs_hint::HintM;
     pub use irs_interval_tree::IntervalTree;
     pub use irs_kds::Kds;

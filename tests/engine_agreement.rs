@@ -2,7 +2,8 @@
 //! sharded engine must answer exactly like the brute-force oracle — and
 //! its cross-shard sampling must be distribution-identical to a single
 //! monolithic index (multinomial allocation, Theorem 3 preserved under
-//! sharding).
+//! sharding). All through the fallible `run`/`try_new` API; the old
+//! `execute` surface is covered once as a deprecated shim.
 
 use irs::prelude::*;
 use irs::sampling::stats::{chi_square_ok, chi_square_uniformity_ok, total_variation};
@@ -38,34 +39,36 @@ fn engine_matches_oracle_for_all_kinds_and_shard_counts() {
     let qs = queries(&data, 4, 0xE77);
     for kind in IndexKind::ALL {
         for shards in SHARD_COUNTS {
-            let engine = Engine::new(
+            let engine = Engine::try_new(
                 &data,
                 EngineConfig::new(kind)
                     .shards(shards)
                     .seed(1000 + shards as u64),
-            );
+            )
+            .unwrap();
             assert_eq!(engine.shard_count(), shards);
             assert_eq!(engine.len(), data.len());
             for &q in &qs {
                 let expect = sorted(bf.range_search(q));
                 assert_eq!(
-                    sorted(engine.search(q)),
+                    sorted(engine.search(q).unwrap()),
                     expect,
                     "{kind} K={shards} search {q:?}"
                 );
                 assert_eq!(
-                    engine.count(q),
+                    engine.count(q).unwrap(),
                     expect.len(),
                     "{kind} K={shards} count {q:?}"
                 );
                 assert_eq!(
-                    sorted(engine.stab(q.lo)),
+                    sorted(engine.stab(q.lo).unwrap()),
                     sorted(bf.stab(q.lo)),
                     "{kind} K={shards} stab {:?}",
                     q.lo
                 );
-                let samples = engine.sample(q, 64);
+                let samples = engine.sample(q, 64).unwrap();
                 if expect.is_empty() {
+                    // An empty result set is Ok-and-empty, not an error.
                     assert!(
                         samples.is_empty(),
                         "{kind} K={shards}: samples from empty set"
@@ -101,8 +104,9 @@ fn sharded_uniform_sampling_is_unbiased() {
     let support = sorted(bf.range_search(q));
     for kind in IndexKind::ALL {
         for shards in SHARD_COUNTS {
-            let engine = Engine::new(&data, EngineConfig::new(kind).shards(shards).seed(77));
-            let samples = engine.sample(q, DRAWS);
+            let engine =
+                Engine::try_new(&data, EngineConfig::new(kind).shards(shards).seed(77)).unwrap();
+            let samples = engine.sample(q, DRAWS).unwrap();
             assert_eq!(samples.len(), DRAWS);
             let mut counts = vec![0u64; support.len()];
             for id in samples {
@@ -147,12 +151,13 @@ fn sharded_weighted_sampling_matches_weights() {
         IndexKind::IntervalTree,
     ] {
         for shards in SHARD_COUNTS {
-            let engine = Engine::new_weighted(
+            let engine = Engine::try_new_weighted(
                 &data,
                 &weights,
                 EngineConfig::new(kind).shards(shards).seed(99),
-            );
-            let samples = engine.sample_weighted(q, DRAWS);
+            )
+            .unwrap();
+            let samples = engine.sample_weighted(q, DRAWS).unwrap();
             assert_eq!(samples.len(), DRAWS);
             let mut counts = vec![0u64; support.len()];
             for id in samples {
@@ -168,40 +173,80 @@ fn sharded_weighted_sampling_matches_weights() {
     }
 }
 
-/// Capability mismatches surface as `Unsupported`, not wrong answers.
+/// Capability mismatches surface as typed errors, not wrong answers —
+/// and agree with the engine's advertised `Capabilities`.
 #[test]
-fn unsupported_requests_are_flagged() {
+fn unsupported_queries_yield_typed_errors() {
     let data = dataset(500, 41);
     let weights = irs::datagen::uniform_weights(data.len(), 3);
     let q = Interval::new(0, irs::datagen::TAXI.domain_size / 2);
 
-    // AIT / AIT-V cannot sample by weight.
+    // AIT / AIT-V cannot sample by weight, no matter how they're built.
     for kind in [IndexKind::Ait, IndexKind::AitV] {
-        let engine = Engine::new(&data, EngineConfig::new(kind).shards(2));
-        let out = engine.execute(&[Request::SampleWeighted { q, s: 5 }]);
+        let engine = Engine::try_new(&data, EngineConfig::new(kind).shards(2)).unwrap();
+        assert!(!engine.capabilities().weighted_sample);
+        let out = engine.run(&[Query::SampleWeighted { q, s: 5 }]);
         assert!(
-            matches!(out[0], Response::Unsupported(_)),
+            matches!(
+                out[0],
+                Err(QueryError::UnsupportedOperation {
+                    op: Operation::WeightedSample,
+                    ..
+                })
+            ),
             "{kind}: {:?}",
             out[0]
         );
     }
 
     // An AWIT holding real weights cannot serve *uniform* sampling…
-    let awit = Engine::new_weighted(
+    let awit = Engine::try_new_weighted(
         &data,
         &weights,
         EngineConfig::new(IndexKind::Awit).shards(2),
-    );
-    let out = awit.execute(&[Request::Sample { q, s: 5 }]);
-    assert!(matches!(out[0], Response::Unsupported(_)), "{:?}", out[0]);
+    )
+    .unwrap();
+    assert!(!awit.capabilities().uniform_sample);
+    assert!(matches!(
+        awit.sample(q, 5),
+        Err(QueryError::UnsupportedOperation {
+            op: Operation::UniformSample,
+            ..
+        })
+    ));
     // …but an unweighted AWIT engine can (weighted ≡ uniform there).
-    let awit_uniform = Engine::new(&data, EngineConfig::new(IndexKind::Awit).shards(2));
-    assert_eq!(awit_uniform.sample(q, 5).len(), 5);
+    let awit_uniform =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Awit).shards(2)).unwrap();
+    assert!(awit_uniform.capabilities().uniform_sample);
+    assert_eq!(awit_uniform.sample(q, 5).unwrap().len(), 5);
 
-    // Kinds built without weights reject weighted sampling.
-    let kds = Engine::new(&data, EngineConfig::new(IndexKind::Kds).shards(2));
-    let out = kds.execute(&[Request::SampleWeighted { q, s: 5 }]);
-    assert!(matches!(out[0], Response::Unsupported(_)), "{:?}", out[0]);
+    // Kinds built without weights reject weighted sampling as
+    // `NotWeighted` — a rebuild-with-weights hint, not a dead end.
+    let kds = Engine::try_new(&data, EngineConfig::new(IndexKind::Kds).shards(2)).unwrap();
+    assert_eq!(kds.sample_weighted(q, 5), Err(QueryError::NotWeighted));
+}
+
+/// Misaligned or invalid weights are rejected at construction with the
+/// offending index, before any shard index is built.
+#[test]
+fn invalid_weights_are_rejected_at_build() {
+    let data = dataset(100, 47);
+    let config = EngineConfig::new(IndexKind::Awit).shards(2);
+    assert_eq!(
+        Engine::try_new_weighted(&data, &[1.0; 99], config).err(),
+        Some(BuildError::WeightCountMismatch {
+            data: 100,
+            weights: 99
+        })
+    );
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -2.0] {
+        let mut weights = vec![1.0; 100];
+        weights[63] = bad;
+        match Engine::try_new_weighted(&data, &weights, config).err() {
+            Some(BuildError::InvalidWeight { index: 63, .. }) => {}
+            other => panic!("{bad}: expected InvalidWeight at 63, got {other:?}"),
+        }
+    }
 }
 
 /// Mixed batches answer in order, identically to one-by-one execution,
@@ -211,45 +256,47 @@ fn batches_are_ordered_and_seeded_replay_is_exact() {
     let data = dataset(1500, 53);
     let bf = BruteForce::new(&data);
     let qs = queries(&data, 2, 0xAB);
-    let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(3).seed(5));
+    let engine =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(3).seed(5)).unwrap();
     let mut batch = Vec::new();
     for &q in &qs {
-        batch.push(Request::Count { q });
-        batch.push(Request::Search { q });
-        batch.push(Request::Sample { q, s: 16 });
-        batch.push(Request::Stab { p: q.hi });
+        batch.push(Query::Count { q });
+        batch.push(Query::Search { q });
+        batch.push(Query::Sample { q, s: 16 });
+        batch.push(Query::Stab { p: q.hi });
     }
-    let out1 = engine.execute_seeded(&batch, 0xD00D);
-    let out2 = engine.execute_seeded(&batch, 0xD00D);
+    let out1 = engine.run_seeded(&batch, 0xD00D);
+    let out2 = engine.run_seeded(&batch, 0xD00D);
     assert_eq!(out1, out2, "seeded replay must be exact");
     for (i, &q) in qs.iter().enumerate() {
         let base = i * 4;
-        assert_eq!(out1[base], Response::Count(bf.range_count(q)));
+        assert_eq!(out1[base], Ok(QueryOutput::Count(bf.range_count(q))));
         assert_eq!(
-            sorted(out1[base + 1].ids().unwrap().to_vec()),
+            sorted(out1[base + 1].as_ref().unwrap().ids().unwrap().to_vec()),
             sorted(bf.range_search(q))
         );
-        let samples = out1[base + 2].samples().unwrap();
+        let samples = out1[base + 2].as_ref().unwrap().samples().unwrap();
         assert!(samples.iter().all(|&id| data[id as usize].overlaps(&q)));
         assert_eq!(
-            sorted(out1[base + 3].ids().unwrap().to_vec()),
+            sorted(out1[base + 3].as_ref().unwrap().ids().unwrap().to_vec()),
             sorted(bf.stab(q.hi))
         );
     }
-    // Unseeded executions advance the stream: two sample batches differ.
-    let a = engine.sample(qs[0], 32);
-    let b = engine.sample(qs[0], 32);
+    // Unseeded runs advance the stream: two sample batches differ.
+    let a = engine.sample(qs[0], 32).unwrap();
+    let b = engine.sample(qs[0], 32).unwrap();
     assert_ne!(a, b, "independent batches drew identical samples");
 }
 
-/// A shared engine must survive concurrent `execute` callers (batches
+/// A shared engine must survive concurrent `run` callers (batches
 /// serialize internally; interleaved sampling batches used to deadlock
 /// the phase-1/phase-2 allocation exchange).
 #[test]
-fn concurrent_executes_on_shared_engine_complete() {
+fn concurrent_runs_on_shared_engine_complete() {
     let data = dataset(2000, 61);
     let bf = BruteForce::new(&data);
-    let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(4).seed(9));
+    let engine =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(4).seed(9)).unwrap();
     let qs = queries(&data, 3, 0xCC);
     std::thread::scope(|scope| {
         for t in 0..4 {
@@ -259,11 +306,11 @@ fn concurrent_executes_on_shared_engine_complete() {
             scope.spawn(move || {
                 for round in 0..10 {
                     let q = qs[(t + round) % qs.len()];
-                    let out = engine.execute(&[Request::Sample { q, s: 32 }, Request::Count { q }]);
+                    let out = engine.run(&[Query::Sample { q, s: 32 }, Query::Count { q }]);
                     let expect = bf.range_count(q);
-                    assert_eq!(out[1], Response::Count(expect));
+                    assert_eq!(out[1], Ok(QueryOutput::Count(expect)));
                     assert_eq!(
-                        out[0].samples().unwrap().len(),
+                        out[0].as_ref().unwrap().samples().unwrap().len(),
                         if expect == 0 { 0 } else { 32 }
                     );
                 }
@@ -278,16 +325,73 @@ fn tiny_datasets_tolerate_excess_shards() {
     let data: Vec<Interval64> = (0..5).map(|i| Interval::new(i * 10, i * 10 + 15)).collect();
     let bf = BruteForce::new(&data);
     for kind in IndexKind::ALL {
-        let engine = Engine::new(&data, EngineConfig::new(kind).shards(7));
+        let engine = Engine::try_new(&data, EngineConfig::new(kind).shards(7)).unwrap();
         let q = Interval::new(12, 33);
-        assert_eq!(engine.count(q), bf.range_count(q), "{kind}");
+        assert_eq!(engine.count(q).unwrap(), bf.range_count(q), "{kind}");
         assert_eq!(
-            sorted(engine.search(q)),
+            sorted(engine.search(q).unwrap()),
             sorted(bf.range_search(q)),
             "{kind}"
         );
-        let s = engine.sample(q, 40);
+        let s = engine.sample(q, 40).unwrap();
         assert_eq!(s.len(), 40, "{kind}");
         assert!(s.iter().all(|&id| data[id as usize].overlaps(&q)), "{kind}");
     }
+}
+
+/// A dead shard worker surfaces as `ShardFailed` on the batch that
+/// observes it and on every subsequent batch — and dropping the engine
+/// afterwards must not hang on the dead worker's join.
+#[test]
+fn dead_shard_surfaces_as_error_and_drop_does_not_hang() {
+    let data = dataset(800, 71);
+    let engine =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(3).seed(13)).unwrap();
+    let q = Interval::new(0, irs::datagen::TAXI.domain_size / 2);
+    // Healthy first.
+    assert!(engine.count(q).is_ok());
+
+    engine.crash_shard_for_tests(1);
+
+    // The next batch reports the dead shard on every query…
+    let out = engine.run(&[Query::Count { q }, Query::Sample { q, s: 8 }]);
+    for r in &out {
+        assert_eq!(r, &Err(QueryError::ShardFailed { shard: 1 }), "{out:?}");
+    }
+    // …and keeps reporting it (no silent partial answers later).
+    assert_eq!(
+        engine.sample(q, 4),
+        Err(QueryError::ShardFailed { shard: 1 })
+    );
+    assert_eq!(engine.count(q), Err(QueryError::ShardFailed { shard: 1 }));
+
+    // Drop must return: live workers exit on shutdown, the dead one has
+    // already unwound. (A hang here fails the test by timeout.)
+    drop(engine);
+}
+
+/// The deprecated `execute`/`Request`/`Response` shims still answer,
+/// mapping errors into `Response::Unsupported`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_execute_shim_still_serves() {
+    let data = dataset(400, 83);
+    let bf = BruteForce::new(&data);
+    let q = Interval::new(0, irs::datagen::TAXI.domain_size / 3);
+    let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(2).seed(3));
+    let out = engine.execute(&[
+        Request::Count { q },
+        Request::Sample { q, s: 6 },
+        Request::SampleWeighted { q, s: 6 },
+    ]);
+    assert_eq!(out[0], Response::Count(bf.range_count(q)));
+    assert_eq!(out[1].samples().unwrap().len(), 6);
+    assert!(matches!(out[2], Response::Unsupported(_)));
+    // Seeded replay through the shim matches the new path's draws.
+    let new = engine.run_seeded(&[Query::Sample { q, s: 6 }], 0xFEED);
+    let old = engine.execute_seeded(&[Request::Sample { q, s: 6 }], 0xFEED);
+    assert_eq!(
+        old[0].samples().unwrap(),
+        new[0].as_ref().unwrap().samples().unwrap()
+    );
 }
