@@ -123,6 +123,30 @@ impl<E: Endpoint> DynamicAwit<E> {
         id
     }
 
+    /// The live interval and weight behind `id`, if any. Pool entries,
+    /// resident entries, and tombstoned ids (which report `None`) are
+    /// all resolved, so `get` is the id-validity oracle for callers that
+    /// track intervals by id alone (the engine's delete-by-id path).
+    pub fn get(&self, id: ItemId) -> Option<(Interval<E>, f64)> {
+        if let Some(&(iv, _, w)) = self.pool.iter().find(|&&(_, pid, _)| pid == id) {
+            return Some((iv, w));
+        }
+        if self.tombstones.contains_key(&id) {
+            return None;
+        }
+        self.resident.get(&id).copied()
+    }
+
+    /// Deletes the live interval behind `id`, returning whether it was
+    /// live — [`DynamicAwit::delete`] without the caller having to carry
+    /// the interval around.
+    pub fn delete_by_id(&mut self, id: ItemId) -> bool {
+        match self.get(id) {
+            Some((iv, _)) => self.delete(iv, id),
+            None => false,
+        }
+    }
+
     /// Deletes `(iv, id)`, returning whether it was live.
     pub fn delete(&mut self, iv: Interval<E>, id: ItemId) -> bool {
         if let Some(pos) = self
@@ -369,6 +393,27 @@ mod tests {
         assert_eq!(idx.pool_len(), 0);
         assert_eq!(idx.len(), 49);
         assert!(!idx.range_search(iv(0, 3)).contains(&0));
+    }
+
+    #[test]
+    fn get_and_delete_by_id_cover_pool_resident_and_tombstones() {
+        let data: Vec<_> = (0..20).map(|i| iv(i, i + 4)).collect();
+        let mut idx = DynamicAwit::new(&data, &[2.0; 20]);
+        // Resident lookup.
+        assert_eq!(idx.get(3), Some((iv(3, 7), 2.0)));
+        // Pool lookup.
+        let p = idx.insert(iv(100, 104), 5.0);
+        assert_eq!(idx.get(p), Some((iv(100, 104), 5.0)));
+        // Unknown id.
+        assert_eq!(idx.get(999), None);
+        // Delete by id (resident → tombstone) hides the id.
+        assert!(idx.delete_by_id(3));
+        assert_eq!(idx.get(3), None);
+        assert!(!idx.delete_by_id(3), "double delete must fail");
+        // Delete by id from the pool.
+        assert!(idx.delete_by_id(p));
+        assert_eq!(idx.get(p), None);
+        assert_eq!(idx.len(), 19);
     }
 
     #[test]

@@ -259,13 +259,15 @@ impl<E: Endpoint> Ait<E> {
         }
     }
 
-    /// Rebuilds the tree from scratch, preserving ids and folding in any
-    /// pooled insertions. Invoked automatically when the height bound is
-    /// violated; also useful after heavy deletion to reclaim arena slots.
-    pub fn rebuild(&mut self) {
-        let mut entries: Vec<BuildEntry<E>> = Vec::with_capacity(self.len);
-        // Reconstruct (iv, id) pairs by joining each node's two L lists on
-        // id: both hold exactly the node's interval set.
+    /// All live `(interval, id)` pairs — tree and insertion pool alike —
+    /// in no particular order, reconstructed in `O(n log n)` by joining
+    /// each node's two `L` lists on id (both hold exactly the node's
+    /// interval set). This is how [`Ait::rebuild`] recovers its input,
+    /// and how callers that track intervals by id alone (the engine's
+    /// delete-by-id table) can seed their lookup lazily instead of
+    /// mirroring every build.
+    pub fn entries(&self) -> Vec<(Interval<E>, ItemId)> {
+        let mut out = Vec::with_capacity(self.len);
         for node in &self.nodes {
             if node.l_lo.is_empty() {
                 continue;
@@ -276,16 +278,22 @@ impl<E: Endpoint> Ait<E> {
             by_id_hi.sort_unstable_by_key(|k| k.id);
             for (klo, khi) in by_id_lo.iter().zip(&by_id_hi) {
                 debug_assert_eq!(klo.id, khi.id);
-                entries.push(BuildEntry {
-                    iv: Interval::new(klo.key, khi.key),
-                    id: klo.id,
-                    w: 1.0,
-                });
+                out.push((Interval::new(klo.key, khi.key), klo.id));
             }
         }
-        for &(iv, id) in &self.pool {
-            entries.push(BuildEntry { iv, id, w: 1.0 });
-        }
+        out.extend(self.pool.iter().copied());
+        out
+    }
+
+    /// Rebuilds the tree from scratch, preserving ids and folding in any
+    /// pooled insertions. Invoked automatically when the height bound is
+    /// violated; also useful after heavy deletion to reclaim arena slots.
+    pub fn rebuild(&mut self) {
+        let entries: Vec<BuildEntry<E>> = self
+            .entries()
+            .into_iter()
+            .map(|(iv, id)| BuildEntry { iv, id, w: 1.0 })
+            .collect();
         let next_id = self.next_id;
         *self = Ait::from_entries(entries, next_id);
     }

@@ -43,6 +43,16 @@
 //!   `Client` follows exactly the distribution of the underlying
 //!   structure, monolithic or sharded (the engine's multinomial
 //!   allocation argument; chi-square suites pin both paths).
+//! - **Mutation is first-class**: on update-capable kinds
+//!   ([`IndexKind::Ait`], [`IndexKind::AwitDynamic`]) the client
+//!   ingests while it serves — [`Client::insert`],
+//!   [`Client::insert_weighted`], [`Client::remove`],
+//!   [`Client::extend_batch`] (pooled batch insertion), and
+//!   [`Client::apply`] for mixed batches. Mutations take `&mut self`
+//!   (queries stay `&self`), failures are the typed
+//!   [`irs_core::UpdateError`] taxonomy, and inserted ids are stable:
+//!   the id an insert returns is the id queries report and the id a
+//!   later [`Client::remove`] takes, on both backends.
 
 #![deny(missing_docs)]
 
@@ -51,8 +61,8 @@ mod stream;
 pub use stream::SampleStream;
 
 use irs_core::{
-    splitmix64 as mix, validate_weights, BuildError, Capabilities, GridEndpoint, Interval, ItemId,
-    Operation, QueryError,
+    splitmix64 as mix, validate_update_weight, validate_weights, BuildError, Capabilities,
+    GridEndpoint, Interval, ItemId, Mutation, Operation, QueryError, UpdateError, UpdateOutput,
 };
 use irs_engine::{DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
 use rand::rngs::SmallRng;
@@ -168,10 +178,13 @@ enum Backend<E> {
     Sharded(Engine<E>),
 }
 
-/// A handle serving one-shot queries, batches, and sample streams over
-/// either backend. Build one with [`Irs::builder`].
+/// A handle serving one-shot queries, batches, sample streams, and —
+/// on update-capable kinds — live mutations over either backend. Build
+/// one with [`Irs::builder`].
 ///
-/// All methods take `&self` and are safe to share across threads.
+/// Query methods take `&self` and are safe to share across threads;
+/// mutation methods take `&mut self`, so the borrow checker guarantees
+/// the dataset never changes under an in-flight query or stream.
 pub struct Client<E> {
     backend: Backend<E>,
     kind: IndexKind,
@@ -204,7 +217,8 @@ impl<E: GridEndpoint> Client<E> {
         }
     }
 
-    /// Total intervals indexed.
+    /// Live intervals indexed (build-time data plus inserts minus
+    /// removes).
     pub fn len(&self) -> usize {
         self.len
     }
@@ -297,6 +311,145 @@ impl<E: GridEndpoint> Client<E> {
         match self.run(&[Query::SampleWeighted { q, s }]).swap_remove(0)? {
             QueryOutput::Samples(ids) => Ok(ids),
             _ => Err(protocol_error(Operation::WeightedSample)),
+        }
+    }
+
+    /// Applies a batch of typed [`Mutation`]s: one `Result` per
+    /// mutation, in order, identically over both backends.
+    ///
+    /// Capability-gated up front: on a kind whose
+    /// [`Client::capabilities`] report `update == false`, every
+    /// mutation fails with the typed [`UpdateError::UnsupportedKind`]
+    /// and nothing is touched. On the sharded backend, inserts route to
+    /// the least-loaded shard and removes to the shard that owns the
+    /// id; ids stay stable either way (see [`Client::insert`]).
+    pub fn apply(&mut self, muts: &[Mutation<E>]) -> Vec<Result<UpdateOutput, UpdateError>> {
+        let (kind, weighted) = (self.kind, self.weighted);
+        match &mut self.backend {
+            Backend::Sharded(engine) => {
+                let out = engine.apply(muts);
+                self.len = engine.len();
+                out
+            }
+            Backend::Mono { index, .. } => {
+                let out: Vec<_> = muts
+                    .iter()
+                    .map(|&m| apply_mono(kind, weighted, index.as_mut(), m, false))
+                    .collect();
+                self.len = bookkept_len(self.len, &out);
+                out
+            }
+        }
+    }
+
+    /// Inserts one interval immediately (the paper's §III-D one-by-one
+    /// insertion), returning its stable id.
+    ///
+    /// The interval is sampleable and searchable as soon as this
+    /// returns, and the id remains valid — referring to this interval
+    /// in query results and [`Client::remove`] — until removed, on both
+    /// the monolithic and the sharded backend. On a weighted
+    /// update-capable backend the interval joins with weight `1.0`.
+    pub fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        match self.apply(&[Mutation::Insert { iv }]).swap_remove(0)? {
+            UpdateOutput::Inserted(id) => Ok(id),
+            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
+        }
+    }
+
+    /// Inserts one *weighted* interval (Problem 2), returning its
+    /// stable id. The weight passes the same validation gate as
+    /// construction-time weights; requires an update-capable kind built
+    /// with weights ([`IndexKind::AwitDynamic`] + `.weights(w)`).
+    pub fn insert_weighted(&mut self, iv: Interval<E>, weight: f64) -> Result<ItemId, UpdateError> {
+        let muts = [Mutation::InsertWeighted { iv, weight }];
+        match self.apply(&muts).swap_remove(0)? {
+            UpdateOutput::Inserted(id) => Ok(id),
+            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
+        }
+    }
+
+    /// Removes the live interval behind `id`. After `Ok`, the id never
+    /// appears in any query result again and is never reissued;
+    /// removing an id that is not live (never issued, or already
+    /// removed) is [`UpdateError::UnknownId`].
+    pub fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
+        self.apply(&[Mutation::Delete { id }])
+            .swap_remove(0)
+            .map(|_| ())
+    }
+
+    /// Inserts a batch of intervals through the structure's insertion
+    /// pool (the paper's §III-D batch insertion): every interval is
+    /// immediately visible to queries, while tree maintenance is
+    /// amortized across pool flushes — the high-throughput ingest path
+    /// Table VII measures against one-by-one insertion. Returns the new
+    /// stable ids in input order.
+    ///
+    /// All-or-nothing on both backends: if any insert fails, the
+    /// inserts that did land are rolled back (best effort) and the
+    /// first error is returned, so an `Err` never strands intervals
+    /// the caller has no ids for.
+    pub fn extend_batch(&mut self, ivs: &[Interval<E>]) -> Result<Vec<ItemId>, UpdateError> {
+        let (kind, weighted) = (self.kind, self.weighted);
+        match &mut self.backend {
+            Backend::Sharded(engine) => {
+                let out = engine.extend_batch(ivs);
+                self.len = engine.len();
+                out
+            }
+            Backend::Mono { index, .. } => {
+                let mut ids = Vec::with_capacity(ivs.len());
+                let mut first_err = None;
+                for &iv in ivs {
+                    match apply_mono(
+                        kind,
+                        weighted,
+                        index.as_mut(),
+                        Mutation::Insert { iv },
+                        true,
+                    ) {
+                        Ok(UpdateOutput::Inserted(id)) => {
+                            ids.push(id);
+                            self.len += 1;
+                        }
+                        Ok(UpdateOutput::Removed) => {
+                            first_err = Some(UpdateError::UnsupportedKind {
+                                kind: kind.name(),
+                                reason: "client protocol error: mismatched update output variant",
+                            });
+                            break;
+                        }
+                        Err(e) => {
+                            first_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match first_err {
+                    None => Ok(ids),
+                    Some(e) => {
+                        // Roll the applied prefix back so an `Err`
+                        // leaves the dataset unchanged.
+                        for id in ids {
+                            let rollback = Mutation::Delete { id };
+                            if apply_mono(kind, weighted, index.as_mut(), rollback, false).is_ok() {
+                                self.len = self.len.saturating_sub(1);
+                            }
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// A mismatched update output can only mean a facade bug; report it
+    /// as a typed error rather than panicking the caller.
+    fn mutation_protocol_error(&self) -> UpdateError {
+        UpdateError::UnsupportedKind {
+            kind: self.kind.name(),
+            reason: "client protocol error: mismatched update output variant",
         }
     }
 
@@ -393,4 +546,46 @@ fn protocol_error(op: Operation) -> QueryError {
         op,
         reason: "client protocol error: mismatched output variant",
     }
+}
+
+/// Applies one mutation to the monolithic backend: the same capability
+/// gate and weight validation the engine performs before routing, then
+/// the index's own mutable surface. Ids the index issues are already
+/// dataset-global (it spans the full dataset).
+fn apply_mono<E: GridEndpoint>(
+    kind: IndexKind,
+    weighted: bool,
+    index: &mut dyn DynIndex<E>,
+    m: Mutation<E>,
+    buffered: bool,
+) -> Result<UpdateOutput, UpdateError> {
+    let op = m.op();
+    if !kind.supports_mutation(weighted, op) {
+        return Err(kind.unsupported_update_error(weighted, op));
+    }
+    match m {
+        Mutation::Insert { iv } => if buffered {
+            index.insert_buffered(iv)
+        } else {
+            index.insert(iv)
+        }
+        .map(UpdateOutput::Inserted),
+        Mutation::InsertWeighted { iv, weight } => {
+            validate_update_weight(weight)?;
+            index
+                .insert_weighted(iv, weight)
+                .map(UpdateOutput::Inserted)
+        }
+        Mutation::Delete { id } => index.remove(id).map(|()| UpdateOutput::Removed),
+    }
+}
+
+/// `len` after a mutation batch: +1 per successful insert, −1 per
+/// successful remove.
+fn bookkept_len(len: usize, results: &[Result<UpdateOutput, UpdateError>]) -> usize {
+    results.iter().fold(len, |len, r| match r {
+        Ok(UpdateOutput::Inserted(_)) => len + 1,
+        Ok(UpdateOutput::Removed) => len.saturating_sub(1),
+        Err(_) => len,
+    })
 }

@@ -17,6 +17,9 @@
 //!   typed [`QueryError`]/[`BuildError`] taxonomies, the [`Capabilities`]
 //!   descriptor, and the one weight-validation gate
 //!   ([`validate_weights`]) used at every construction site.
+//! - [`mutation`] — the fallible *mutation* vocabulary: typed
+//!   [`Mutation`] operations, [`UpdateOutput`]s carrying stable ids, and
+//!   the [`UpdateError`] taxonomy shared by every mutable backend.
 //! - [`MemoryFootprint`] — deterministic deep-size accounting used to
 //!   reproduce the paper's memory tables without allocator hooks.
 //! - [`oracle::BruteForce`] — the linear-scan reference implementation each
@@ -30,6 +33,7 @@ pub mod dataset;
 pub mod erased;
 pub mod footprint;
 pub mod interval;
+pub mod mutation;
 pub mod oracle;
 pub mod query;
 pub mod seed;
@@ -39,6 +43,7 @@ pub use dataset::{candidates_weight, domain_bounds, pair_sort_indices, pair_sort
 pub use erased::{DynPreparedSampler, Erased, ErasedUpperBound};
 pub use footprint::{slice_bytes, vec_bytes, MemoryFootprint};
 pub use interval::{Endpoint, GridEndpoint, Interval, Interval64, ItemId};
+pub use mutation::{validate_update_weight, Mutation, UpdateError, UpdateOp, UpdateOutput};
 pub use oracle::BruteForce;
 pub use query::{validate_weights, BuildError, Capabilities, Operation, QueryError};
 pub use seed::splitmix64;

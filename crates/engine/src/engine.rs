@@ -1,7 +1,7 @@
-//! The sharded engine: partitioning, worker threads, and the two-phase
-//! scatter-gather batch protocol.
+//! The sharded engine: partitioning, worker threads, the two-phase
+//! scatter-gather batch protocol, and shard-routed mutations.
 //!
-//! # Sharding
+//! # Sharding and the global-id scheme
 //!
 //! The dataset is split round-robin: shard `k` of `K` owns the intervals
 //! with global id `g ≡ k (mod K)`, stored locally at index `g / K`.
@@ -9,6 +9,27 @@
 //! inputs would overload one shard under contiguous chunking) and makes
 //! the local↔global id mapping arithmetic (`g = local·K + k`), so no
 //! per-shard id tables are needed.
+//!
+//! Mutations keep that scheme alive: an insert routed to shard `k`
+//! returns global id `local·K + k`, where `local` is the id the shard's
+//! own (monotone, never-reusing) allocator issued. Global ids are
+//! therefore **stable for the engine's lifetime** — a later
+//! [`Engine::remove`] decodes the owning shard back out of the id
+//! (`k = g mod K`), and query results keep reporting the same id for
+//! the same interval no matter how much churn happened in between.
+//!
+//! # Mutation routing
+//!
+//! [`Engine::apply`] takes `&mut self` — the exclusive borrow *is* the
+//! lifecycle contract: no query batch can be in flight while the
+//! dataset changes, enforced at compile time rather than by a lock.
+//! Inserts go to the **least-loaded shard** (fewest live intervals,
+//! ties to the lowest shard id), which keeps shards balanced under
+//! sustained ingest; deletes go to the shard decoded from the global
+//! id. Each shard applies its sub-batch in order and replies with typed
+//! per-mutation results; a dead worker surfaces as
+//! [`UpdateError::ShardFailed`] with the same persistence semantics as
+//! the query path's `ShardFailed`.
 //!
 //! # Batch protocol
 //!
@@ -52,12 +73,10 @@
 
 use crate::kind::{DynIndex, IndexKind};
 use crate::query::{Query, QueryOutput};
-#[allow(deprecated)]
-use crate::request::{Request, Response};
 use irs_core::erased::DynPreparedSampler;
 use irs_core::{
-    splitmix64 as mix, validate_weights, BuildError, Capabilities, GridEndpoint, Interval, ItemId,
-    Operation, QueryError,
+    splitmix64 as mix, validate_update_weight, validate_weights, BuildError, Capabilities,
+    GridEndpoint, Interval, ItemId, Mutation, Operation, QueryError, UpdateError, UpdateOutput,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -125,8 +144,22 @@ struct Job<E> {
     phase2_tx: Sender<(usize, Vec<Vec<ItemId>>)>,
 }
 
+/// One shard's mutation answers: `(position, result)` pairs, in order.
+type MutReplies = Vec<(usize, Result<UpdateOutput, UpdateError>)>;
+
+/// One shard's slice of a mutation batch.
+struct MutJob<E> {
+    /// `(position in the caller's batch, mutation)` pairs, in order.
+    muts: Vec<(usize, Mutation<E>)>,
+    /// Route inserts through the structure's insertion pool (the
+    /// paper's batch insertion) instead of one-by-one.
+    buffered: bool,
+    reply: Sender<(usize, MutReplies)>,
+}
+
 enum Msg<E> {
     Batch(Job<E>),
+    Mutate(MutJob<E>),
     Shutdown,
     /// Test hook: panic the worker, simulating an index bug, to
     /// exercise the [`QueryError::ShardFailed`] paths.
@@ -155,6 +188,9 @@ pub struct Engine<E> {
     workers: Vec<JoinHandle<()>>,
     kind: IndexKind,
     len: usize,
+    /// Live intervals per shard, maintained by the mutation path for
+    /// least-loaded insert routing.
+    shard_lens: Vec<usize>,
     weighted: bool,
     base_seed: u64,
     batch_counter: AtomicU64,
@@ -189,25 +225,6 @@ impl<E: GridEndpoint> Engine<E> {
         Self::build(data, Some(weights), config)
     }
 
-    /// Deprecated panicking constructor.
-    ///
-    /// # Panics
-    /// Panics if a shard worker cannot be started.
-    #[deprecated(note = "use `Engine::try_new` (fallible) instead")]
-    pub fn new(data: &[Interval<E>], config: EngineConfig) -> Self {
-        Self::try_new(data, config).expect("engine construction failed")
-    }
-
-    /// Deprecated panicking constructor.
-    ///
-    /// # Panics
-    /// Panics on misaligned or invalid weights; use
-    /// [`Engine::try_new_weighted`] for a typed [`BuildError`] instead.
-    #[deprecated(note = "use `Engine::try_new_weighted` (fallible) instead")]
-    pub fn new_weighted(data: &[Interval<E>], weights: &[f64], config: EngineConfig) -> Self {
-        Self::try_new_weighted(data, weights, config).expect("engine construction failed")
-    }
-
     fn build(
         data: &[Interval<E>],
         weights: Option<&[f64]>,
@@ -218,6 +235,9 @@ impl<E: GridEndpoint> Engine<E> {
 
         // Round-robin partition: shard k gets global ids k, k+K, k+2K, …
         let mut shard_data: Vec<Vec<Interval<E>>> = vec![Vec::new(); shards];
+        let shard_lens: Vec<usize> = (0..shards)
+            .map(|k| data.len() / shards + usize::from(k < data.len() % shards))
+            .collect();
         let mut shard_weights: Vec<Vec<f64>> = vec![Vec::new(); shards];
         for (g, iv) in data.iter().enumerate() {
             shard_data[g % shards].push(*iv);
@@ -237,12 +257,13 @@ impl<E: GridEndpoint> Engine<E> {
             let spawned = std::thread::Builder::new()
                 .name(format!("irs-shard-{shard_id}"))
                 .spawn(move || {
-                    let index = kind.build_index(&local, has_weights.then_some(local_w.as_slice()));
+                    let mut index =
+                        kind.build_index(&local, has_weights.then_some(local_w.as_slice()));
                     // Data and weights are owned by the index (or its
                     // wrapper) from here; the shard only needs the
                     // stride mapping.
                     let _ = ready.send(shard_id);
-                    worker_loop(&*index, shard_id, shards, &rx);
+                    worker_loop(index.as_mut(), shard_id, shards, &rx);
                 });
             match spawned {
                 Ok(handle) => workers.push(handle),
@@ -268,6 +289,7 @@ impl<E: GridEndpoint> Engine<E> {
             workers,
             kind,
             len: data.len(),
+            shard_lens,
             weighted: weights.is_some(),
             base_seed: config.seed,
             batch_counter: AtomicU64::new(0),
@@ -293,9 +315,15 @@ impl<E: GridEndpoint> Engine<E> {
         self.txs.len()
     }
 
-    /// Total intervals indexed.
+    /// Live intervals indexed (build-time data plus inserts minus
+    /// deletes).
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Live intervals per shard — the load the insert router balances.
+    pub fn shard_lens(&self) -> &[usize] {
+        &self.shard_lens
     }
 
     /// Whether the engine holds zero intervals.
@@ -471,21 +499,195 @@ impl<E: GridEndpoint> Engine<E> {
             .collect()
     }
 
-    /// Deprecated batch entry point; use [`Engine::run`].
-    #[deprecated(note = "use `Engine::run`, which returns typed `Result`s")]
-    #[allow(deprecated)]
-    pub fn execute(&self, requests: &[Request<E>]) -> Vec<Response> {
-        self.run(requests).into_iter().map(Response::from).collect()
+    /// Applies a batch of typed [`Mutation`]s: one `Result` per
+    /// mutation, in order.
+    ///
+    /// Routing (see the module docs): inserts go to the least-loaded
+    /// shard, deletes to the shard decoded from the global id
+    /// (`shard = id mod K`). Returned ids follow the engine's global-id
+    /// scheme (`local·K + shard`), so they are stable for the engine's
+    /// lifetime and interchangeable with the ids query results report.
+    ///
+    /// Mutations take `&mut self` — queries take `&self` — so the
+    /// borrow checker guarantees no query batch observes a half-applied
+    /// mutation batch. Capability gating happens up front: on a kind
+    /// with `capabilities().update == false` every mutation fails with
+    /// the typed [`UpdateError::UnsupportedKind`] and no worker is
+    /// contacted.
+    pub fn apply(&mut self, muts: &[Mutation<E>]) -> Vec<Result<UpdateOutput, UpdateError>> {
+        self.mutate(muts, false)
     }
 
-    /// Deprecated seeded batch entry point; use [`Engine::run_seeded`].
-    #[deprecated(note = "use `Engine::run_seeded`, which returns typed `Result`s")]
-    #[allow(deprecated)]
-    pub fn execute_seeded(&self, requests: &[Request<E>], seed: u64) -> Vec<Response> {
-        self.run_seeded(requests, seed)
+    /// Convenience: inserts one interval immediately (one-by-one
+    /// insertion), returning its stable global id.
+    pub fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        match self
+            .mutate(&[Mutation::Insert { iv }], false)
+            .swap_remove(0)?
+        {
+            UpdateOutput::Inserted(id) => Ok(id),
+            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
+        }
+    }
+
+    /// Convenience: inserts one weighted interval (weight validated by
+    /// the same gate as construction weights), returning its global id.
+    pub fn insert_weighted(&mut self, iv: Interval<E>, weight: f64) -> Result<ItemId, UpdateError> {
+        let muts = [Mutation::InsertWeighted { iv, weight }];
+        match self.mutate(&muts, false).swap_remove(0)? {
+            UpdateOutput::Inserted(id) => Ok(id),
+            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
+        }
+    }
+
+    /// Convenience: deletes the live interval behind `id`. Deleting an
+    /// id that was never issued (or already deleted) is
+    /// [`UpdateError::UnknownId`]; a retired id is never reissued.
+    pub fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
+        self.mutate(&[Mutation::Delete { id }], false)
+            .swap_remove(0)
+            .map(|_| ())
+    }
+
+    /// Inserts a batch of intervals through the structures' insertion
+    /// pools (the paper's §III-D batch insertion): each interval is
+    /// immediately visible to queries, while tree maintenance is
+    /// amortized across pool flushes. Returns the new global ids, in
+    /// input order.
+    ///
+    /// All-or-nothing: if any insert fails (a dead shard, an
+    /// unsupported kind), the inserts that did land are rolled back
+    /// (best effort — their shards answered, so their deletes route)
+    /// and the first error is returned, so an `Err` never strands
+    /// intervals the caller has no ids for.
+    pub fn extend_batch(&mut self, ivs: &[Interval<E>]) -> Result<Vec<ItemId>, UpdateError> {
+        let muts: Vec<Mutation<E>> = ivs.iter().map(|&iv| Mutation::Insert { iv }).collect();
+        let mut ids = Vec::with_capacity(ivs.len());
+        let mut first_err = None;
+        for result in self.mutate(&muts, true) {
+            match result {
+                Ok(UpdateOutput::Inserted(id)) => ids.push(id),
+                Ok(UpdateOutput::Removed) => {
+                    first_err.get_or_insert(self.mutation_protocol_error());
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(ids),
+            Some(e) => {
+                let rollback: Vec<Mutation<E>> =
+                    ids.into_iter().map(|id| Mutation::Delete { id }).collect();
+                let _ = self.mutate(&rollback, false);
+                Err(e)
+            }
+        }
+    }
+
+    /// Routes, scatters, and gathers one mutation batch. `buffered`
+    /// selects pooled insertion.
+    fn mutate(
+        &mut self,
+        muts: &[Mutation<E>],
+        buffered: bool,
+    ) -> Vec<Result<UpdateOutput, UpdateError>> {
+        if muts.is_empty() {
+            return Vec::new();
+        }
+        let shards = self.txs.len();
+        let mut results: Vec<Option<Result<UpdateOutput, UpdateError>>> = vec![None; muts.len()];
+        let mut owner: Vec<usize> = vec![0; muts.len()];
+        let mut per_shard: Vec<Vec<(usize, Mutation<E>)>> = vec![Vec::new(); shards];
+        // Route against a projection of live counts, so a batch of
+        // inserts spreads across shards instead of piling on one.
+        let mut lens = self.shard_lens.clone();
+        for (i, m) in muts.iter().enumerate() {
+            let op = m.op();
+            if !self.kind.supports_mutation(self.weighted, op) {
+                results[i] = Some(Err(self.kind.unsupported_update_error(self.weighted, op)));
+                continue;
+            }
+            let target = match *m {
+                Mutation::Insert { .. } => least_loaded(&lens),
+                Mutation::InsertWeighted { weight, .. } => {
+                    if let Err(e) = validate_update_weight(weight) {
+                        results[i] = Some(Err(e));
+                        continue;
+                    }
+                    least_loaded(&lens)
+                }
+                Mutation::Delete { id } => id as usize % shards,
+            };
+            if !matches!(m, Mutation::Delete { .. }) {
+                lens[target] += 1;
+            }
+            owner[i] = target;
+            per_shard[target].push((i, *m));
+        }
+
+        // Scatter each shard its sub-batch; a send that fails means the
+        // worker is dead, so its mutations fail without being applied.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut expected = 0usize;
+        for (k, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let positions: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
+            let sent = self.txs[k].send(Msg::Mutate(MutJob {
+                muts: batch,
+                buffered,
+                reply: reply_tx.clone(),
+            }));
+            if sent.is_err() {
+                for i in positions {
+                    results[i] = Some(Err(UpdateError::ShardFailed { shard: k }));
+                }
+            } else {
+                expected += 1;
+            }
+        }
+        drop(reply_tx);
+
+        // Gather. A shard that dies mid-batch closes the reply channel;
+        // its positions fall through to the `ShardFailed` fallback.
+        for _ in 0..expected {
+            let Ok((k, entries)) = reply_rx.recv() else {
+                break;
+            };
+            for (i, result) in entries {
+                if let Ok(out) = &result {
+                    match out {
+                        UpdateOutput::Inserted(_) => {
+                            self.len += 1;
+                            self.shard_lens[k] += 1;
+                        }
+                        UpdateOutput::Removed => {
+                            self.len -= 1;
+                            self.shard_lens[k] = self.shard_lens[k].saturating_sub(1);
+                        }
+                    }
+                }
+                results[i] = Some(result);
+            }
+        }
+
+        results
             .into_iter()
-            .map(Response::from)
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or(Err(UpdateError::ShardFailed { shard: owner[i] })))
             .collect()
+    }
+
+    /// A mismatched update output can only mean an engine bug; report
+    /// it as a typed error rather than panicking the caller.
+    fn mutation_protocol_error(&self) -> UpdateError {
+        UpdateError::UnsupportedKind {
+            kind: self.kind.name(),
+            reason: "engine protocol error: mismatched update output variant",
+        }
     }
 
     /// Convenience: exact `|q ∩ X|`.
@@ -630,6 +832,18 @@ fn multinomial_into(
     }
 }
 
+/// The shard with the fewest live intervals (ties to the lowest id) —
+/// the insert router's target.
+fn least_loaded(lens: &[usize]) -> usize {
+    let mut best = 0;
+    for (k, &len) in lens.iter().enumerate() {
+        if len < lens[best] {
+            best = k;
+        }
+    }
+    best
+}
+
 /// Fisher–Yates shuffle (the rand shim has no `seq` module).
 fn shuffle(rng: &mut SmallRng, v: &mut [ItemId]) {
     for i in (1..v.len()).rev() {
@@ -638,10 +852,12 @@ fn shuffle(rng: &mut SmallRng, v: &mut [ItemId]) {
 }
 
 /// The per-shard worker: builds nothing (its index is handed in), serves
-/// batches until shutdown. Local ids are translated to global ids with
-/// the round-robin stride mapping before leaving the shard.
+/// query batches and mutation batches until shutdown. The worker *owns*
+/// the mutable index state — mutations apply here, between batches,
+/// never concurrently with a query. Local ids are translated to global
+/// ids with the round-robin stride mapping before leaving the shard.
 fn worker_loop<E: GridEndpoint>(
-    index: &dyn DynIndex<E>,
+    index: &mut dyn DynIndex<E>,
     shard_id: usize,
     shards: usize,
     rx: &Receiver<Msg<E>>,
@@ -650,9 +866,14 @@ fn worker_loop<E: GridEndpoint>(
     loop {
         let job = match rx.recv() {
             Ok(Msg::Batch(job)) => job,
+            Ok(Msg::Mutate(job)) => {
+                apply_mut_job(index, shard_id, shards, job);
+                continue;
+            }
             Ok(Msg::Crash) => panic!("shard {shard_id}: crash requested by test hook"),
             Ok(Msg::Shutdown) | Err(_) => return,
         };
+        let index: &dyn DynIndex<E> = index;
         let Job {
             queries,
             seed,
@@ -703,6 +924,50 @@ fn worker_loop<E: GridEndpoint>(
             let _ = phase2_tx.send((shard_id, drawn));
         }
     }
+}
+
+/// Applies one shard's slice of a mutation batch, translating ids
+/// between the shard-local space and the engine's global scheme
+/// (`g = local·K + k`) in both directions.
+fn apply_mut_job<E: GridEndpoint>(
+    index: &mut dyn DynIndex<E>,
+    shard_id: usize,
+    shards: usize,
+    job: MutJob<E>,
+) {
+    let MutJob {
+        muts,
+        buffered,
+        reply,
+    } = job;
+    let to_global = |local: ItemId| -> ItemId { local * shards as ItemId + shard_id as ItemId };
+    let entries: Vec<(usize, Result<UpdateOutput, UpdateError>)> = muts
+        .into_iter()
+        .map(|(pos, m)| {
+            let result = match m {
+                Mutation::Insert { iv } => if buffered {
+                    index.insert_buffered(iv)
+                } else {
+                    index.insert(iv)
+                }
+                .map(|local| UpdateOutput::Inserted(to_global(local))),
+                Mutation::InsertWeighted { iv, weight } => index
+                    .insert_weighted(iv, weight)
+                    .map(|local| UpdateOutput::Inserted(to_global(local))),
+                Mutation::Delete { id } => index
+                    .remove(id / shards as ItemId)
+                    .map(|()| UpdateOutput::Removed)
+                    // The wrapper names the local id; report the global
+                    // one the caller actually sent.
+                    .map_err(|e| match e {
+                        UpdateError::UnknownId { .. } => UpdateError::UnknownId { id },
+                        other => other,
+                    }),
+            };
+            (pos, result)
+        })
+        .collect();
+    let _ = reply.send((shard_id, entries));
 }
 
 /// Phase 1 for a single query on one shard.

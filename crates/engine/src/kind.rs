@@ -4,40 +4,52 @@
 //! [`IndexKind`]. Workers (and `irs-client`'s monolithic backend) talk
 //! to them through [`DynIndex`], an object-safe trait whose sampling
 //! handles are the erased [`DynPreparedSampler`]s from `irs-core`, so a
-//! single driver loop serves all six structures — and out-of-tree
-//! structures could be plugged in the same way.
+//! single driver loop serves all seven structures — and out-of-tree
+//! structures could be plugged in the same way. The trait carries both
+//! surfaces of the unified API: read-only queries (`&self`) and the
+//! fallible mutable companion (`&mut self` inserts/deletes, overridden
+//! by the update-capable kinds).
 //!
 //! What each kind can do is *queryable metadata*, not a doc table:
 //! [`IndexKind::capabilities`] reports per-operation support (given
 //! whether the backend was built with weights), and
-//! [`IndexKind::unsupported_error`] is the one place the matching typed
-//! [`QueryError`] is minted, so capability claims and error payloads
-//! cannot drift. Capability gaps inside the facade are closed by
-//! fallbacks only where the fallback is *exact* (stab = point search;
-//! AIT-V count = search) and surfaced as `None` — mapped to a typed
-//! error upstream — where it is not.
+//! [`IndexKind::unsupported_error`] / [`IndexKind::unsupported_update_error`]
+//! are the one place the matching typed [`QueryError`] / [`UpdateError`]
+//! is minted, so capability claims and error payloads cannot drift.
+//! Capability gaps inside the facade are closed by fallbacks only where
+//! the fallback is *exact* (stab = point search; AIT-V count = search)
+//! and surfaced as `None` — mapped to a typed error upstream — where it
+//! is not.
 
-use irs_ait::{Ait, AitV, Awit};
+use irs_ait::{Ait, AitV, Awit, DynamicAwit};
 use irs_core::erased::{DynPreparedSampler, Erased, ErasedUpperBound};
 use irs_core::{
-    Capabilities, Endpoint, GridEndpoint, Interval, ItemId, Operation, QueryError, RangeCount,
-    RangeSampler, RangeSearch, StabbingQuery, WeightedRangeSampler,
+    validate_update_weight, Capabilities, Endpoint, GridEndpoint, Interval, ItemId, Operation,
+    QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery, UpdateError, UpdateOp,
+    WeightedRangeSampler,
 };
 use irs_hint::HintM;
 use irs_interval_tree::IntervalTree;
 use irs_kds::Kds;
+use std::collections::HashMap;
 
 /// Which index structure each shard builds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum IndexKind {
-    /// Augmented interval tree (§III): exact `O(log² n + s)` IRS.
+    /// Augmented interval tree (§III): exact `O(log² n + s)` IRS, plus
+    /// the §III-D update algorithms (one-by-one insertion, pooled batch
+    /// insertion, deletion with height-triggered rebuild).
     Ait,
     /// Space-optimal AIT over virtual intervals (§III-C): `O(n)` space,
     /// expected `O(log² n + s)` IRS via rejection sampling.
     AitV,
     /// Augmented *weighted* interval tree (§IV): weighted IRS in
-    /// `O(log² n + s log n)`.
+    /// `O(log² n + s log n)`. A static snapshot.
     Awit,
+    /// `DynamicAwit` (extension beyond the paper): the AWIT behind a
+    /// pool/tombstone layer, serving weighted IRS *and* amortized
+    /// inserts/deletes with the sampling distribution kept exact.
+    AwitDynamic,
     /// KDS baseline: canonical decomposition, `O(√n + s)` expected.
     Kds,
     /// HINTm baseline: hierarchical grid, enumeration-based.
@@ -47,11 +59,12 @@ pub enum IndexKind {
 }
 
 impl IndexKind {
-    /// All six kinds, for test matrices and CLI enumeration.
-    pub const ALL: [IndexKind; 6] = [
+    /// All seven kinds, for test matrices and CLI enumeration.
+    pub const ALL: [IndexKind; 7] = [
         IndexKind::Ait,
         IndexKind::AitV,
         IndexKind::Awit,
+        IndexKind::AwitDynamic,
         IndexKind::Kds,
         IndexKind::HintM,
         IndexKind::IntervalTree,
@@ -63,6 +76,7 @@ impl IndexKind {
             IndexKind::Ait => "ait",
             IndexKind::AitV => "ait-v",
             IndexKind::Awit => "awit",
+            IndexKind::AwitDynamic => "awit-dynamic",
             IndexKind::Kds => "kds",
             IndexKind::HintM => "hint-m",
             IndexKind::IntervalTree => "interval-tree",
@@ -84,16 +98,18 @@ impl IndexKind {
     /// [`IndexKind::unsupported_error`]\(op\).
     pub fn capabilities(self, weighted: bool) -> Capabilities {
         Capabilities {
-            // AWIT answers uniform IRS only when weighted IRS coincides
-            // with it — i.e. when built with uniform (absent) weights.
-            uniform_sample: !(self == IndexKind::Awit && weighted),
+            // AWIT flavors answer uniform IRS only when weighted IRS
+            // coincides with it — i.e. built with uniform (absent)
+            // weights.
+            uniform_sample: !(matches!(self, IndexKind::Awit | IndexKind::AwitDynamic) && weighted),
             weighted_sample: weighted && !matches!(self, IndexKind::Ait | IndexKind::AitV),
             exact_count: true,
             search: true,
             stab: true,
-            // Engine/client builds are static snapshots. (`DynamicAwit`
-            // supports updates, but outside these backends.)
-            update: false,
+            // Per-kind truth: AIT carries the paper's §III-D update
+            // algorithms, AWIT-dynamic the beyond-paper weighted ones;
+            // every other kind is a static snapshot.
+            update: matches!(self, IndexKind::Ait | IndexKind::AwitDynamic),
         }
     }
 
@@ -117,12 +133,52 @@ impl IndexKind {
             },
             Operation::Update => QueryError::UnsupportedOperation {
                 op,
-                reason: "engine and client backends are static snapshots; \
-                         rebuild to change the dataset",
+                reason: "this index kind is a static snapshot; build an `ait` or \
+                         `awit-dynamic` backend for live updates",
             },
             _ => QueryError::UnsupportedOperation {
                 op,
                 reason: "this index kind cannot serve the operation",
+            },
+        }
+    }
+
+    /// Whether this kind (built `weighted` or not) can apply `op`.
+    ///
+    /// The mutation-side twin of [`Capabilities::supports`]: `Insert`
+    /// and `Delete` follow [`Capabilities::update`]; `InsertWeighted`
+    /// additionally requires a backend that samples by weight (so a
+    /// non-unit weight can never silently skew a uniform build).
+    pub fn supports_mutation(self, weighted: bool, op: UpdateOp) -> bool {
+        let caps = self.capabilities(weighted);
+        match op {
+            UpdateOp::Insert | UpdateOp::Delete => caps.update,
+            UpdateOp::InsertWeighted => caps.update && caps.weighted_sample,
+        }
+    }
+
+    /// The typed error for a mutation this kind (built `weighted` or
+    /// not) cannot serve. The single source of unsupported-mutation
+    /// payloads, shared by the engine and the client facade — the
+    /// mutation-side twin of [`IndexKind::unsupported_error`].
+    pub fn unsupported_update_error(self, weighted: bool, op: UpdateOp) -> UpdateError {
+        if !self.capabilities(weighted).update {
+            return UpdateError::UnsupportedKind {
+                kind: self.name(),
+                reason: "this index kind is a static snapshot; build an `ait` or \
+                         `awit-dynamic` backend for live updates",
+            };
+        }
+        match op {
+            UpdateOp::InsertWeighted if self == IndexKind::Ait => UpdateError::UnsupportedKind {
+                kind: self.name(),
+                reason: "AIT indexes unweighted intervals only; use `awit-dynamic` \
+                         for weighted live updates",
+            },
+            UpdateOp::InsertWeighted if !weighted => UpdateError::NotWeighted,
+            _ => UpdateError::UnsupportedKind {
+                kind: self.name(),
+                reason: "this backend cannot serve the mutation",
             },
         }
     }
@@ -139,8 +195,26 @@ impl IndexKind {
         weights: Option<&[f64]>,
     ) -> Box<dyn DynIndex<E>> {
         match self {
-            IndexKind::Ait => Box::new(Ait::new(data)),
+            IndexKind::Ait => Box::new(MutableAit {
+                idx: Ait::new(data),
+                live: None,
+            }),
             IndexKind::AitV => Box::new(AitV::new(data)),
+            IndexKind::AwitDynamic => {
+                let uniform = weights.is_none();
+                let owned;
+                let w = match weights {
+                    Some(w) => w,
+                    None => {
+                        owned = vec![1.0; data.len()];
+                        &owned
+                    }
+                };
+                Box::new(DynAwitShard {
+                    idx: DynamicAwit::new(data, w),
+                    uniform,
+                })
+            }
             IndexKind::Awit => {
                 let uniform = weights.is_none();
                 let owned;
@@ -195,6 +269,17 @@ impl std::fmt::Display for IndexKind {
 /// report ids local to the slice the index was built from (a shard
 /// worker translates them to dataset-global ids; over the full dataset
 /// they already *are* global).
+///
+/// The trait also carries the *mutable companion surface*: fallible
+/// `&mut self` default methods ([`DynIndex::insert`],
+/// [`DynIndex::insert_buffered`], [`DynIndex::insert_weighted`],
+/// [`DynIndex::remove`]) that refuse with
+/// [`UpdateError::UnsupportedKind`] unless the kind overrides them
+/// (AIT's §III-D algorithms; `DynamicAwit`'s weighted ones). Queries
+/// stay `&self`; the exclusive borrow is the lifecycle contract —
+/// no query can observe a half-applied mutation. Capability-aware
+/// callers gate on [`IndexKind::supports_mutation`] first and mint the
+/// kind-specific error; the defaults here are the backstop.
 pub trait DynIndex<E>: Send + Sync {
     /// Appends local ids of intervals overlapping `q`.
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>);
@@ -217,6 +302,47 @@ pub trait DynIndex<E>: Send + Sync {
     /// decomposition; HINTm / interval tree: the materialized
     /// candidates) — never by re-running the search.
     fn prepare_weighted<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>>;
+
+    /// Inserts `iv` immediately (the paper's one-by-one insertion),
+    /// returning its new **local** id. Default: unsupported.
+    fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        let _ = iv;
+        Err(static_snapshot_error())
+    }
+
+    /// Inserts `iv` through the structure's insertion pool (the paper's
+    /// batch insertion): immediately visible to queries, merged into the
+    /// tree in bulk once the pool fills. Kinds without a pool serve this
+    /// as [`DynIndex::insert`]. Default: unsupported.
+    fn insert_buffered(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        let _ = iv;
+        Err(static_snapshot_error())
+    }
+
+    /// Inserts `iv` with weight `w` (already validated by the caller
+    /// through [`irs_core::validate_update_weight`]), returning its new
+    /// **local** id. Default: unsupported.
+    fn insert_weighted(&mut self, iv: Interval<E>, w: f64) -> Result<ItemId, UpdateError> {
+        let _ = (iv, w);
+        Err(static_snapshot_error())
+    }
+
+    /// Deletes the live interval behind the **local** id. Default:
+    /// unsupported.
+    fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
+        let _ = id;
+        Err(static_snapshot_error())
+    }
+}
+
+/// The backstop error for kinds that never override the mutable
+/// surface. Callers that know their [`IndexKind`] mint the richer
+/// [`IndexKind::unsupported_update_error`] before getting here.
+fn static_snapshot_error() -> UpdateError {
+    UpdateError::UnsupportedKind {
+        kind: "static",
+        reason: "this index structure is a static snapshot",
+    }
 }
 
 /// Shared fallback: a stabbing query is a degenerate range search.
@@ -243,6 +369,140 @@ impl<E: GridEndpoint> DynIndex<E> for Ait<E> {
 
     fn prepare_weighted<'a>(&'a self, _q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
         None
+    }
+}
+
+/// AIT shard with the §III-D update surface: the tree plus a live
+/// id → interval table, because deletion must re-derive the interval
+/// from the id callers carry (the tree's delete walks the interval's
+/// insertion path). The table is **lazy** — seeded from
+/// [`Ait::entries`] on the first `remove` — so query-only and
+/// insert-only workloads never pay for mirroring the dataset.
+struct MutableAit<E> {
+    idx: Ait<E>,
+    live: Option<HashMap<ItemId, Interval<E>>>,
+}
+
+impl<E: GridEndpoint> DynIndex<E> for MutableAit<E> {
+    fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
+        self.idx.range_search_into(q, out);
+    }
+
+    fn count(&self, q: Interval<E>) -> usize {
+        self.idx.range_count(q)
+    }
+
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>) {
+        StabbingQuery::stab_into(&self.idx, p, out);
+    }
+
+    fn prepare<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        Some(Box::new(Erased(RangeSampler::prepare(&self.idx, q))))
+    }
+
+    fn prepare_weighted<'a>(&'a self, _q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        None
+    }
+
+    fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        let id = self.idx.insert(iv);
+        // The table (if materialized) tracks inserts; otherwise its
+        // eventual seeding from `Ait::entries` will include them.
+        if let Some(live) = &mut self.live {
+            live.insert(id, iv);
+        }
+        Ok(id)
+    }
+
+    fn insert_buffered(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        let id = self.idx.insert_buffered(iv);
+        if let Some(live) = &mut self.live {
+            live.insert(id, iv);
+        }
+        Ok(id)
+    }
+
+    // `insert_weighted` keeps the default refusal: AIT stores no weights.
+
+    fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
+        let idx = &self.idx;
+        let live = self
+            .live
+            .get_or_insert_with(|| idx.entries().into_iter().map(|(iv, id)| (id, iv)).collect());
+        match live.remove(&id) {
+            Some(iv) => {
+                let found = self.idx.delete(iv, id);
+                debug_assert!(found, "live table and tree disagree on id {id}");
+                Ok(())
+            }
+            None => Err(UpdateError::UnknownId { id }),
+        }
+    }
+}
+
+/// `DynamicAwit` shard: weighted IRS with amortized updates. Serves
+/// *uniform* requests only when built with uniform weights (then the
+/// two problems coincide), exactly like the static [`AwitShard`] — and
+/// unit-weight inserts preserve that uniformity.
+struct DynAwitShard<E> {
+    idx: DynamicAwit<E>,
+    uniform: bool,
+}
+
+impl<E: GridEndpoint> DynIndex<E> for DynAwitShard<E> {
+    fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
+        self.idx.range_search_into(q, out);
+    }
+
+    fn count(&self, q: Interval<E>) -> usize {
+        self.idx.range_count(q)
+    }
+
+    fn stab_into(&self, p: E, out: &mut Vec<ItemId>) {
+        stab_via_search(&self.idx, p, out);
+    }
+
+    fn prepare<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        if self.uniform {
+            // All weights are 1.0 (construction and every insert), so
+            // the weighted sampler *is* the uniform sampler, and its
+            // candidate count is the exact live count.
+            Some(Box::new(Erased(self.idx.prepare_weighted(q))))
+        } else {
+            None
+        }
+    }
+
+    fn prepare_weighted<'a>(&'a self, q: Interval<E>) -> Option<Box<dyn DynPreparedSampler + 'a>> {
+        let prepared = self.idx.prepare_weighted(q);
+        // Live mass: AWIT cumulative arrays minus tombstoned weight plus
+        // pool matches — exactly what allocation must see.
+        let mass = self.idx.range_weight(q);
+        Some(Box::new(WithMass(Erased(prepared), mass)))
+    }
+
+    fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        Ok(self.idx.insert(iv, 1.0))
+    }
+
+    fn insert_buffered(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        // DynamicAwit insertions are inherently pooled.
+        Ok(self.idx.insert(iv, 1.0))
+    }
+
+    fn insert_weighted(&mut self, iv: Interval<E>, w: f64) -> Result<ItemId, UpdateError> {
+        // Callers validate; re-check here because `DynamicAwit::insert`
+        // asserts on bad weights, and a panic would kill the worker.
+        validate_update_weight(w)?;
+        Ok(self.idx.insert(iv, w))
+    }
+
+    fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
+        if self.idx.delete_by_id(id) {
+            Ok(())
+        } else {
+            Err(UpdateError::UnknownId { id })
+        }
     }
 }
 

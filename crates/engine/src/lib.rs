@@ -13,9 +13,17 @@
 //! validated up front into a typed [`irs_core::BuildError`]), and what
 //! an engine can serve is queryable via [`Engine::capabilities`] —
 //! nothing on the query path panics, and a dead shard worker surfaces
-//! as [`irs_core::QueryError::ShardFailed`] instead of an abort. The
-//! pre-`QueryError` surface ([`Request`], [`Response`],
-//! `Engine::execute`) survives one release as deprecated shims.
+//! as [`irs_core::QueryError::ShardFailed`] instead of an abort. (The
+//! pre-`QueryError` shims — `Request`, `Response`, `Engine::execute` —
+//! lived for one release and are now gone.)
+//!
+//! The engine is **mutable** as well as queryable: [`Engine::apply`]
+//! routes typed [`irs_core::Mutation`]s to the owning shard workers
+//! (inserts to the least-loaded shard, deletes to the shard decoded
+//! from the global id), with the same typed-error discipline
+//! ([`irs_core::UpdateError`]) and the update-capable kinds declared in
+//! [`IndexKind::capabilities`]. Queries take `&self`; mutations take
+//! `&mut self`, so the two can never interleave.
 //!
 //! The non-obvious part is keeping sampling *statistically correct*
 //! across shards: the engine first collects exact per-shard result
@@ -44,11 +52,8 @@
 pub mod engine;
 mod kind;
 mod query;
-mod request;
 pub mod throughput;
 
 pub use engine::{Engine, EngineConfig};
 pub use kind::{DynIndex, IndexKind};
 pub use query::{Query, QueryOutput};
-#[allow(deprecated)]
-pub use request::{Request, Response};

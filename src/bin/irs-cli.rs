@@ -6,6 +6,7 @@
 //! irs-cli sample       --data trips.csv --lo 100 --hi 5000 --s 10 [--weighted]
 //! irs-cli stab         --data trips.csv --at 250
 //! irs-cli bench-engine --n 1000000 --shards 1,2,4,8 --batches 64,256
+//! irs-cli bench-updates --n 1000000 --updates 100000 --shards 1,4
 //! ```
 //!
 //! Data files are CSV with one `lo,hi[,weight]` triple per line (header
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "sample" => cmd_sample(&opts),
         "stab" => cmd_stab(&opts),
         "bench-engine" => cmd_bench_engine(&opts),
+        "bench-updates" => cmd_bench_updates(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -58,13 +60,20 @@ USAGE:
   irs-cli count    --data <FILE> --lo <LO> --hi <HI>
   irs-cli sample   --data <FILE> --lo <LO> --hi <HI> --s <S> [--weighted] [--seed <S>]
   irs-cli stab     --data <FILE> --at <P>
-  irs-cli bench-engine [--profile <P>] [--n <N>] [--kind <ait|ait-v|awit|kds|hint-m|interval-tree>]
+  irs-cli bench-engine [--profile <P>] [--n <N>] [--kind <ait|ait-v|awit|awit-dynamic|kds|hint-m|interval-tree>]
                        [--shards <K1,K2,..>] [--batches <B1,B2,..>] [--s <S>]
                        [--queries <Q>] [--extent <PCT>] [--seed <S>]
+  irs-cli bench-updates [--profile <P>] [--n <N>] [--kind <ait|awit-dynamic>] [--weighted]
+                        [--updates <U>] [--shards <K1,K2,..>] [--seed <S>]
 
 bench-engine measures engine queries/sec (sample + search workloads) at
 each shard count × batch size on a synthetic dataset (default: 1,000,000
 taxi-profile intervals, shard counts 1..num_cpus doubling, s = 1000).
+
+bench-updates measures live-update throughput (Table VII's axes: one-by-one
+insertion, pooled batch insertion, deletion) through the unified client at
+each shard count, emitting both a human table and machine-readable JSONL
+rows (`grep '^{'` to collect).
 
 Data files: CSV lines `lo,hi[,weight]`.";
 
@@ -335,6 +344,108 @@ fn cmd_bench_engine(opts: &Opts) -> Result<(), String> {
                 }
             };
             println!("{shards:>7} {batch:>7} {sample_qps:>14.0} {search_qps:>14.0}{speedup}");
+        }
+    }
+    Ok(())
+}
+
+/// Table VII through the unified client: one-by-one insertion, pooled
+/// batch insertion, and deletion throughput per shard count, as a human
+/// table plus `JsonRow` JSONL for the bench trajectory.
+fn cmd_bench_updates(opts: &Opts) -> Result<(), String> {
+    let profile = match opts.get("profile").unwrap_or("taxi") {
+        "book" => irs::datagen::BOOK,
+        "btc" => irs::datagen::BTC,
+        "renfe" => irs::datagen::RENFE,
+        "taxi" => irs::datagen::TAXI,
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    let kind = match opts.get("kind") {
+        None => IndexKind::Ait,
+        Some(name) => IndexKind::parse(name).ok_or_else(|| format!("unknown kind `{name}`"))?,
+    };
+    if !kind.capabilities(false).update {
+        return Err(format!(
+            "kind `{kind}` is a static snapshot; update-capable kinds: ait, awit-dynamic"
+        ));
+    }
+    let weighted = opts.get("weighted").is_some();
+    if weighted && !kind.supports_mutation(true, UpdateOp::InsertWeighted) {
+        return Err(format!("kind `{kind}` cannot ingest weighted intervals"));
+    }
+    let n: usize = opts.num_or("n", 1_000_000)?;
+    let updates: usize = opts.num_or("updates", 100_000)?;
+    let seed: u64 = opts.num_or("seed", 42)?;
+    let shard_counts = num_list(opts, "shards", vec![1, irs::engine_throughput::cpu_count()])?;
+
+    println!(
+        "# live-update throughput — kind = {kind}, profile = {}, n = {n}, {updates} updates{}",
+        profile.name,
+        if weighted { ", weighted" } else { "" }
+    );
+    let data = profile.generate(n, seed);
+    let weights = irs::datagen::uniform_weights(n, seed ^ 1);
+    let fresh = profile.generate(updates, seed ^ 0xF5E5);
+    println!(
+        "{:>7} {:>16} {:>16} {:>16}",
+        "shards", "insert ops/s", "batch-ins ops/s", "delete ops/s"
+    );
+    for &shards in &shard_counts {
+        let mut builder = Irs::builder().kind(kind).shards(shards).seed(seed);
+        if weighted {
+            builder = builder.weights(weights.clone());
+        }
+        let mut client = builder.build(&data).map_err(|e| e.to_string())?;
+
+        // One-by-one insertion (the expensive path of Table VII).
+        let t = std::time::Instant::now();
+        let mut ids = Vec::with_capacity(updates);
+        for (i, &iv) in fresh.iter().enumerate() {
+            let id = if weighted {
+                client.insert_weighted(iv, 1.0 + (i % 100) as f64)
+            } else {
+                client.insert(iv)
+            }
+            .map_err(|e| e.to_string())?;
+            ids.push(id);
+        }
+        let one_by_one = updates as f64 / t.elapsed().as_secs_f64();
+
+        // Deletion of exactly those intervals.
+        let t = std::time::Instant::now();
+        for &id in &ids {
+            client.remove(id).map_err(|e| e.to_string())?;
+        }
+        let deletes = updates as f64 / t.elapsed().as_secs_f64();
+
+        // Pooled batch insertion on a fresh client (so the pools start
+        // cold, matching the one-by-one run's starting state).
+        let mut builder = Irs::builder().kind(kind).shards(shards).seed(seed);
+        if weighted {
+            builder = builder.weights(weights.clone());
+        }
+        let mut client = builder.build(&data).map_err(|e| e.to_string())?;
+        let t = std::time::Instant::now();
+        client.extend_batch(&fresh).map_err(|e| e.to_string())?;
+        let batched = updates as f64 / t.elapsed().as_secs_f64();
+
+        println!("{shards:>7} {one_by_one:>16.0} {batched:>16.0} {deletes:>16.0}");
+        for (mode, ops) in [
+            ("insert", one_by_one),
+            ("insert-batch", batched),
+            ("delete", deletes),
+        ] {
+            irs_bench::JsonRow::new("bench-updates")
+                .str("kind", kind.name())
+                .str("profile", profile.name)
+                .int("n", n)
+                .int("shards", shards)
+                .int("updates", updates)
+                .str("mode", mode)
+                .str("weighted", if weighted { "yes" } else { "no" })
+                .num("ops_per_sec", ops)
+                .num("us_per_op", 1e6 / ops)
+                .emit();
         }
     }
     Ok(())

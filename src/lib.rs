@@ -46,10 +46,28 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! Failures are typed ([`QueryError`], [`BuildError`]), never panics or
-//! string sentinels; an empty result set is `Ok`, not an error. The
-//! single-structure APIs ([`Ait::new`] + [`RangeSampler`] etc.) remain
-//! available for direct, RNG-in-hand use.
+//! Failures are typed ([`QueryError`], [`BuildError`], [`UpdateError`]),
+//! never panics or string sentinels; an empty result set is `Ok`, not an
+//! error. The single-structure APIs ([`Ait::new`] + [`RangeSampler`]
+//! etc.) remain available for direct, RNG-in-hand use.
+//!
+//! ## Live updates
+//!
+//! Update-capable kinds ([`IndexKind::Ait`] — the paper's §III-D
+//! algorithms — and [`IndexKind::AwitDynamic`] for weighted data) ingest
+//! while they serve, through the same facade:
+//!
+//! ```
+//! use irs::prelude::*;
+//!
+//! let data = irs::datagen::TAXI.generate(10_000, 42);
+//! let mut client = Irs::builder().kind(IndexKind::Ait).shards(4).build(&data)?;
+//! let id = client.insert(Interval::new(500, 900))?;        // immediately sampleable
+//! let batch = client.extend_batch(&data[..100])?;          // pooled batch insertion
+//! client.remove(id)?;                                      // id never reappears
+//! assert_eq!(client.len(), data.len() + 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! ## Scaling out
 //!
@@ -67,14 +85,12 @@
 pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionStats};
 pub use irs_client::{Client, Irs, IrsBuilder, SampleStream};
 pub use irs_core::{
-    domain_bounds, pair_sort_indices, validate_weights, BruteForce, BuildError, Capabilities,
-    Endpoint, GridEndpoint, Interval, Interval64, ItemId, MemoryFootprint, Operation,
-    PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
-    WeightedRangeSampler,
+    domain_bounds, pair_sort_indices, validate_update_weight, validate_weights, BruteForce,
+    BuildError, Capabilities, Endpoint, GridEndpoint, Interval, Interval64, ItemId,
+    MemoryFootprint, Mutation, Operation, PreparedSampler, QueryError, RangeCount, RangeSampler,
+    RangeSearch, StabbingQuery, UpdateError, UpdateOp, UpdateOutput, WeightedRangeSampler,
 };
 pub use irs_engine::{DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
-#[allow(deprecated)]
-pub use irs_engine::{Request, Response};
 pub use irs_hint::HintM;
 pub use irs_interval_tree::IntervalTree;
 pub use irs_kds::Kds;
@@ -104,13 +120,11 @@ pub mod prelude {
     pub use irs_ait::{Ait, AitV, Awit, DynamicAwit};
     pub use irs_client::{Client, Irs, IrsBuilder, SampleStream};
     pub use irs_core::{
-        BuildError, Capabilities, Interval, Interval64, ItemId, MemoryFootprint, Operation,
-        PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
-        WeightedRangeSampler,
+        BuildError, Capabilities, Interval, Interval64, ItemId, MemoryFootprint, Mutation,
+        Operation, PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch,
+        StabbingQuery, UpdateError, UpdateOp, UpdateOutput, WeightedRangeSampler,
     };
     pub use irs_engine::{Engine, EngineConfig, IndexKind, Query, QueryOutput};
-    #[allow(deprecated)]
-    pub use irs_engine::{Request, Response};
     pub use irs_hint::HintM;
     pub use irs_interval_tree::IntervalTree;
     pub use irs_kds::Kds;

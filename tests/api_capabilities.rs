@@ -2,8 +2,11 @@
 //! operation, the `Capabilities` a backend *claims* must agree with
 //! what `run` actually *does* — claimed operations succeed, denied
 //! operations fail with the typed unsupported errors, and nothing
-//! panics. Plus edge cases: empty batches and empty datasets are `Ok`,
-//! not errors.
+//! panics. The same contract covers the mutation surface: a kind
+//! claiming `update` applies inserts/deletes (and the inserted id is
+//! immediately queryable), a kind denying it fails every mutation with
+//! the typed `UpdateError`. Plus edge cases: empty batches and empty
+//! datasets are `Ok`, not errors.
 
 use irs::prelude::*;
 use proptest::prelude::*;
@@ -57,11 +60,9 @@ proptest! {
         for kind in IndexKind::ALL {
             for weighted in [false, true] {
                 for shards in [1usize, 3] {
-                    let client = build_client(kind, shards, weighted, &data, 7);
+                    let mut client = build_client(kind, shards, weighted, &data, 7);
                     let caps = client.capabilities();
                     prop_assert_eq!(caps, kind.capabilities(weighted));
-                    // Engine backends static: updates never claimed.
-                    prop_assert!(!caps.supports(Operation::Update));
 
                     for op in Operation::ALL {
                         let Some(query) = query_for(op, q, s) else {
@@ -93,6 +94,47 @@ proptest! {
                                 "{} w={} K={}: capability claim {} for `{}` but run returned {:?}",
                                 kind, weighted, shards, claimed, op, out
                             ),
+                        }
+                    }
+
+                    // Mutation outcomes must match the `update` claim:
+                    // a claimed insert lands (searchable under its id,
+                    // removable exactly once), a denied one fails typed.
+                    match (caps.update, client.insert(q)) {
+                        (true, Ok(id)) => {
+                            prop_assert!(client.search(q).unwrap().contains(&id));
+                            prop_assert_eq!(client.remove(id), Ok(()));
+                            prop_assert!(!client.search(q).unwrap().contains(&id));
+                            prop_assert_eq!(
+                                client.remove(id),
+                                Err(UpdateError::UnknownId { id })
+                            );
+                        }
+                        (false, Err(UpdateError::UnsupportedKind { .. })) => {}
+                        (claimed, out) => prop_assert!(
+                            false,
+                            "{} w={} K={}: update claim {} but insert returned {:?}",
+                            kind, weighted, shards, claimed, out
+                        ),
+                    }
+                    // Weighted inserts additionally require a weighted
+                    // build of a weight-capable kind.
+                    let weighted_ok = caps.update && caps.weighted_sample;
+                    match (weighted_ok, client.insert_weighted(q, 2.5)) {
+                        (true, Ok(id)) => prop_assert_eq!(client.remove(id), Ok(())),
+                        (false, Err(UpdateError::UnsupportedKind { .. }))
+                        | (false, Err(UpdateError::NotWeighted)) => {}
+                        (claimed, out) => prop_assert!(
+                            false,
+                            "{} w={} K={}: weighted-update claim {} but insert returned {:?}",
+                            kind, weighted, shards, claimed, out
+                        ),
+                    }
+                    if weighted_ok {
+                        // Bad weights bounce off the shared gate.
+                        match client.insert_weighted(q, f64::NAN) {
+                            Err(UpdateError::InvalidWeight { .. }) => {}
+                            other => prop_assert!(false, "NaN weight accepted: {:?}", other),
                         }
                     }
                 }

@@ -2,8 +2,8 @@
 //! sharded engine must answer exactly like the brute-force oracle — and
 //! its cross-shard sampling must be distribution-identical to a single
 //! monolithic index (multinomial allocation, Theorem 3 preserved under
-//! sharding). All through the fallible `run`/`try_new` API; the old
-//! `execute` surface is covered once as a deprecated shim.
+//! sharding). All through the fallible `run`/`try_new` API, including
+//! the shard-routed mutation path (`apply`/`insert`/`remove`).
 
 use irs::prelude::*;
 use irs::sampling::stats::{chi_square_ok, chi_square_uniformity_ok, total_variation};
@@ -146,6 +146,7 @@ fn sharded_weighted_sampling_matches_weights() {
         .collect();
     for kind in [
         IndexKind::Awit,
+        IndexKind::AwitDynamic,
         IndexKind::Kds,
         IndexKind::HintM,
         IndexKind::IntervalTree,
@@ -370,28 +371,155 @@ fn dead_shard_surfaces_as_error_and_drop_does_not_hang() {
     drop(engine);
 }
 
-/// The deprecated `execute`/`Request`/`Response` shims still answer,
-/// mapping errors into `Response::Unsupported`.
+/// Engine-level mutation routing: inserts spread to the least-loaded
+/// shard, ids decode back to the owning shard for deletes, and the
+/// global-id scheme stays collision-free under churn.
 #[test]
-#[allow(deprecated)]
-fn deprecated_execute_shim_still_serves() {
-    let data = dataset(400, 83);
-    let bf = BruteForce::new(&data);
-    let q = Interval::new(0, irs::datagen::TAXI.domain_size / 3);
-    let engine = Engine::new(&data, EngineConfig::new(IndexKind::Ait).shards(2).seed(3));
-    let out = engine.execute(&[
-        Request::Count { q },
-        Request::Sample { q, s: 6 },
-        Request::SampleWeighted { q, s: 6 },
+fn engine_mutations_route_and_ids_stay_stable() {
+    let data = dataset(1000, 83);
+    let shards = 4;
+    let mut engine = Engine::try_new(
+        &data,
+        EngineConfig::new(IndexKind::Ait).shards(shards).seed(3),
+    )
+    .unwrap();
+    assert_eq!(engine.shard_lens().iter().sum::<usize>(), data.len());
+
+    // Inserts balance: after K inserts into balanced shards, every
+    // shard gained exactly one.
+    let before = engine.shard_lens().to_vec();
+    let ids: Vec<ItemId> = (0..shards)
+        .map(|i| {
+            engine
+                .insert(Interval::new(i as i64 * 10, i as i64 * 10 + 5))
+                .unwrap()
+        })
+        .collect();
+    for (k, (&b, &a)) in before.iter().zip(engine.shard_lens()).enumerate() {
+        assert_eq!(a, b + 1, "shard {k} load after round-robin of inserts");
+    }
+    // Ids are fresh (no collision with build-time ids) and distinct.
+    let mut seen: Vec<ItemId> = ids.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), ids.len());
+    for &id in &ids {
+        assert!(
+            (id as usize) >= data.len(),
+            "inserted id {id} collides with build-time ids"
+        );
+    }
+
+    // Each inserted interval is immediately searchable under its id,
+    // and the id routes its delete back to the right shard.
+    for (i, &id) in ids.iter().enumerate() {
+        let q = Interval::new(i as i64 * 10, i as i64 * 10 + 5);
+        assert!(engine.search(q).unwrap().contains(&id));
+        assert_eq!(engine.remove(id), Ok(()));
+        assert!(!engine.search(q).unwrap().contains(&id));
+        // A retired id is gone for good.
+        assert_eq!(engine.remove(id), Err(UpdateError::UnknownId { id }));
+    }
+    assert_eq!(engine.len(), data.len());
+
+    // Batched pooled inserts report ids in input order and stay
+    // queryable; mixed `apply` batches answer in order.
+    let fresh: Vec<Interval64> = (0..40).map(|i| Interval::new(i * 3, i * 3 + 9)).collect();
+    let batch_ids = engine.extend_batch(&fresh).unwrap();
+    assert_eq!(batch_ids.len(), fresh.len());
+    for (iv, &id) in fresh.iter().zip(&batch_ids) {
+        assert!(engine.search(*iv).unwrap().contains(&id), "{iv:?}");
+    }
+    let out = engine.apply(&[
+        Mutation::Insert {
+            iv: Interval::new(7, 8),
+        },
+        Mutation::Delete { id: batch_ids[0] },
+        Mutation::Delete { id: 999_999 },
     ]);
-    assert_eq!(out[0], Response::Count(bf.range_count(q)));
-    assert_eq!(out[1].samples().unwrap().len(), 6);
-    assert!(matches!(out[2], Response::Unsupported(_)));
-    // Seeded replay through the shim matches the new path's draws.
-    let new = engine.run_seeded(&[Query::Sample { q, s: 6 }], 0xFEED);
-    let old = engine.execute_seeded(&[Request::Sample { q, s: 6 }], 0xFEED);
+    assert!(matches!(out[0], Ok(UpdateOutput::Inserted(_))));
+    assert_eq!(out[1], Ok(UpdateOutput::Removed));
+    assert_eq!(out[2], Err(UpdateError::UnknownId { id: 999_999 }));
+}
+
+/// Mutations on a static kind fail typed without touching any worker,
+/// and a dead shard surfaces as `UpdateError::ShardFailed` on the
+/// mutation path exactly as `QueryError::ShardFailed` does on queries.
+#[test]
+fn engine_mutation_errors_are_typed() {
+    let data = dataset(400, 89);
+    let mut kds = Engine::try_new(&data, EngineConfig::new(IndexKind::Kds).shards(2)).unwrap();
+    assert!(!kds.capabilities().update);
+    assert!(matches!(
+        kds.insert(Interval::new(1, 2)),
+        Err(UpdateError::UnsupportedKind { kind: "kds", .. })
+    ));
+
+    // Weighted insert into an unweighted dynamic build: NotWeighted.
+    let mut dyn_uniform =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::AwitDynamic).shards(2)).unwrap();
     assert_eq!(
-        old[0].samples().unwrap(),
-        new[0].as_ref().unwrap().samples().unwrap()
+        dyn_uniform.insert_weighted(Interval::new(1, 2), 3.0),
+        Err(UpdateError::NotWeighted)
+    );
+    // Weighted insert into AIT: structurally unsupported.
+    let mut ait = Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(2)).unwrap();
+    assert!(matches!(
+        ait.insert_weighted(Interval::new(1, 2), 3.0),
+        Err(UpdateError::UnsupportedKind { kind: "ait", .. })
+    ));
+    // Bad weights bounce off the shared gate before any routing.
+    let weights = irs::datagen::uniform_weights(data.len(), 5);
+    let mut dyn_weighted = Engine::try_new_weighted(
+        &data,
+        &weights,
+        EngineConfig::new(IndexKind::AwitDynamic).shards(2),
+    )
+    .unwrap();
+    assert_eq!(
+        dyn_weighted.insert_weighted(Interval::new(1, 2), -1.0),
+        Err(UpdateError::InvalidWeight { value: -1.0 })
+    );
+
+    // A dead shard errs mutations with the same persistence as queries.
+    let mut broken =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(3).seed(7)).unwrap();
+    broken.crash_shard_for_tests(1);
+    let out = broken.apply(&[
+        Mutation::Insert {
+            iv: Interval::new(0, 1),
+        },
+        Mutation::Insert {
+            iv: Interval::new(2, 3),
+        },
+        Mutation::Insert {
+            iv: Interval::new(4, 5),
+        },
+    ]);
+    assert!(
+        out.iter()
+            .any(|r| matches!(r, Err(UpdateError::ShardFailed { shard: 1 }))),
+        "least-loaded routing must eventually hit the dead shard: {out:?}"
+    );
+
+    // `extend_batch` is all-or-nothing: with a dead shard in the mix it
+    // errs, rolls back the inserts that landed on healthy shards, and
+    // leaves the live count (and the query results) unchanged.
+    let len_before = broken.len();
+    let batch: Vec<Interval64> = (0..6).map(|i| Interval::new(-1000 + i, -995 + i)).collect();
+    let out = broken.extend_batch(&batch);
+    assert!(
+        matches!(out, Err(UpdateError::ShardFailed { .. })),
+        "{out:?}"
+    );
+    // The inserts that landed on healthy shards were rolled back, so
+    // the live count — total and per shard — is unchanged. (Queries
+    // can't confirm it: the dead shard errs every batch by design.)
+    assert_eq!(broken.len(), len_before, "rollback must restore len");
+    assert_eq!(
+        broken.shard_lens().iter().sum::<usize>(),
+        len_before,
+        "per-shard loads must match after rollback: {:?}",
+        broken.shard_lens()
     );
 }
