@@ -18,7 +18,7 @@ use irs_core::{
     vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeSampler,
 };
 use irs_sampling::AliasTable;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Rejection-sampling telemetry for one `sample_into` call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -112,17 +112,40 @@ impl<E: Endpoint> AitV<E> {
 
 /// Phase-2 handle of AIT-V: records over the virtual AIT plus the state
 /// needed for rejection sampling.
+///
+/// All phase-1 state (the record set and the alias table over it) is
+/// immutable after [`AitV::prepare`], so one handle can serve draws
+/// from many threads; the telemetry counters are atomics, accumulated
+/// once per `sample_into` call from per-call stack scratch.
 pub struct AitVPrepared<'a, E> {
     aitv: &'a AitV<E>,
     q: Interval<E>,
     records: Vec<NodeRecord>,
-    stats: Cell<RejectionStats>,
+    /// Alias table over the records' lengths, built once in phase 1
+    /// (`None` iff `records` is empty).
+    alias: Option<AliasTable>,
+    attempts: AtomicU64,
+    accepted: AtomicU64,
+    fallbacks: AtomicU64,
 }
 
 impl<'a, E: Endpoint> AitVPrepared<'a, E> {
     /// Telemetry from the draws performed so far on this handle.
+    ///
+    /// Each counter is exact over completed `sample_into` calls. With
+    /// draws *in flight* on other threads the three counters are read
+    /// independently (relaxed atomics, no cross-counter ordering), so
+    /// the snapshot is approximate — each field is monotone and
+    /// correct on its own, but cross-field ratios may be slightly off
+    /// until the concurrent calls finish. (Note `accepted > attempts`
+    /// is possible even single-threaded: the exact-enumeration
+    /// fallback produces samples without per-draw attempts.)
     pub fn stats(&self) -> RejectionStats {
-        self.stats.get()
+        RejectionStats {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
     }
 
     /// Enumerates the true result set by scanning every candidate bucket —
@@ -162,12 +185,13 @@ impl<E: Endpoint> PreparedSampler for AitVPrepared<'_, E> {
     }
 
     fn sample_into<R: rand::RngCore + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<ItemId>) {
-        if self.records.is_empty() || s == 0 {
+        let (Some(alias), false) = (&self.alias, s == 0) else {
             return;
-        }
-        let weights: Vec<f64> = self.records.iter().map(|r| r.len() as f64).collect();
-        let alias = AliasTable::new(&weights);
-        let mut stats = self.stats.get();
+        };
+        // Per-call scratch: counters accumulate on the stack and are
+        // folded into the shared atomics once, at the end — no mutable
+        // phase-1 state is touched during the draws.
+        let mut stats = RejectionStats::default();
 
         // Rejection cap per *query* (not per draw): if the acceptance rate
         // is so low that we burn this many attempts, fall back to exact
@@ -181,7 +205,7 @@ impl<E: Endpoint> PreparedSampler for AitVPrepared<'_, E> {
                 let exact = self.enumerate_exact();
                 if exact.is_empty() {
                     // True result set is empty: nothing can be sampled.
-                    self.stats.set(stats);
+                    self.accumulate(stats);
                     return;
                 }
                 while produced < s {
@@ -211,7 +235,16 @@ impl<E: Endpoint> PreparedSampler for AitVPrepared<'_, E> {
                 stats.accepted += 1;
             }
         }
-        self.stats.set(stats);
+        self.accumulate(stats);
+    }
+}
+
+impl<E: Endpoint> AitVPrepared<'_, E> {
+    /// Folds one call's stack-local counters into the shared telemetry.
+    fn accumulate(&self, stats: RejectionStats) {
+        self.attempts.fetch_add(stats.attempts, Ordering::Relaxed);
+        self.accepted.fetch_add(stats.accepted, Ordering::Relaxed);
+        self.fallbacks.fetch_add(stats.fallbacks, Ordering::Relaxed);
     }
 }
 
@@ -224,11 +257,21 @@ impl<E: Endpoint> RangeSampler<E> for AitV<E> {
         self.virtual_ait
             .collect_records(q, &mut records, &mut pool_matches);
         debug_assert!(pool_matches.is_empty(), "AIT-V is static; no pool expected");
+        // The alias table is phase-1 state: build it here, once, so the
+        // draws share it immutably (and repeat draws on one handle stop
+        // paying the construction).
+        let alias = (!records.is_empty()).then(|| {
+            let weights: Vec<f64> = records.iter().map(|r| r.len() as f64).collect();
+            AliasTable::new(&weights)
+        });
         AitVPrepared {
             aitv: self,
             q,
             records,
-            stats: Cell::new(RejectionStats::default()),
+            alias,
+            attempts: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
         }
     }
 }

@@ -24,6 +24,11 @@
 //!
 //! // Capability discovery instead of probe-and-catch:
 //! assert!(!client.capabilities().weighted_sample); // no weights supplied
+//!
+//! // Share it: a clone is a cheap handle to the same backend, and
+//! // queries from many threads run concurrently.
+//! let handle = client.clone();
+//! std::thread::spawn(move || handle.count(q)).join().unwrap()?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -43,16 +48,28 @@
 //!   `Client` follows exactly the distribution of the underlying
 //!   structure, monolithic or sharded (the engine's multinomial
 //!   allocation argument; chi-square suites pin both paths).
-//! - **Mutation is first-class**: on update-capable kinds
-//!   ([`IndexKind::Ait`], [`IndexKind::AwitDynamic`]) the client
+//! - **The handle is shared-by-clone.** `Client` is `Clone + Send +
+//!   Sync`; clones address the same index. Query methods take `&self`
+//!   and run concurrently from any number of threads (shared read
+//!   locks on the monolithic backend, the engine's concurrent read
+//!   path on the sharded one).
+//! - **Mutation is first-class, and writer-gated.** On update-capable
+//!   kinds ([`IndexKind::Ait`], [`IndexKind::AwitDynamic`]) the client
 //!   ingests while it serves — [`Client::insert`],
 //!   [`Client::insert_weighted`], [`Client::remove`],
 //!   [`Client::extend_batch`] (pooled batch insertion), and
-//!   [`Client::apply`] for mixed batches. Mutations take `&mut self`
-//!   (queries stay `&self`), failures are the typed
-//!   [`irs_core::UpdateError`] taxonomy, and inserted ids are stable:
-//!   the id an insert returns is the id queries report and the id a
-//!   later [`Client::remove`] takes, on both backends.
+//!   [`Client::apply`] for mixed batches, all `&mut self` on the
+//!   handle. Clones that share a backend coordinate explicitly through
+//!   [`Client::writer`], which hands out the one writer seat
+//!   ([`ClientWriter`]) — mutations from different clones serialize
+//!   there, and a query never observes a torn *shard*: each shard's
+//!   slice of a mutation batch applies atomically under that shard's
+//!   write lock (on the monolithic backend the whole batch is one
+//!   such slice; on the sharded backend a concurrent query may see a
+//!   multi-shard batch land shard by shard). Failures
+//!   are the typed [`irs_core::UpdateError`] taxonomy, and inserted
+//!   ids are stable: the id an insert returns is the id queries report
+//!   and the id a later [`Client::remove`] takes, on both backends.
 
 #![deny(missing_docs)]
 
@@ -67,8 +84,8 @@ use irs_core::{
 use irs_engine::{DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Namespace for the facade's entry point: [`Irs::builder`].
 pub struct Irs;
@@ -107,7 +124,7 @@ impl IrsBuilder {
 
     /// Selects the backend: `1` (the default, clamped to ≥ 1) serves
     /// queries from one in-process index; `k > 1` builds the sharded
-    /// [`Engine`] with `k` worker threads.
+    /// [`Engine`] with `k` shards.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
@@ -150,68 +167,105 @@ impl IrsBuilder {
             Backend::Sharded(engine)
         } else {
             Backend::Mono {
-                index: self.kind.build_index(data, self.weights.as_deref()),
-                rng: Mutex::new(SmallRng::seed_from_u64(self.seed)),
+                index: RwLock::new(self.kind.build_index(data, self.weights.as_deref())),
+                batch_counter: AtomicU64::new(0),
             }
         };
         Ok(Client {
-            backend,
-            kind: self.kind,
-            weighted,
-            len: data.len(),
-            seed: self.seed,
-            stream_counter: AtomicU64::new(0),
+            shared: Arc::new(ClientShared {
+                backend,
+                kind: self.kind,
+                weighted,
+                len: AtomicUsize::new(data.len()),
+                seed: self.seed,
+                stream_counter: AtomicU64::new(0),
+                writer: Mutex::new(()),
+            }),
         })
     }
 }
 
+/// Salts the monolithic backend's per-batch draw streams apart from
+/// the seed itself and from the stream-counter derivation.
+const MONO_BATCH_SALT: u64 = 0x10_0717_BA7C;
+
 /// Where a [`Client`] sends its queries.
 enum Backend<E> {
     /// One in-process index behind the object-safe [`DynIndex`] facade;
-    /// ids it reports are already dataset-global. The RNG serves the
-    /// unseeded [`Client::run`] path (the engine manages its own).
+    /// ids it reports are already dataset-global. Queries hold the read
+    /// side of the lock, the writer seat takes the write side. Each
+    /// unseeded sampling batch derives its own draw stream from the
+    /// counter (exactly like the engine), so concurrent callers never
+    /// serialize on a shared RNG.
     Mono {
-        index: Box<dyn DynIndex<E>>,
-        rng: Mutex<SmallRng>,
+        index: RwLock<Box<dyn DynIndex<E>>>,
+        batch_counter: AtomicU64,
     },
-    /// The sharded worker-per-shard engine.
+    /// The sharded engine (itself a shared, clonable service).
     Sharded(Engine<E>),
+}
+
+/// The state every clone of a [`Client`] shares.
+struct ClientShared<E> {
+    backend: Backend<E>,
+    kind: IndexKind,
+    weighted: bool,
+    /// Live intervals; atomic so `len()` never takes the writer lock.
+    len: AtomicUsize,
+    seed: u64,
+    /// Decorrelates the draw streams of successive [`SampleStream`]s
+    /// on the monolithic backend.
+    stream_counter: AtomicU64,
+    /// The single writer seat: mutations from every clone serialize
+    /// here (see [`Client::writer`]).
+    writer: Mutex<()>,
 }
 
 /// A handle serving one-shot queries, batches, sample streams, and —
 /// on update-capable kinds — live mutations over either backend. Build
 /// one with [`Irs::builder`].
 ///
-/// Query methods take `&self` and are safe to share across threads;
-/// mutation methods take `&mut self`, so the borrow checker guarantees
-/// the dataset never changes under an in-flight query or stream.
+/// The handle is cheap to clone (`Arc` under the hood) and
+/// `Send + Sync`: clones address the same index, and query methods
+/// (`&self`) run concurrently from any number of threads. Mutation
+/// methods take `&mut self` on the handle as single-owner convenience;
+/// across clones they all funnel through the shared writer seat
+/// ([`Client::writer`]), so two clones can never interleave mutation
+/// batches, and a query never observes a torn shard — each shard's
+/// slice of a mutation batch applies atomically under the shard's
+/// write lock (the whole batch, on the monolithic backend; per shard,
+/// on the sharded one, where a concurrent query may observe the
+/// sub-batches land shard by shard).
 pub struct Client<E> {
-    backend: Backend<E>,
-    kind: IndexKind,
-    weighted: bool,
-    len: usize,
-    seed: u64,
-    /// Decorrelates the draw streams of successive [`SampleStream`]s
-    /// on the monolithic backend.
-    stream_counter: AtomicU64,
+    shared: Arc<ClientShared<E>>,
+}
+
+// Manual impl: a clone is a new handle to the same backend, and must
+// not require `E: Clone` (derive would add that bound).
+impl<E> Clone for Client<E> {
+    fn clone(&self) -> Self {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl<E: GridEndpoint> Client<E> {
     /// The configured index kind.
     pub fn kind(&self) -> IndexKind {
-        self.kind
+        self.shared.kind
     }
 
     /// What this client supports, as queryable metadata. Operations
     /// denied here fail with a typed [`QueryError`]; operations claimed
     /// here succeed.
     pub fn capabilities(&self) -> Capabilities {
-        self.kind.capabilities(self.weighted)
+        self.shared.kind.capabilities(self.shared.weighted)
     }
 
     /// Number of shards behind the facade (1 = monolithic backend).
     pub fn shard_count(&self) -> usize {
-        match &self.backend {
+        match &self.shared.backend {
             Backend::Mono { .. } => 1,
             Backend::Sharded(engine) => engine.shard_count(),
         }
@@ -220,55 +274,77 @@ impl<E: GridEndpoint> Client<E> {
     /// Live intervals indexed (build-time data plus inserts minus
     /// removes).
     pub fn len(&self) -> usize {
-        self.len
+        self.shared.len.load(Ordering::SeqCst)
     }
 
     /// Whether the client holds zero intervals.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Whether per-interval weights were supplied at build time.
     pub fn is_weighted(&self) -> bool {
-        self.weighted
+        self.shared.weighted
     }
 
     /// Executes a batch: one `Result` per [`Query`], in order. An empty
     /// result set is `Ok` (empty samples / zero count), never an error.
+    /// An empty *batch* returns immediately without touching any lock.
     ///
     /// Each call advances the client's draw stream, so samples are
     /// independent across calls; use [`Client::run_seeded`] to pin the
-    /// stream.
+    /// stream. Safe to call concurrently from any number of clones.
     pub fn run(&self, queries: &[Query<E>]) -> Vec<Result<QueryOutput, QueryError>> {
-        match &self.backend {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        match &self.shared.backend {
             Backend::Sharded(engine) => engine.run(queries),
-            Backend::Mono { index, rng } => {
-                if queries.iter().any(Query::is_sampling) {
-                    // A poisoned lock means another batch panicked inside
-                    // an index; the RNG state is still fine to reuse.
-                    let mut rng = rng.lock().unwrap_or_else(|e| e.into_inner());
-                    self.run_mono(index.as_ref(), queries, &mut rng)
+            Backend::Mono {
+                index,
+                batch_counter,
+            } => {
+                let Ok(guard) = index.read() else {
+                    // Poisoned: a mutation panicked midway, the index
+                    // may be torn — same verdict as a dead shard.
+                    return vec![Err(QueryError::ShardFailed { shard: 0 }); queries.len()];
+                };
+                // Per-batch derived draw stream (sampling batches only
+                // advance the counter): concurrent callers never share
+                // — or serialize on — RNG state.
+                let mut rng = if queries.iter().any(Query::is_sampling) {
+                    let batch = batch_counter.fetch_add(1, Ordering::Relaxed);
+                    SmallRng::seed_from_u64(
+                        (self.shared.seed ^ MONO_BATCH_SALT).wrapping_add(mix(batch)),
+                    )
                 } else {
-                    // Read-only batch: skip the RNG lock so concurrent
-                    // count/search/stab callers don't serialize on it.
-                    let mut unused = SmallRng::seed_from_u64(0);
-                    self.run_mono(index.as_ref(), queries, &mut unused)
-                }
+                    SmallRng::seed_from_u64(0) // never drawn from
+                };
+                self.run_mono(&**guard, queries, &mut rng)
             }
         }
     }
 
     /// [`Client::run`] with an explicit seed: identical seed, batch,
-    /// and client config reproduce identical results.
+    /// and client config reproduce identical results — regardless of
+    /// what other threads are doing to the same backend's *query* side
+    /// (concurrent mutations, of course, change the data being
+    /// sampled).
     pub fn run_seeded(
         &self,
         queries: &[Query<E>],
         seed: u64,
     ) -> Vec<Result<QueryOutput, QueryError>> {
-        match &self.backend {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        match &self.shared.backend {
             Backend::Sharded(engine) => engine.run_seeded(queries, seed),
             Backend::Mono { index, .. } => {
-                self.run_mono(index.as_ref(), queries, &mut SmallRng::seed_from_u64(seed))
+                let Ok(guard) = index.read() else {
+                    return vec![Err(QueryError::ShardFailed { shard: 0 }); queries.len()];
+                };
+                self.run_mono(&**guard, queries, &mut SmallRng::seed_from_u64(seed))
             }
         }
     }
@@ -314,8 +390,35 @@ impl<E: GridEndpoint> Client<E> {
         }
     }
 
+    /// Claims the backend's single writer seat, blocking until any
+    /// other clone's mutation (or writer guard) finishes.
+    ///
+    /// This is how clones that share a backend mutate it: queries stay
+    /// `&self` and concurrent, while every mutation — whether issued
+    /// through the guard or through the `&mut self` convenience
+    /// methods — holds this seat for the duration of its batch.
+    ///
+    /// ```
+    /// # use irs_client::Irs;
+    /// # use irs_engine::IndexKind;
+    /// # use irs_core::Interval;
+    /// let data: Vec<_> = (0..100i64).map(|i| Interval::new(i, i + 5)).collect();
+    /// let client = Irs::builder().kind(IndexKind::Ait).build(&data)?;
+    /// let shared = client.clone(); // e.g. handed to another thread
+    /// let id = shared.writer().insert(Interval::new(7, 9))?;
+    /// assert!(client.search(Interval::new(7, 9))?.contains(&id));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn writer(&self) -> ClientWriter<'_, E> {
+        ClientWriter {
+            client: self,
+            _seat: self.shared.writer.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
     /// Applies a batch of typed [`Mutation`]s: one `Result` per
-    /// mutation, in order, identically over both backends.
+    /// mutation, in order, identically over both backends. Equivalent
+    /// to [`ClientWriter::apply`] on a freshly claimed writer seat.
     ///
     /// Capability-gated up front: on a kind whose
     /// [`Client::capabilities`] report `update == false`, every
@@ -324,22 +427,7 @@ impl<E: GridEndpoint> Client<E> {
     /// the least-loaded shard and removes to the shard that owns the
     /// id; ids stay stable either way (see [`Client::insert`]).
     pub fn apply(&mut self, muts: &[Mutation<E>]) -> Vec<Result<UpdateOutput, UpdateError>> {
-        let (kind, weighted) = (self.kind, self.weighted);
-        match &mut self.backend {
-            Backend::Sharded(engine) => {
-                let out = engine.apply(muts);
-                self.len = engine.len();
-                out
-            }
-            Backend::Mono { index, .. } => {
-                let out: Vec<_> = muts
-                    .iter()
-                    .map(|&m| apply_mono(kind, weighted, index.as_mut(), m, false))
-                    .collect();
-                self.len = bookkept_len(self.len, &out);
-                out
-            }
-        }
+        self.writer().apply(muts)
     }
 
     /// Inserts one interval immediately (the paper's §III-D one-by-one
@@ -351,10 +439,7 @@ impl<E: GridEndpoint> Client<E> {
     /// the monolithic and the sharded backend. On a weighted
     /// update-capable backend the interval joins with weight `1.0`.
     pub fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
-        match self.apply(&[Mutation::Insert { iv }]).swap_remove(0)? {
-            UpdateOutput::Inserted(id) => Ok(id),
-            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
-        }
+        self.writer().insert(iv)
     }
 
     /// Inserts one *weighted* interval (Problem 2), returning its
@@ -362,11 +447,7 @@ impl<E: GridEndpoint> Client<E> {
     /// construction-time weights; requires an update-capable kind built
     /// with weights ([`IndexKind::AwitDynamic`] + `.weights(w)`).
     pub fn insert_weighted(&mut self, iv: Interval<E>, weight: f64) -> Result<ItemId, UpdateError> {
-        let muts = [Mutation::InsertWeighted { iv, weight }];
-        match self.apply(&muts).swap_remove(0)? {
-            UpdateOutput::Inserted(id) => Ok(id),
-            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
-        }
+        self.writer().insert_weighted(iv, weight)
     }
 
     /// Removes the live interval behind `id`. After `Ok`, the id never
@@ -374,9 +455,7 @@ impl<E: GridEndpoint> Client<E> {
     /// removing an id that is not live (never issued, or already
     /// removed) is [`UpdateError::UnknownId`].
     pub fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
-        self.apply(&[Mutation::Delete { id }])
-            .swap_remove(0)
-            .map(|_| ())
+        self.writer().remove(id)
     }
 
     /// Inserts a batch of intervals through the structure's insertion
@@ -391,81 +470,23 @@ impl<E: GridEndpoint> Client<E> {
     /// first error is returned, so an `Err` never strands intervals
     /// the caller has no ids for.
     pub fn extend_batch(&mut self, ivs: &[Interval<E>]) -> Result<Vec<ItemId>, UpdateError> {
-        let (kind, weighted) = (self.kind, self.weighted);
-        match &mut self.backend {
-            Backend::Sharded(engine) => {
-                let out = engine.extend_batch(ivs);
-                self.len = engine.len();
-                out
-            }
-            Backend::Mono { index, .. } => {
-                let mut ids = Vec::with_capacity(ivs.len());
-                let mut first_err = None;
-                for &iv in ivs {
-                    match apply_mono(
-                        kind,
-                        weighted,
-                        index.as_mut(),
-                        Mutation::Insert { iv },
-                        true,
-                    ) {
-                        Ok(UpdateOutput::Inserted(id)) => {
-                            ids.push(id);
-                            self.len += 1;
-                        }
-                        Ok(UpdateOutput::Removed) => {
-                            first_err = Some(UpdateError::UnsupportedKind {
-                                kind: kind.name(),
-                                reason: "client protocol error: mismatched update output variant",
-                            });
-                            break;
-                        }
-                        Err(e) => {
-                            first_err = Some(e);
-                            break;
-                        }
-                    }
-                }
-                match first_err {
-                    None => Ok(ids),
-                    Some(e) => {
-                        // Roll the applied prefix back so an `Err`
-                        // leaves the dataset unchanged.
-                        for id in ids {
-                            let rollback = Mutation::Delete { id };
-                            if apply_mono(kind, weighted, index.as_mut(), rollback, false).is_ok() {
-                                self.len = self.len.saturating_sub(1);
-                            }
-                        }
-                        Err(e)
-                    }
-                }
-            }
-        }
+        self.writer().extend_batch(ivs)
     }
 
-    /// A mismatched update output can only mean a facade bug; report it
-    /// as a typed error rather than panicking the caller.
-    fn mutation_protocol_error(&self) -> UpdateError {
-        UpdateError::UnsupportedKind {
-            kind: self.kind.name(),
-            reason: "client protocol error: mismatched update output variant",
-        }
-    }
-
-    /// A prepare-once-draw-many uniform sample stream over `q ∩ X`.
+    /// A chunked, prepare-amortizing uniform sample stream over `q ∩ X`.
     ///
-    /// On the monolithic backend, phase 1 (candidate computation) runs
-    /// exactly once, here; every draw afterwards costs only phase 2.
-    /// On the sharded backend the stream refills through engine
-    /// batches, re-preparing per refill — raise
-    /// [`SampleStream::with_chunk`] to amortize. See [`SampleStream`]
-    /// for the termination and error contract.
+    /// Draws are fetched from the backend in chunks of
+    /// [`SampleStream::with_chunk`] size; each refill takes the
+    /// backend's read side briefly (so concurrent writers interleave
+    /// *between* refills, and a refill samples the then-current data).
+    /// Use [`SampleStream::draw_into`] to reuse one output buffer
+    /// across refills. See [`SampleStream`] for the termination and
+    /// error contract.
     pub fn sample_stream(&self, q: Interval<E>) -> Result<SampleStream<'_, E>, QueryError> {
         self.stream(q, Operation::UniformSample)
     }
 
-    /// A prepare-once-draw-many *weighted* sample stream over `q ∩ X`.
+    /// A chunked, prepare-amortizing *weighted* sample stream over `q ∩ X`.
     pub fn weighted_sample_stream(
         &self,
         q: Interval<E>,
@@ -475,15 +496,16 @@ impl<E: GridEndpoint> Client<E> {
 
     fn stream(&self, q: Interval<E>, op: Operation) -> Result<SampleStream<'_, E>, QueryError> {
         if !self.capabilities().supports(op) {
-            return Err(self.kind.unsupported_error(self.weighted, op));
+            return Err(self.shared.kind.unsupported_error(self.shared.weighted, op));
         }
-        let rng_seed = self.seed ^ mix(self.stream_counter.fetch_add(1, Ordering::Relaxed) + 1);
-        stream::new_stream(self, q, op, rng_seed)
+        let counter = self.shared.stream_counter.fetch_add(1, Ordering::Relaxed);
+        let rng_seed = self.shared.seed ^ mix(counter + 1);
+        Ok(stream::new_stream(self, q, op, rng_seed))
     }
 
     /// The backend, for the stream module.
     pub(crate) fn backend(&self) -> &Backend<E> {
-        &self.backend
+        &self.shared.backend
     }
 
     /// Runs a whole batch against the monolithic index. Ids the index
@@ -500,7 +522,7 @@ impl<E: GridEndpoint> Client<E> {
             .map(|query| {
                 let op = query.operation();
                 if !caps.supports(op) {
-                    return Err(self.kind.unsupported_error(self.weighted, op));
+                    return Err(self.shared.kind.unsupported_error(self.shared.weighted, op));
                 }
                 match *query {
                     Query::Count { q } => Ok(QueryOutput::Count(index.count(q))),
@@ -518,17 +540,17 @@ impl<E: GridEndpoint> Client<E> {
                         // `prepare` returning `None` despite a positive
                         // capability claim would be an index bug; map it
                         // to the typed error rather than panicking.
-                        let handle = index
-                            .prepare(q)
-                            .ok_or_else(|| self.kind.unsupported_error(self.weighted, op))?;
+                        let handle = index.prepare(q).ok_or_else(|| {
+                            self.shared.kind.unsupported_error(self.shared.weighted, op)
+                        })?;
                         let mut out = Vec::with_capacity(s);
                         handle.sample_into_dyn(rng as &mut dyn RngCore, s, &mut out);
                         Ok(QueryOutput::Samples(out))
                     }
                     Query::SampleWeighted { q, s } => {
-                        let handle = index
-                            .prepare_weighted(q)
-                            .ok_or_else(|| self.kind.unsupported_error(self.weighted, op))?;
+                        let handle = index.prepare_weighted(q).ok_or_else(|| {
+                            self.shared.kind.unsupported_error(self.shared.weighted, op)
+                        })?;
                         let mut out = Vec::with_capacity(s);
                         handle.sample_into_dyn(rng as &mut dyn RngCore, s, &mut out);
                         Ok(QueryOutput::Samples(out))
@@ -537,6 +559,148 @@ impl<E: GridEndpoint> Client<E> {
             })
             .collect()
     }
+}
+
+/// The backend's single writer seat, claimed with [`Client::writer`].
+///
+/// Holding a `ClientWriter` excludes every other mutation — from this
+/// clone or any other — for as long as it lives; queries keep running
+/// concurrently and see each mutation batch atomically. Drop the guard
+/// (or let it go out of scope) to release the seat.
+pub struct ClientWriter<'a, E> {
+    client: &'a Client<E>,
+    _seat: MutexGuard<'a, ()>,
+}
+
+impl<E: GridEndpoint> ClientWriter<'_, E> {
+    /// See [`Client::apply`].
+    pub fn apply(&mut self, muts: &[Mutation<E>]) -> Vec<Result<UpdateOutput, UpdateError>> {
+        let shared = &*self.client.shared;
+        match &shared.backend {
+            Backend::Sharded(engine) => {
+                let out = engine.apply(muts);
+                shared.len.store(engine.len(), Ordering::SeqCst);
+                out
+            }
+            Backend::Mono { index, .. } => {
+                let out = with_mono_write(index, |idx| {
+                    muts.iter()
+                        .map(|&m| apply_mono(shared.kind, shared.weighted, idx, m, false))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_else(|| vec![Err(UpdateError::ShardFailed { shard: 0 }); muts.len()]);
+                shared.len.store(
+                    bookkept_len(shared.len.load(Ordering::SeqCst), &out),
+                    Ordering::SeqCst,
+                );
+                out
+            }
+        }
+    }
+
+    /// See [`Client::insert`].
+    pub fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+        match self.apply(&[Mutation::Insert { iv }]).swap_remove(0)? {
+            UpdateOutput::Inserted(id) => Ok(id),
+            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
+        }
+    }
+
+    /// See [`Client::insert_weighted`].
+    pub fn insert_weighted(&mut self, iv: Interval<E>, weight: f64) -> Result<ItemId, UpdateError> {
+        let muts = [Mutation::InsertWeighted { iv, weight }];
+        match self.apply(&muts).swap_remove(0)? {
+            UpdateOutput::Inserted(id) => Ok(id),
+            UpdateOutput::Removed => Err(self.mutation_protocol_error()),
+        }
+    }
+
+    /// See [`Client::remove`].
+    pub fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
+        self.apply(&[Mutation::Delete { id }])
+            .swap_remove(0)
+            .map(|_| ())
+    }
+
+    /// See [`Client::extend_batch`].
+    pub fn extend_batch(&mut self, ivs: &[Interval<E>]) -> Result<Vec<ItemId>, UpdateError> {
+        let shared = &*self.client.shared;
+        match &shared.backend {
+            Backend::Sharded(engine) => {
+                let out = engine.extend_batch(ivs);
+                shared.len.store(engine.len(), Ordering::SeqCst);
+                out
+            }
+            Backend::Mono { index, .. } => {
+                let (kind, weighted) = (shared.kind, shared.weighted);
+                let mut delta: isize = 0;
+                let result = with_mono_write(index, |idx| {
+                    let mut ids = Vec::with_capacity(ivs.len());
+                    let mut first_err = None;
+                    for &iv in ivs {
+                        match apply_mono(kind, weighted, idx, Mutation::Insert { iv }, true) {
+                            Ok(UpdateOutput::Inserted(id)) => {
+                                ids.push(id);
+                                delta += 1;
+                            }
+                            Ok(UpdateOutput::Removed) => {
+                                first_err = Some(UpdateError::UnsupportedKind {
+                                    kind: kind.name(),
+                                    reason:
+                                        "client protocol error: mismatched update output variant",
+                                });
+                                break;
+                            }
+                            Err(e) => {
+                                first_err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    match first_err {
+                        None => Ok(ids),
+                        Some(e) => {
+                            // Roll the applied prefix back so an `Err`
+                            // leaves the dataset unchanged.
+                            for id in ids {
+                                let rollback = Mutation::Delete { id };
+                                if apply_mono(kind, weighted, idx, rollback, false).is_ok() {
+                                    delta -= 1;
+                                }
+                            }
+                            Err(e)
+                        }
+                    }
+                })
+                .unwrap_or(Err(UpdateError::ShardFailed { shard: 0 }));
+                let len = shared.len.load(Ordering::SeqCst);
+                shared
+                    .len
+                    .store(len.saturating_add_signed(delta), Ordering::SeqCst);
+                result
+            }
+        }
+    }
+
+    /// A mismatched update output can only mean a facade bug; report it
+    /// as a typed error rather than panicking the caller.
+    fn mutation_protocol_error(&self) -> UpdateError {
+        UpdateError::UnsupportedKind {
+            kind: self.client.shared.kind.name(),
+            reason: "client protocol error: mismatched update output variant",
+        }
+    }
+}
+
+/// Runs `f` under the monolithic index's write lock; `None` if the lock
+/// is poisoned (a previous mutation panicked midway — the index may be
+/// torn, so refusing beats corrupting further).
+fn with_mono_write<E, T>(
+    index: &RwLock<Box<dyn DynIndex<E>>>,
+    f: impl FnOnce(&mut dyn DynIndex<E>) -> T,
+) -> Option<T> {
+    let mut guard = index.write().ok()?;
+    Some(f(guard.as_mut()))
 }
 
 /// A mismatched output variant can only mean a facade bug; report it as

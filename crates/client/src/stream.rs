@@ -1,9 +1,8 @@
-//! Prepare-once-draw-many sample streams.
+//! Chunked, buffer-reusing sample streams.
 
 use crate::{Backend, Client};
-use irs_core::erased::DynPreparedSampler;
 use irs_core::{GridEndpoint, Interval, ItemId, Operation, QueryError};
-use irs_engine::{Engine, Query, QueryOutput};
+use irs_engine::{Query, QueryOutput};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
@@ -15,17 +14,21 @@ const DEFAULT_CHUNK: usize = 512;
 ///
 /// Draws are **independent and unbounded**: the stream keeps yielding
 /// for as long as the result set is non-empty (cap it with
-/// [`Iterator::take`]). It ends (`None`) only when the result set is
-/// empty or the backend fails mid-stream; [`SampleStream::error`]
-/// distinguishes the two.
+/// [`Iterator::take`], or pull whole chunks with
+/// [`SampleStream::draw_into`]). It ends (`None` / an empty
+/// `draw_into`) only when the result set is empty or the backend fails
+/// mid-stream; [`SampleStream::error`] distinguishes the two.
 ///
-/// On the monolithic backend the query's candidate computation (phase 1
-/// of the paper's cost split) ran once, at stream creation; each draw
-/// afterwards costs only phase-2 work. On the sharded backend draws are
-/// fetched through engine batches of [`SampleStream::with_chunk`] size,
-/// re-preparing per refill.
+/// Draws are fetched in chunks of [`SampleStream::with_chunk`] size,
+/// so the query's candidate computation (phase 1 of the paper's cost
+/// split) is paid once per chunk, not per draw. Each refill briefly
+/// takes the backend's read side and samples the then-current data —
+/// on a live backend, draws within one chunk come from one snapshot,
+/// and concurrent writers interleave between chunks. The stream's
+/// internal buffer (and, with `draw_into`, the caller's buffer) is
+/// reused across refills, so steady-state drawing does not allocate.
 pub struct SampleStream<'a, E> {
-    source: Source<'a, E>,
+    client: &'a Client<E>,
     q: Interval<E>,
     weighted: bool,
     chunk: usize,
@@ -36,13 +39,6 @@ pub struct SampleStream<'a, E> {
     error: Option<QueryError>,
 }
 
-enum Source<'a, E> {
-    /// Phase-1 handle kept warm for the stream's whole life.
-    Mono(Box<dyn DynPreparedSampler + 'a>),
-    /// Draws fetched through engine batches.
-    Sharded(&'a Engine<E>),
-}
-
 /// Builds a stream over `client`'s backend; `op` is already
 /// capability-checked by the caller.
 pub(crate) fn new_stream<E: GridEndpoint>(
@@ -50,40 +46,23 @@ pub(crate) fn new_stream<E: GridEndpoint>(
     q: Interval<E>,
     op: Operation,
     rng_seed: u64,
-) -> Result<SampleStream<'_, E>, QueryError> {
-    let weighted = op == Operation::WeightedSample;
-    let source = match client.backend() {
-        Backend::Sharded(engine) => Source::Sharded(engine),
-        Backend::Mono { index, .. } => {
-            let handle = if weighted {
-                index.prepare_weighted(q)
-            } else {
-                index.prepare(q)
-            };
-            // `None` despite a positive capability claim would be an
-            // index bug; surface the typed error instead of panicking.
-            match handle {
-                Some(h) => Source::Mono(h),
-                None => return Err(client.kind().unsupported_error(client.is_weighted(), op)),
-            }
-        }
-    };
-    Ok(SampleStream {
-        source,
+) -> SampleStream<'_, E> {
+    SampleStream {
+        client,
         q,
-        weighted,
+        weighted: op == Operation::WeightedSample,
         chunk: DEFAULT_CHUNK,
         rng: SmallRng::seed_from_u64(rng_seed),
         buf: Vec::new(),
         exhausted: false,
         error: None,
-    })
+    }
 }
 
-impl<'a, E: GridEndpoint> SampleStream<'a, E> {
+impl<E: GridEndpoint> SampleStream<'_, E> {
     /// Sets how many draws are fetched from the backend per refill
-    /// (clamped to ≥ 1; default 512). Larger chunks amortize the
-    /// engine's batch round-trip on the sharded backend.
+    /// (clamped to ≥ 1; default 512). Larger chunks amortize phase-1
+    /// work and, on the sharded backend, the engine's batch overhead.
     pub fn with_chunk(mut self, chunk: usize) -> Self {
         self.chunk = chunk.max(1);
         self
@@ -95,44 +74,106 @@ impl<'a, E: GridEndpoint> SampleStream<'a, E> {
         self.error.as_ref()
     }
 
-    fn refill(&mut self) {
-        match &mut self.source {
-            Source::Mono(handle) => {
-                handle.sample_into_dyn(
-                    &mut self.rng as &mut dyn RngCore,
-                    self.chunk,
-                    &mut self.buf,
-                );
-            }
-            Source::Sharded(engine) => {
-                let query = if self.weighted {
-                    Query::SampleWeighted {
-                        q: self.q,
-                        s: self.chunk,
-                    }
+    /// Fills `out` (cleared first) with the next chunk of draws —
+    /// up to [`SampleStream::with_chunk`] of them — reusing `out`'s
+    /// capacity, so a prepare-once-draw-many loop that recycles one
+    /// buffer never allocates per draw:
+    ///
+    /// ```
+    /// # use irs_client::Irs;
+    /// # use irs_engine::IndexKind;
+    /// # use irs_core::{Interval, ItemId};
+    /// # let data: Vec<_> = (0..500i64).map(|i| Interval::new(i, i + 20)).collect();
+    /// # let client = Irs::builder().kind(IndexKind::Ait).build(&data)?;
+    /// let mut stream = client.sample_stream(Interval::new(100, 200))?;
+    /// let mut buf: Vec<ItemId> = Vec::new();
+    /// for _round in 0..4 {
+    ///     stream.draw_into(&mut buf); // refills in place, no realloc
+    ///     assert!(!buf.is_empty());
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// `out` left empty means the stream has ended: the result set is
+    /// empty, or the backend failed ([`SampleStream::error`] tells
+    /// which). Draws already buffered by iterator use are handed over
+    /// first, so mixing `next()` and `draw_into` never drops or
+    /// duplicates a draw.
+    pub fn draw_into(&mut self, out: &mut Vec<ItemId>) {
+        out.clear();
+        // Hand over anything the iterator side buffered.
+        out.append(&mut self.buf);
+        if self.exhausted || out.len() >= self.chunk {
+            return;
+        }
+        let before = out.len();
+        let need = self.chunk - before;
+        self.refill_into(need, out);
+        if out.len() == before {
+            // Empty refill: the result set is empty (or the backend
+            // failed — see `error()`); either way the stream is over.
+            self.exhausted = true;
+        }
+    }
+
+    /// Appends up to `n` fresh draws from the backend to `out`.
+    fn refill_into(&mut self, n: usize, out: &mut Vec<ItemId>) {
+        match self.client.backend() {
+            Backend::Mono { index, .. } => {
+                // Take the read side only for this refill, so writers
+                // interleave between chunks instead of starving behind
+                // a long-lived stream.
+                let Ok(guard) = index.read() else {
+                    self.error = Some(QueryError::ShardFailed { shard: 0 });
+                    return;
+                };
+                let handle = if self.weighted {
+                    guard.prepare_weighted(self.q)
                 } else {
-                    Query::Sample {
-                        q: self.q,
-                        s: self.chunk,
+                    guard.prepare(self.q)
+                };
+                match handle {
+                    Some(h) => h.sample_into_dyn(&mut self.rng as &mut dyn RngCore, n, out),
+                    // `None` despite a positive capability claim would
+                    // be an index bug; surface the typed error instead
+                    // of panicking.
+                    None => {
+                        self.error = Some(
+                            self.client
+                                .kind()
+                                .unsupported_error(self.client.is_weighted(), self.op()),
+                        );
                     }
+                }
+            }
+            Backend::Sharded(engine) => {
+                let query = if self.weighted {
+                    Query::SampleWeighted { q: self.q, s: n }
+                } else {
+                    Query::Sample { q: self.q, s: n }
                 };
                 match engine.run(&[query]).swap_remove(0) {
-                    Ok(QueryOutput::Samples(ids)) => self.buf = ids,
-                    Ok(_) => {
-                        self.error = Some(crate::protocol_error(if self.weighted {
-                            Operation::WeightedSample
-                        } else {
-                            Operation::UniformSample
-                        }));
-                    }
+                    // Move the engine's draw vector rather than copying
+                    // it; `append` leaves `out`'s capacity in place for
+                    // the next refill.
+                    Ok(QueryOutput::Samples(mut ids)) => out.append(&mut ids),
+                    Ok(_) => self.error = Some(crate::protocol_error(self.op())),
                     Err(e) => self.error = Some(e),
                 }
             }
         }
     }
+
+    fn op(&self) -> Operation {
+        if self.weighted {
+            Operation::WeightedSample
+        } else {
+            Operation::UniformSample
+        }
+    }
 }
 
-impl<'a, E: GridEndpoint> Iterator for SampleStream<'a, E> {
+impl<E: GridEndpoint> Iterator for SampleStream<'_, E> {
     type Item = ItemId;
 
     fn next(&mut self) -> Option<ItemId> {
@@ -142,7 +183,11 @@ impl<'a, E: GridEndpoint> Iterator for SampleStream<'a, E> {
         if self.exhausted {
             return None;
         }
-        self.refill();
+        // Refill the internal buffer in place (it keeps its capacity
+        // across refills).
+        let mut buf = std::mem::take(&mut self.buf);
+        self.refill_into(self.chunk, &mut buf);
+        self.buf = buf;
         if self.buf.is_empty() {
             // Empty refill: the result set is empty (or the backend
             // failed — see `error()`); either way the stream is over.

@@ -21,6 +21,18 @@
 //! `Box<dyn DynPreparedSampler>` implements [`PreparedSampler`] again, so
 //! erased handles can flow back into generic code unchanged.
 //!
+//! # Thread safety
+//!
+//! The trait requires `Send + Sync`: erased handles are the phase-1
+//! state the concurrent read path keeps warm across the allocation
+//! exchange, and many caller threads hold (and draw from) handles over
+//! the *same* shared index at once. Phase-1 state must therefore be
+//! immutable after `prepare` — all per-draw scratch lives on the
+//! caller's stack (or in the caller-provided `out` buffer), and any
+//! telemetry a handle keeps (AIT-V's rejection stats) must be updated
+//! race-free. The RNG is the one piece of per-call mutable state, and
+//! it is always caller-owned.
+//!
 //! [`candidate_count`]: PreparedSampler::candidate_count
 
 use crate::interval::ItemId;
@@ -28,7 +40,12 @@ use crate::traits::PreparedSampler;
 use rand::RngCore;
 
 /// Object-safe counterpart of [`PreparedSampler`].
-pub trait DynPreparedSampler {
+///
+/// `Send + Sync` is part of the contract (see the module docs): a
+/// handle may be created under a shared read guard on one thread and
+/// drawn from while other threads hold their own handles over the same
+/// index.
+pub trait DynPreparedSampler: Send + Sync {
     /// See [`PreparedSampler::candidate_count`].
     fn candidate_count(&self) -> usize;
 
@@ -55,7 +72,7 @@ pub trait DynPreparedSampler {
 /// Erases a [`PreparedSampler`] whose candidate count is exact.
 pub struct Erased<P>(pub P);
 
-impl<P: PreparedSampler> DynPreparedSampler for Erased<P> {
+impl<P: PreparedSampler + Send + Sync> DynPreparedSampler for Erased<P> {
     fn candidate_count(&self) -> usize {
         self.0.candidate_count()
     }
@@ -73,7 +90,7 @@ impl<P: PreparedSampler> DynPreparedSampler for Erased<P> {
 /// on the true result-set size (AIT-V).
 pub struct ErasedUpperBound<P>(pub P);
 
-impl<P: PreparedSampler> DynPreparedSampler for ErasedUpperBound<P> {
+impl<P: PreparedSampler + Send + Sync> DynPreparedSampler for ErasedUpperBound<P> {
     fn candidate_count(&self) -> usize {
         self.0.candidate_count()
     }

@@ -1,5 +1,5 @@
-//! The sharded engine: partitioning, worker threads, the two-phase
-//! scatter-gather batch protocol, and shard-routed mutations.
+//! The sharded engine: partitioning, the shared-shard concurrent read
+//! path, and worker-thread shard-routed mutations.
 //!
 //! # Sharding and the global-id scheme
 //!
@@ -18,58 +18,89 @@
 //! (`k = g mod K`), and query results keep reporting the same id for
 //! the same interval no matter how much churn happened in between.
 //!
-//! # Mutation routing
+//! # Concurrency model
 //!
-//! [`Engine::apply`] takes `&mut self` — the exclusive borrow *is* the
-//! lifecycle contract: no query batch can be in flight while the
-//! dataset changes, enforced at compile time rather than by a lock.
-//! Inserts go to the **least-loaded shard** (fewest live intervals,
-//! ties to the lowest shard id), which keeps shards balanced under
-//! sustained ingest; deletes go to the shard decoded from the global
-//! id. Each shard applies its sub-batch in order and replies with typed
-//! per-mutation results; a dead worker surfaces as
-//! [`UpdateError::ShardFailed`] with the same persistence semantics as
-//! the query path's `ShardFailed`.
+//! The engine is a **shared, clonable service**: [`Engine`] is a cheap
+//! `Arc` handle (`Clone + Send + Sync`), and every clone points at the
+//! same shard state. Each shard is a `RwLock<Box<dyn DynIndex>>`:
+//!
+//! - **Queries run on the calling thread.** [`Engine::run`] takes read
+//!   locks on every shard (in shard order, so lock acquisition is
+//!   hierarchical and cannot deadlock against writers), executes both
+//!   phases of the batch right there, and releases. Read locks are
+//!   shared, so `T` caller threads run `T` batches truly concurrently —
+//!   throughput scales with callers, not with an internal queue.
+//! - **Mutations run on the worker threads.** Each shard keeps one
+//!   worker that owns the write side: [`Engine::apply`] routes each
+//!   shard's sub-batch over a channel, and the worker applies it under
+//!   the shard's *write* lock — so a query batch observes each shard
+//!   either before or after a mutation sub-batch, never torn.
+//!   Mutation batches themselves serialize on an internal writer lock,
+//!   shared across clones.
+//!
+//! Determinism survives concurrency: [`Engine::run_seeded`] derives
+//! every stream it uses (the allocation stream and one draw stream per
+//! shard) from the caller's seed alone, and executes entirely on the
+//! calling thread — so its results are byte-identical no matter how
+//! many other threads are hammering the same engine, and identical to a
+//! single-threaded run.
 //!
 //! # Batch protocol
 //!
-//! [`Engine::run`] scatters the whole batch to every worker. Count,
-//! search, and stab queries finish in one pass (counts sum, id lists
-//! concatenate). Sampling queries need two phases to stay exact:
+//! Count, search, and stab queries finish in one pass over the shards
+//! (counts sum, id lists concatenate). Sampling queries take two phases
+//! to stay exact:
 //!
 //! 1. every shard runs candidate computation (phase 1 of the paper's
 //!    cost split) and reports its *allocation mass* — the exact local
 //!    result-set size `c_k` (uniform) or local weight mass `w_k`
 //!    (weighted);
 //! 2. the engine draws the per-shard sample counts `(s_1, …, s_K)` from
-//!    a multinomial with probabilities `m_k / Σm`, sends each shard its
-//!    allocation, and the shards draw from the prepared handles they
-//!    kept warm — no second candidate computation.
+//!    a multinomial with probabilities `m_k / Σm` and draws each
+//!    shard's allocation from the prepared handles phase 1 kept warm —
+//!    no second candidate computation.
+//!
+//! Both phases now run on the calling thread under the read guards, so
+//! the prepared handles (which borrow the shard indexes) never cross a
+//! thread and no cross-thread allocation exchange exists to deadlock.
+//! Per-batch temporaries (allocation matrix, multinomial scratch) come
+//! from a shared scratch pool rather than fresh allocations.
 //!
 //! Allocating multinomially by exact mass makes the sharded sampler
 //! *distribution-identical* to a monolithic index: for any interval `x`
 //! in shard `k`, `P(draw = x) = (m_k / Σm) · (w(x) / m_k) = w(x) / Σm`.
 //! AIT-V reports an upper bound as its candidate count (virtual slots),
-//! so its workers substitute the exact count from a range search —
+//! so the engine substitutes the exact count from a range search —
 //! flagged by [`DynPreparedSampler::count_is_exact`].
 //!
 //! # Failure model
 //!
-//! Nothing on the query path panics. Operations the engine's kind
-//! cannot serve return [`QueryError::UnsupportedOperation`] /
-//! [`QueryError::NotWeighted`], consistent with
-//! [`Engine::capabilities`]. A worker thread that dies (its index code
-//! panicked, or the process is tearing down) surfaces as
-//! [`QueryError::ShardFailed`]: if the death is observed before phase 1
-//! completes, every query of the batch errs (a partial cross-shard
-//! count or merge would be silently wrong); if it happens during phase
-//! 2, the batch's sampling queries err (their draws are lost) while
-//! its non-sampling answers stand — they were already complete, with
-//! every shard contributing, when the worker died. Every query of
-//! every *subsequent* batch errs, since the dead worker's channel
-//! stays closed. `Drop` never blocks on a dead worker: live workers
-//! exit on the shutdown message and dead ones have already unwound, so
-//! `join` returns immediately either way.
+//! Nothing on the query path panics — including when *index code*
+//! does. Operations the engine's kind cannot serve return
+//! [`QueryError::UnsupportedOperation`] / [`QueryError::NotWeighted`],
+//! consistent with [`Engine::capabilities`]. A shard counts as
+//! **failed** when its index has shown a bug, whichever side surfaced
+//! it first:
+//!
+//! - its mutation worker died (index panicked mid-mutation, or the
+//!   test crash hook fired): the worker's panic guard raises the
+//!   shard's dead flag strictly before its channel closes, and a panic
+//!   past the write guard additionally poisons the lock;
+//! - its index panicked during a query batch: the calling thread
+//!   contains the unwind (`catch_unwind` around the per-shard phase-1
+//!   and phase-2 work), raises the same dead flag, and the batch that
+//!   observed the panic fails wholesale.
+//!
+//! Either way the verdict is deterministic and engine-wide: every
+//! query of every batch that starts after the crash returns
+//! [`QueryError::ShardFailed`] (a partial cross-shard count or merge
+//! would be silently wrong), and mutations routed to the dead shard
+//! return [`UpdateError::ShardFailed`] without being applied — the
+//! dead flag gates the mutation scatter too, so a shard marked dead on
+//! the query side stops ingesting even though its worker thread still
+//! runs. `Drop` of the last handle never blocks on a dead worker: live
+//! workers exit on the shutdown message and dead ones have already
+//! unwound, so `join` returns immediately either way.
 
 use crate::kind::{DynIndex, IndexKind};
 use crate::query::{Query, QueryOutput};
@@ -80,9 +111,9 @@ use irs_core::{
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// Engine construction knobs.
@@ -90,7 +121,7 @@ use std::thread::JoinHandle;
 pub struct EngineConfig {
     /// Index structure built per shard.
     pub kind: IndexKind,
-    /// Shard (= worker thread) count; clamped to ≥ 1.
+    /// Shard count; clamped to ≥ 1.
     pub shards: usize,
     /// Base seed; every batch derives its draw streams from it, so an
     /// engine with a fixed config replays identically.
@@ -121,7 +152,7 @@ impl EngineConfig {
     }
 }
 
-/// Per-query phase-1 result a worker reports.
+/// Per-query phase-1 result computed on one shard.
 enum Partial {
     /// Sampling query: exact allocation mass (count or weight sum).
     Mass(f64),
@@ -130,18 +161,6 @@ enum Partial {
     /// The shard's index cannot serve this operation (the engine mints
     /// the matching typed error; all shards agree, sharing one kind).
     Unsupported,
-}
-
-/// One batch round-trip, scattered to every worker.
-struct Job<E> {
-    queries: Arc<Vec<Query<E>>>,
-    /// Per-worker draw seed for this batch.
-    seed: u64,
-    phase1_tx: Sender<(usize, Vec<Partial>)>,
-    /// Per-query sample allocation for this shard; only received when
-    /// the batch contains sampling queries.
-    alloc_rx: Receiver<Vec<usize>>,
-    phase2_tx: Sender<(usize, Vec<Vec<ItemId>>)>,
 }
 
 /// One shard's mutation answers: `(position, result)` pairs, in order.
@@ -157,8 +176,9 @@ struct MutJob<E> {
     reply: Sender<(usize, MutReplies)>,
 }
 
-enum Msg<E> {
-    Batch(Job<E>),
+/// Messages to a shard's mutation worker. Queries never touch the
+/// channel — they run on the calling thread against the shared locks.
+enum MutMsg<E> {
     Mutate(MutJob<E>),
     Shutdown,
     /// Test hook: panic the worker, simulating an index bug, to
@@ -167,7 +187,182 @@ enum Msg<E> {
     Crash,
 }
 
+/// A shard's index behind its reader/writer lock, shared between the
+/// engine handles (read side) and the shard's mutation worker (write
+/// side).
+type SharedIndex<E> = Arc<RwLock<Box<dyn DynIndex<E>>>>;
+
+/// One shard: the index behind its reader/writer lock, the mutation
+/// worker's channel, and the worker's health flag.
+struct Shard<E> {
+    /// The shard's index. Queries hold the read side; the mutation
+    /// worker takes the write side per sub-batch.
+    index: SharedIndex<E>,
+    /// Raised by the worker's panic guard *before* its channel closes,
+    /// so both crash signals (flag and closed channel) agree by the
+    /// time either is observable.
+    dead: Arc<AtomicBool>,
+    /// The mutation worker's inbox.
+    tx: Sender<MutMsg<E>>,
+}
+
+/// Mutation-side bookkeeping, guarded by the engine's writer lock so
+/// mutation batches from different clones serialize.
+struct WriterState {
+    /// Live intervals per shard — the load the insert router balances.
+    shard_lens: Vec<usize>,
+}
+
+/// Reusable per-batch temporaries, recycled through [`ScratchPool`].
+#[derive(Default)]
+struct Scratch {
+    /// Per-shard allocation masses of the query being allocated.
+    masses: Vec<f64>,
+    /// Cumulative masses (multinomial inversion).
+    cumulative: Vec<f64>,
+    /// Per-shard draw counts of the query being allocated.
+    counts: Vec<usize>,
+    /// The whole batch's allocation matrix, flattened `[shard × query]`.
+    allocs: Vec<usize>,
+}
+
+impl Scratch {
+    /// Draws a multinomial over `self.masses` (`s` categorical draws)
+    /// and records shard `k`'s count at `self.allocs[k * nq + i]`.
+    fn allocate(&mut self, rng: &mut SmallRng, s: usize, nq: usize, i: usize) {
+        self.cumulative.clear();
+        let mut total = 0.0;
+        for &m in &self.masses {
+            debug_assert!(m >= 0.0 && m.is_finite(), "allocation mass {m}");
+            total += m;
+            self.cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return; // empty result set: no draws anywhere
+        }
+        self.counts.clear();
+        self.counts.resize(self.masses.len(), 0);
+        for _ in 0..s {
+            let r = rng.random_range(0.0..total);
+            let k = self
+                .cumulative
+                .partition_point(|&c| c <= r)
+                .min(self.masses.len() - 1);
+            self.counts[k] += 1;
+        }
+        for (k, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                self.allocs[k * nq + i] = n;
+            }
+        }
+    }
+}
+
+/// A small free-list of [`Scratch`] sets, so concurrent batches reuse
+/// their temporaries instead of allocating fresh ones per call.
+struct ScratchPool(Mutex<Vec<Scratch>>);
+
+/// More pooled scratch sets than this just pins memory (it means this
+/// many batches really ran at once; steady state needs ~one per caller
+/// thread).
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// Largest allocation-matrix capacity (`shards × queries` slots) a
+/// returned scratch set may keep; bigger ones are dropped so one huge
+/// batch can't pin megabytes for the engine's lifetime.
+const SCRATCH_RETAIN_ELEMS: usize = 1 << 16;
+
+impl ScratchPool {
+    fn new() -> Self {
+        ScratchPool(Mutex::new(Vec::new()))
+    }
+
+    fn checkout(&self) -> Scratch {
+        // A poisoned pool lock only means a panicking thread held it;
+        // the Vec inside is still a valid free-list.
+        let mut pool = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        pool.pop().unwrap_or_default()
+    }
+
+    fn restore(&self, scratch: Scratch) {
+        // An outlier batch (huge shards × queries product) would
+        // otherwise pin its allocation matrix for the engine's
+        // lifetime; let oversized scratch sets drop instead.
+        if scratch.allocs.capacity() > SCRATCH_RETAIN_ELEMS {
+            return;
+        }
+        let mut pool = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    }
+}
+
+/// Raises the shard's dead flag if the worker thread unwinds. Declared
+/// as a body local *after* the worker's channel receiver is captured,
+/// so drop order guarantees the flag is visible before the channel
+/// closes (body locals drop before closure captures).
+struct DeadOnPanic(Arc<AtomicBool>);
+
+impl Drop for DeadOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The state every [`Engine`] clone shares.
+struct EngineShared<E> {
+    shards: Vec<Shard<E>>,
+    workers: Vec<JoinHandle<()>>,
+    kind: IndexKind,
+    /// Live intervals (build-time data plus inserts minus deletes);
+    /// atomic so query-side readers never take the writer lock.
+    len: AtomicUsize,
+    weighted: bool,
+    base_seed: u64,
+    batch_counter: AtomicU64,
+    /// Serializes mutation batches across clones and carries the
+    /// routing bookkeeping. Queries never touch it.
+    writer: Mutex<WriterState>,
+    scratch: ScratchPool,
+}
+
+impl<E> EngineShared<E> {
+    /// The first shard whose worker is known dead, if any — checked at
+    /// batch start so a crashed shard fails queries deterministically.
+    fn first_dead(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.dead.load(Ordering::SeqCst))
+    }
+}
+
+impl<E> Drop for EngineShared<E> {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            // Fails only if the worker is already gone — fine either way.
+            let _ = shard.tx.send(MutMsg::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            // A panicked worker yields `Err`; there is nothing to do
+            // with it here, and the join itself cannot block: live
+            // workers exit on Shutdown, dead ones have already unwound.
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Sharded, concurrent batch query engine over any [`IndexKind`].
+///
+/// The handle is cheap to clone (`Arc` under the hood) and
+/// `Send + Sync`: clone it into as many threads as you like and call
+/// [`Engine::run`] from all of them — batches execute concurrently on
+/// the calling threads over the shared shard state. Mutations
+/// ([`Engine::apply`] and friends) are serialized internally across all
+/// clones. The shards (and their mutation workers) shut down when the
+/// last clone drops.
 ///
 /// ```
 /// use irs_engine::{Engine, EngineConfig, IndexKind, Query, QueryOutput};
@@ -181,26 +376,26 @@ enum Msg<E> {
 /// ]);
 /// assert_eq!(out[0], Ok(QueryOutput::Count(151)));
 /// assert_eq!(out[1].as_ref().unwrap().samples().unwrap().len(), 8);
-/// # Ok::<(), irs_core::BuildError>(())
+///
+/// // Share it: clones are handles to the same engine.
+/// let handle = engine.clone();
+/// std::thread::spawn(move || handle.count(Interval::new(0, 50)))
+///     .join()
+///     .unwrap()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Engine<E> {
-    txs: Vec<Sender<Msg<E>>>,
-    workers: Vec<JoinHandle<()>>,
-    kind: IndexKind,
-    len: usize,
-    /// Live intervals per shard, maintained by the mutation path for
-    /// least-loaded insert routing.
-    shard_lens: Vec<usize>,
-    weighted: bool,
-    base_seed: u64,
-    batch_counter: AtomicU64,
-    /// Serializes batches. The workers hold borrowed sampling handles
-    /// across the phase-1/phase-2 round-trip of *one* batch; two batches
-    /// in flight could reach the workers in different orders and
-    /// deadlock on the allocation exchange. Parallelism lives *inside* a
-    /// batch (across shards), so concurrent callers queue here instead —
-    /// batch up rather than fanning out many tiny runs.
-    in_flight: Mutex<()>,
+    inner: Arc<EngineShared<E>>,
+}
+
+// Manual impl: a clone is a new handle to the same engine, and must not
+// require `E: Clone` (derive would add that bound).
+impl<E> Clone for Engine<E> {
+    fn clone(&self) -> Self {
+        Engine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
 }
 
 impl<E: GridEndpoint> Engine<E> {
@@ -248,22 +443,25 @@ impl<E: GridEndpoint> Engine<E> {
 
         let (ready_tx, ready_rx) = mpsc::channel();
         let mut txs = Vec::with_capacity(shards);
+        let mut deads = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for (shard_id, (local, local_w)) in shard_data.into_iter().zip(shard_weights).enumerate() {
-            let (tx, rx) = mpsc::channel::<Msg<E>>();
-            txs.push(tx);
+            let (tx, rx) = mpsc::channel::<MutMsg<E>>();
+            let dead = Arc::new(AtomicBool::new(false));
             let ready = ready_tx.clone();
+            let dead_flag = Arc::clone(&dead);
             let has_weights = weights.is_some();
             let spawned = std::thread::Builder::new()
                 .name(format!("irs-shard-{shard_id}"))
                 .spawn(move || {
-                    let mut index =
-                        kind.build_index(&local, has_weights.then_some(local_w.as_slice()));
-                    // Data and weights are owned by the index (or its
-                    // wrapper) from here; the shard only needs the
-                    // stride mapping.
-                    let _ = ready.send(shard_id);
-                    worker_loop(index.as_mut(), shard_id, shards, &rx);
+                    let index = kind.build_index(&local, has_weights.then_some(local_w.as_slice()));
+                    let lock = Arc::new(RwLock::new(index));
+                    let _ = ready.send((shard_id, Arc::clone(&lock)));
+                    // Body local: drops (raising the flag) before the
+                    // captured `rx` drops (closing the channel) if the
+                    // worker unwinds — see `DeadOnPanic`.
+                    let _dead_guard = DeadOnPanic(dead_flag);
+                    mutation_worker(&lock, shard_id, shards, &rx);
                 });
             match spawned {
                 Ok(handle) => workers.push(handle),
@@ -271,35 +469,51 @@ impl<E: GridEndpoint> Engine<E> {
                 // whose recv fails and whose threads then exit.
                 Err(_) => return Err(BuildError::ShardDied { shard: shard_id }),
             }
+            txs.push(tx);
+            deads.push(dead);
         }
         drop(ready_tx);
-        let mut ready = vec![false; shards];
+        let mut locks: Vec<Option<SharedIndex<E>>> = (0..shards).map(|_| None).collect();
         for _ in 0..shards {
             match ready_rx.recv() {
-                Ok(shard_id) => ready[shard_id] = true,
+                Ok((shard_id, lock)) => locks[shard_id] = Some(lock),
                 Err(_) => {
-                    let shard = ready.iter().position(|&r| !r).unwrap_or(0);
+                    let shard = locks.iter().position(|l| l.is_none()).unwrap_or(0);
                     return Err(BuildError::ShardDied { shard });
                 }
             }
         }
+        let shards_vec: Vec<Shard<E>> = locks
+            .into_iter()
+            .zip(txs)
+            .zip(deads)
+            .map(|((lock, tx), dead)| Shard {
+                // Every slot was filled above (one ready message per
+                // shard id, or we returned `ShardDied`).
+                index: lock.expect("every shard reported ready"),
+                dead,
+                tx,
+            })
+            .collect();
 
         Ok(Engine {
-            txs,
-            workers,
-            kind,
-            len: data.len(),
-            shard_lens,
-            weighted: weights.is_some(),
-            base_seed: config.seed,
-            batch_counter: AtomicU64::new(0),
-            in_flight: Mutex::new(()),
+            inner: Arc::new(EngineShared {
+                shards: shards_vec,
+                workers,
+                kind,
+                len: AtomicUsize::new(data.len()),
+                weighted: weights.is_some(),
+                base_seed: config.seed,
+                batch_counter: AtomicU64::new(0),
+                writer: Mutex::new(WriterState { shard_lens }),
+                scratch: ScratchPool::new(),
+            }),
         })
     }
 
     /// The configured index kind.
     pub fn kind(&self) -> IndexKind {
-        self.kind
+        self.inner.kind
     }
 
     /// What this engine supports, as queryable metadata:
@@ -307,33 +521,39 @@ impl<E: GridEndpoint> Engine<E> {
     /// were supplied at build time. Operations denied here fail with a
     /// typed [`QueryError`]; operations claimed here succeed.
     pub fn capabilities(&self) -> Capabilities {
-        self.kind.capabilities(self.weighted)
+        self.inner.kind.capabilities(self.inner.weighted)
     }
 
-    /// Number of shards (= worker threads).
+    /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.txs.len()
+        self.inner.shards.len()
     }
 
     /// Live intervals indexed (build-time data plus inserts minus
     /// deletes).
     pub fn len(&self) -> usize {
-        self.len
+        self.inner.len.load(Ordering::SeqCst)
     }
 
-    /// Live intervals per shard — the load the insert router balances.
-    pub fn shard_lens(&self) -> &[usize] {
-        &self.shard_lens
+    /// Live intervals per shard — a snapshot of the load the insert
+    /// router balances.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.inner
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shard_lens
+            .clone()
     }
 
     /// Whether the engine holds zero intervals.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Whether per-interval weights were supplied at build time.
     pub fn is_weighted(&self) -> bool {
-        self.weighted
+        self.inner.weighted
     }
 
     /// Executes a batch: one `Result` per [`Query`], in order. An empty
@@ -343,17 +563,24 @@ impl<E: GridEndpoint> Engine<E> {
     /// independent across calls; use [`Engine::run_seeded`] to pin the
     /// stream.
     ///
-    /// Safe to call from many threads on a shared engine; batches
-    /// serialize internally (the parallelism is across shards *within*
-    /// a batch), so prefer one large batch over many concurrent small
-    /// ones.
+    /// Safe — and *scalable* — to call from many threads on a shared
+    /// engine: the batch executes on the calling thread under shared
+    /// read locks, so concurrent callers proceed in parallel instead of
+    /// queuing. An empty batch returns immediately without touching any
+    /// lock.
     pub fn run(&self, queries: &[Query<E>]) -> Vec<Result<QueryOutput, QueryError>> {
-        let batch = self.batch_counter.fetch_add(1, Ordering::Relaxed);
-        self.run_seeded(queries, self.base_seed.wrapping_add(mix(batch)))
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let batch = self.inner.batch_counter.fetch_add(1, Ordering::Relaxed);
+        self.run_seeded(queries, self.inner.base_seed.wrapping_add(mix(batch)))
     }
 
     /// [`Engine::run`] with an explicit seed: identical seed, batch,
-    /// and engine config reproduce identical results.
+    /// and engine config reproduce identical results — byte-identical
+    /// regardless of how many other threads are querying the engine
+    /// concurrently, because every stream the batch consumes is derived
+    /// from `seed` and consumed on the calling thread.
     pub fn run_seeded(
         &self,
         queries: &[Query<E>],
@@ -362,69 +589,79 @@ impl<E: GridEndpoint> Engine<E> {
         if queries.is_empty() {
             return Vec::new();
         }
-        // One batch in flight at a time (see `in_flight`); a poisoned
-        // lock just means another batch panicked — this one can proceed.
-        let _serialized = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
-        let shards = self.txs.len();
-        let caps = self.capabilities();
-        let queries = Arc::new(queries.to_vec());
-        // Workers make the same deterministic check on the raw query
-        // list, so both sides agree on whether phase 2 happens — even
-        // when every sampling query turns out to be unsupported.
-        let has_sampling = queries.iter().any(Query::is_sampling);
+        let inner = &*self.inner;
+        let nq = queries.len();
+        let shards = inner.shards.len();
+        let caps = inner.kind.capabilities(inner.weighted);
 
-        // Scatter. A send can only fail if the worker is dead; the
-        // whole batch fails then (partial answers would be wrong).
-        let (p1_tx, p1_rx) = mpsc::channel();
-        let (p2_tx, p2_rx) = mpsc::channel();
-        let mut alloc_txs = Vec::with_capacity(shards);
-        for (k, tx) in self.txs.iter().enumerate() {
-            let (alloc_tx, alloc_rx) = mpsc::channel();
-            alloc_txs.push(alloc_tx);
-            let sent = tx.send(Msg::Batch(Job {
-                queries: Arc::clone(&queries),
-                seed: seed ^ mix(k as u64 + 1),
-                phase1_tx: p1_tx.clone(),
-                alloc_rx,
-                phase2_tx: p2_tx.clone(),
-            }));
-            if sent.is_err() {
-                // Workers that already got the job see the result
-                // channels close and abandon the batch.
-                return vec![Err(QueryError::ShardFailed { shard: k }); queries.len()];
+        // A crashed shard fails the whole batch, deterministically:
+        // its flag was raised before its channel closed, so any caller
+        // that could observe the crash observes it here.
+        if let Some(shard) = inner.first_dead() {
+            return vec![Err(QueryError::ShardFailed { shard }); nq];
+        }
+
+        // Read-lock every shard, in shard order. Ordered acquisition
+        // makes the lock graph hierarchical: readers climb shard ids,
+        // writers (the mutation workers) each hold a single lock — so
+        // no reader/writer cycle can form even under a write-preferring
+        // lock. A poisoned lock means a mutation panicked midway: the
+        // shard is torn, which is exactly `ShardFailed`.
+        let mut guards = Vec::with_capacity(shards);
+        for (k, shard) in inner.shards.iter().enumerate() {
+            match shard.index.read() {
+                Ok(guard) => guards.push(guard),
+                Err(_) => return vec![Err(QueryError::ShardFailed { shard: k }); nq],
             }
         }
-        drop(p1_tx);
-        drop(p2_tx);
+        let has_sampling = queries.iter().any(Query::is_sampling);
 
-        // Gather phase 1. Workers drop their phase-1 senders as soon as
-        // they have reported, so a dead shard shows up here as a closed
-        // channel instead of a hang.
-        let mut phase1: Vec<Vec<Partial>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut answered = vec![false; shards];
-        for _ in 0..shards {
-            match p1_rx.recv() {
-                Ok((k, partials)) => {
-                    phase1[k] = partials;
-                    answered[k] = true;
+        // Phase 1 on the calling thread: candidate computation per
+        // shard, keeping sampling handles warm for phase 2. Handles
+        // borrow the shard indexes through the read guards above (and
+        // drop before them, in reverse declaration order). Index code
+        // that panics is contained per shard: the shard is marked dead
+        // (the same state a worker-thread panic produces) and the
+        // whole batch — plus every later batch, from every caller —
+        // fails with the typed `ShardFailed` instead of unwinding into
+        // the caller or silently serving from a buggy index.
+        let mut phase1: Vec<Vec<Partial>> = Vec::with_capacity(shards);
+        let mut prepared: Vec<Vec<Option<Box<dyn DynPreparedSampler + '_>>>> =
+            Vec::with_capacity(shards);
+        for (k, guard) in guards.iter().enumerate() {
+            let index: &dyn DynIndex<E> = &***guard;
+            let to_global = |local: ItemId| -> ItemId { local * shards as ItemId + k as ItemId };
+            let shard_pass = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut partials = Vec::with_capacity(nq);
+                let mut handles = Vec::with_capacity(nq);
+                for query in queries {
+                    let (partial, handle) = phase1_one(index, query, &to_global, shards == 1);
+                    partials.push(partial);
+                    handles.push(handle);
                 }
-                Err(_) => {
-                    let shard = answered.iter().position(|&a| !a).unwrap_or(0);
-                    return vec![Err(QueryError::ShardFailed { shard }); queries.len()];
+                (partials, handles)
+            }));
+            match shard_pass {
+                Ok((partials, handles)) => {
+                    phase1.push(partials);
+                    prepared.push(handles);
                 }
+                Err(_) => return self.fail_shard(k, nq),
             }
         }
 
         // Merge finished queries; allocate sampling queries. Capability
         // verdicts come from the engine's own metadata (all shards run
-        // the same kind, so the workers' prepare checks agree with it).
+        // the same kind, so the per-shard prepare checks agree with it).
+        let mut scratch = inner.scratch.checkout();
         let mut rng = SmallRng::seed_from_u64(seed ^ ALLOC_SALT);
-        let mut results: Vec<Option<Result<QueryOutput, QueryError>>> = vec![None; queries.len()];
-        let mut allocs: Vec<Vec<usize>> = vec![vec![0; queries.len()]; shards];
+        let mut results: Vec<Option<Result<QueryOutput, QueryError>>> = vec![None; nq];
+        scratch.allocs.clear();
+        scratch.allocs.resize(shards * nq, 0);
         for (i, query) in queries.iter().enumerate() {
             let op = query.operation();
             if !caps.supports(op) || matches!(phase1[0][i], Partial::Unsupported) {
-                results[i] = Some(Err(self.kind.unsupported_error(self.weighted, op)));
+                results[i] = Some(Err(inner.kind.unsupported_error(inner.weighted, op)));
                 continue;
             }
             if query.is_sampling() {
@@ -432,63 +669,63 @@ impl<E: GridEndpoint> Engine<E> {
                     Query::Sample { s, .. } | Query::SampleWeighted { s, .. } => s,
                     _ => unreachable!(),
                 };
-                let masses: Vec<f64> = phase1
-                    .iter()
-                    .map(|p| match p[i] {
-                        Partial::Mass(m) => m,
-                        // All shards share one kind, so capability
-                        // verdicts are uniform across shards.
-                        _ => 0.0,
-                    })
-                    .collect();
-                multinomial_into(&mut rng, &masses, s, |shard, n| allocs[shard][i] = n);
+                scratch.masses.clear();
+                scratch.masses.extend(phase1.iter().map(|p| match p[i] {
+                    Partial::Mass(m) => m,
+                    // All shards share one kind, so capability
+                    // verdicts are uniform across shards.
+                    _ => 0.0,
+                }));
+                scratch.allocate(&mut rng, s, nq, i);
             } else {
                 results[i] = Some(Ok(merge_finished(&phase1, i)));
             }
         }
 
-        // Phase 2: only sampling batches need the second round-trip.
+        // Phase 2: draw exactly the allocated counts from the warm
+        // handles. Each shard's draw stream is seeded from `seed` and
+        // consumed in query order, so the sequence matches a
+        // single-threaded run exactly.
         if has_sampling {
-            for (alloc_tx, alloc) in alloc_txs.into_iter().zip(allocs) {
-                // A worker that died mid-batch surfaces at the recv below.
-                let _ = alloc_tx.send(alloc);
-            }
-            let mut drawn: Vec<Vec<Vec<ItemId>>> = (0..shards).map(|_| Vec::new()).collect();
-            let mut answered = vec![false; shards];
-            let mut failed: Option<usize> = None;
-            for _ in 0..shards {
-                match p2_rx.recv() {
-                    Ok((k, v)) => {
-                        drawn[k] = v;
-                        answered[k] = true;
-                    }
-                    Err(_) => {
-                        failed = Some(answered.iter().position(|&a| !a).unwrap_or(0));
-                        break;
-                    }
-                }
-            }
+            let mut shard_rngs: Vec<SmallRng> = (0..shards)
+                .map(|k| SmallRng::seed_from_u64(seed ^ mix(k as u64 + 1)))
+                .collect();
             for (i, slot) in results.iter_mut().enumerate() {
                 if slot.is_some() {
                     continue;
                 }
-                if let Some(shard) = failed {
-                    // Non-sampling answers from phase 1 stand (every
-                    // shard contributed); only the draws are lost.
-                    *slot = Some(Err(QueryError::ShardFailed { shard }));
-                    continue;
-                }
                 let mut merged = Vec::new();
-                for shard in &drawn {
-                    merged.extend_from_slice(&shard[i]);
+                for (k, (rng_k, handles)) in shard_rngs.iter_mut().zip(&prepared).enumerate() {
+                    let n = scratch.allocs[k * nq + i];
+                    let Some(handle) = handles[i].as_ref() else {
+                        continue;
+                    };
+                    if n == 0 {
+                        continue;
+                    }
+                    let start = merged.len();
+                    // Same panic containment as phase 1: a drawing bug
+                    // fails the batch (and marks the shard), it does
+                    // not unwind into the caller.
+                    let drew = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle.sample_into_dyn(rng_k as &mut dyn RngCore, n, &mut merged)
+                    }));
+                    if drew.is_err() {
+                        inner.scratch.restore(std::mem::take(&mut scratch));
+                        return self.fail_shard(k, nq);
+                    }
+                    for id in &mut merged[start..] {
+                        *id = *id * shards as ItemId + k as ItemId;
+                    }
                 }
-                // Workers return draws grouped by shard; shuffle so the
-                // output order carries no shard signal. (The draws are
-                // i.i.d., so this is cosmetic, not corrective.)
+                // Draws land grouped by shard; shuffle so the output
+                // order carries no shard signal. (The draws are i.i.d.,
+                // so this is cosmetic, not corrective.)
                 shuffle(&mut rng, &mut merged);
                 *slot = Some(Ok(QueryOutput::Samples(merged)));
             }
         }
+        inner.scratch.restore(scratch);
 
         results
             .into_iter()
@@ -508,19 +745,22 @@ impl<E: GridEndpoint> Engine<E> {
     /// scheme (`local·K + shard`), so they are stable for the engine's
     /// lifetime and interchangeable with the ids query results report.
     ///
-    /// Mutations take `&mut self` — queries take `&self` — so the
-    /// borrow checker guarantees no query batch observes a half-applied
-    /// mutation batch. Capability gating happens up front: on a kind
-    /// with `capabilities().update == false` every mutation fails with
-    /// the typed [`UpdateError::UnsupportedKind`] and no worker is
+    /// Mutation batches serialize on the engine's internal writer lock
+    /// (shared by every clone of the handle), and each shard's
+    /// sub-batch is applied by that shard's worker under the shard's
+    /// *write* lock — so a concurrent query batch observes each shard
+    /// either entirely before or entirely after its sub-batch, never
+    /// torn. Capability gating happens up front: on a kind with
+    /// `capabilities().update == false` every mutation fails with the
+    /// typed [`UpdateError::UnsupportedKind`] and no worker is
     /// contacted.
-    pub fn apply(&mut self, muts: &[Mutation<E>]) -> Vec<Result<UpdateOutput, UpdateError>> {
+    pub fn apply(&self, muts: &[Mutation<E>]) -> Vec<Result<UpdateOutput, UpdateError>> {
         self.mutate(muts, false)
     }
 
     /// Convenience: inserts one interval immediately (one-by-one
     /// insertion), returning its stable global id.
-    pub fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
+    pub fn insert(&self, iv: Interval<E>) -> Result<ItemId, UpdateError> {
         match self
             .mutate(&[Mutation::Insert { iv }], false)
             .swap_remove(0)?
@@ -532,7 +772,7 @@ impl<E: GridEndpoint> Engine<E> {
 
     /// Convenience: inserts one weighted interval (weight validated by
     /// the same gate as construction weights), returning its global id.
-    pub fn insert_weighted(&mut self, iv: Interval<E>, weight: f64) -> Result<ItemId, UpdateError> {
+    pub fn insert_weighted(&self, iv: Interval<E>, weight: f64) -> Result<ItemId, UpdateError> {
         let muts = [Mutation::InsertWeighted { iv, weight }];
         match self.mutate(&muts, false).swap_remove(0)? {
             UpdateOutput::Inserted(id) => Ok(id),
@@ -543,7 +783,7 @@ impl<E: GridEndpoint> Engine<E> {
     /// Convenience: deletes the live interval behind `id`. Deleting an
     /// id that was never issued (or already deleted) is
     /// [`UpdateError::UnknownId`]; a retired id is never reissued.
-    pub fn remove(&mut self, id: ItemId) -> Result<(), UpdateError> {
+    pub fn remove(&self, id: ItemId) -> Result<(), UpdateError> {
         self.mutate(&[Mutation::Delete { id }], false)
             .swap_remove(0)
             .map(|_| ())
@@ -560,7 +800,7 @@ impl<E: GridEndpoint> Engine<E> {
     /// (best effort — their shards answered, so their deletes route)
     /// and the first error is returned, so an `Err` never strands
     /// intervals the caller has no ids for.
-    pub fn extend_batch(&mut self, ivs: &[Interval<E>]) -> Result<Vec<ItemId>, UpdateError> {
+    pub fn extend_batch(&self, ivs: &[Interval<E>]) -> Result<Vec<ItemId>, UpdateError> {
         let muts: Vec<Mutation<E>> = ivs.iter().map(|&iv| Mutation::Insert { iv }).collect();
         let mut ids = Vec::with_capacity(ivs.len());
         let mut first_err = None;
@@ -587,26 +827,30 @@ impl<E: GridEndpoint> Engine<E> {
     }
 
     /// Routes, scatters, and gathers one mutation batch. `buffered`
-    /// selects pooled insertion.
+    /// selects pooled insertion. Holds the writer lock end to end, so
+    /// batches from different clones serialize and the routing
+    /// bookkeeping stays consistent.
     fn mutate(
-        &mut self,
+        &self,
         muts: &[Mutation<E>],
         buffered: bool,
     ) -> Vec<Result<UpdateOutput, UpdateError>> {
         if muts.is_empty() {
             return Vec::new();
         }
-        let shards = self.txs.len();
+        let inner = &*self.inner;
+        let shards = inner.shards.len();
+        let mut writer = inner.writer.lock().unwrap_or_else(|e| e.into_inner());
         let mut results: Vec<Option<Result<UpdateOutput, UpdateError>>> = vec![None; muts.len()];
         let mut owner: Vec<usize> = vec![0; muts.len()];
         let mut per_shard: Vec<Vec<(usize, Mutation<E>)>> = vec![Vec::new(); shards];
         // Route against a projection of live counts, so a batch of
         // inserts spreads across shards instead of piling on one.
-        let mut lens = self.shard_lens.clone();
+        let mut lens = writer.shard_lens.clone();
         for (i, m) in muts.iter().enumerate() {
             let op = m.op();
-            if !self.kind.supports_mutation(self.weighted, op) {
-                results[i] = Some(Err(self.kind.unsupported_update_error(self.weighted, op)));
+            if !inner.kind.supports_mutation(inner.weighted, op) {
+                results[i] = Some(Err(inner.kind.unsupported_update_error(inner.weighted, op)));
                 continue;
             }
             let target = match *m {
@@ -627,16 +871,26 @@ impl<E: GridEndpoint> Engine<E> {
             per_shard[target].push((i, *m));
         }
 
-        // Scatter each shard its sub-batch; a send that fails means the
-        // worker is dead, so its mutations fail without being applied.
+        // Scatter each shard its sub-batch. A shard whose dead flag is
+        // raised (its worker panicked, or its index panicked on the
+        // query path) gets nothing: its mutations fail typed, without
+        // being applied — even if the worker thread itself is still
+        // alive. Otherwise a send that fails means the worker is dead,
+        // with the same verdict.
         let (reply_tx, reply_rx) = mpsc::channel();
         let mut expected = 0usize;
         for (k, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
+            if inner.shards[k].dead.load(Ordering::SeqCst) {
+                for (i, _) in batch {
+                    results[i] = Some(Err(UpdateError::ShardFailed { shard: k }));
+                }
+                continue;
+            }
             let positions: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
-            let sent = self.txs[k].send(Msg::Mutate(MutJob {
+            let sent = inner.shards[k].tx.send(MutMsg::Mutate(MutJob {
                 muts: batch,
                 buffered,
                 reply: reply_tx.clone(),
@@ -653,6 +907,7 @@ impl<E: GridEndpoint> Engine<E> {
 
         // Gather. A shard that dies mid-batch closes the reply channel;
         // its positions fall through to the `ShardFailed` fallback.
+        let mut len = inner.len.load(Ordering::SeqCst);
         for _ in 0..expected {
             let Ok((k, entries)) = reply_rx.recv() else {
                 break;
@@ -661,18 +916,19 @@ impl<E: GridEndpoint> Engine<E> {
                 if let Ok(out) = &result {
                     match out {
                         UpdateOutput::Inserted(_) => {
-                            self.len += 1;
-                            self.shard_lens[k] += 1;
+                            len += 1;
+                            writer.shard_lens[k] += 1;
                         }
                         UpdateOutput::Removed => {
-                            self.len -= 1;
-                            self.shard_lens[k] = self.shard_lens[k].saturating_sub(1);
+                            len = len.saturating_sub(1);
+                            writer.shard_lens[k] = writer.shard_lens[k].saturating_sub(1);
                         }
                     }
                 }
                 results[i] = Some(result);
             }
         }
+        inner.len.store(len, Ordering::SeqCst);
 
         results
             .into_iter()
@@ -681,11 +937,19 @@ impl<E: GridEndpoint> Engine<E> {
             .collect()
     }
 
+    /// Marks `shard` failed — the same state a worker-thread panic
+    /// produces, observed by every later query and mutation batch from
+    /// every clone — and fails the current batch wholesale.
+    fn fail_shard(&self, shard: usize, nq: usize) -> Vec<Result<QueryOutput, QueryError>> {
+        self.inner.shards[shard].dead.store(true, Ordering::SeqCst);
+        vec![Err(QueryError::ShardFailed { shard }); nq]
+    }
+
     /// A mismatched update output can only mean an engine bug; report
     /// it as a typed error rather than panicking the caller.
     fn mutation_protocol_error(&self) -> UpdateError {
         UpdateError::UnsupportedKind {
-            kind: self.kind.name(),
+            kind: self.inner.kind.name(),
             reason: "engine protocol error: mismatched update output variant",
         }
     }
@@ -746,32 +1010,16 @@ impl<E: GridEndpoint> Engine<E> {
     /// the supported API.
     #[doc(hidden)]
     pub fn crash_shard_for_tests(&self, shard: usize) {
-        if let Some(tx) = self.txs.get(shard) {
-            let _ = tx.send(Msg::Crash);
-        }
-        // Wait for the worker to actually die, so the next `run` (and
-        // not a test race) observes the closed channel.
-        while self
-            .txs
-            .get(shard)
-            .is_some_and(|tx| tx.send(Msg::Crash).is_ok())
-        {
+        let Some(sh) = self.inner.shards.get(shard) else {
+            return;
+        };
+        let _ = sh.tx.send(MutMsg::Crash);
+        // Wait for the worker to actually die. The dead flag is raised
+        // strictly before the channel closes (drop order in the worker
+        // closure), so once a send fails, the next `run` — from any
+        // thread — observes the crash rather than racing it.
+        while sh.tx.send(MutMsg::Crash).is_ok() {
             std::thread::yield_now();
-        }
-    }
-}
-
-impl<E> Drop for Engine<E> {
-    fn drop(&mut self) {
-        for tx in &self.txs {
-            // Fails only if the worker is already gone — fine either way.
-            let _ = tx.send(Msg::Shutdown);
-        }
-        for handle in self.workers.drain(..) {
-            // A panicked worker yields `Err`; there is nothing to do
-            // with it here, and the join itself cannot block: live
-            // workers exit on Shutdown, dead ones have already unwound.
-            let _ = handle.join();
         }
     }
 }
@@ -799,39 +1047,6 @@ fn merge_finished(phase1: &[Vec<Partial>], i: usize) -> QueryOutput {
     }
 }
 
-/// Draws a multinomial over `masses` (s categorical draws) and reports
-/// each shard's count through `set`.
-fn multinomial_into(
-    rng: &mut SmallRng,
-    masses: &[f64],
-    s: usize,
-    mut set: impl FnMut(usize, usize),
-) {
-    let mut cumulative = Vec::with_capacity(masses.len());
-    let mut total = 0.0;
-    for &m in masses {
-        debug_assert!(m >= 0.0 && m.is_finite(), "allocation mass {m}");
-        total += m;
-        cumulative.push(total);
-    }
-    if total <= 0.0 {
-        return; // empty result set: no draws anywhere
-    }
-    let mut counts = vec![0usize; masses.len()];
-    for _ in 0..s {
-        let r = rng.random_range(0.0..total);
-        let k = cumulative
-            .partition_point(|&c| c <= r)
-            .min(masses.len() - 1);
-        counts[k] += 1;
-    }
-    for (k, n) in counts.into_iter().enumerate() {
-        if n > 0 {
-            set(k, n);
-        }
-    }
-}
-
 /// The shard with the fewest live intervals (ties to the lowest id) —
 /// the insert router's target.
 fn least_loaded(lens: &[usize]) -> usize {
@@ -851,77 +1066,31 @@ fn shuffle(rng: &mut SmallRng, v: &mut [ItemId]) {
     }
 }
 
-/// The per-shard worker: builds nothing (its index is handed in), serves
-/// query batches and mutation batches until shutdown. The worker *owns*
-/// the mutable index state — mutations apply here, between batches,
-/// never concurrently with a query. Local ids are translated to global
-/// ids with the round-robin stride mapping before leaving the shard.
-fn worker_loop<E: GridEndpoint>(
-    index: &mut dyn DynIndex<E>,
+/// The per-shard mutation worker: owns the write side of its shard's
+/// lock and applies mutation sub-batches until shutdown. Queries never
+/// pass through here — they run on caller threads under the read side.
+/// Local ids are translated to global ids with the round-robin stride
+/// mapping before leaving the shard.
+fn mutation_worker<E: GridEndpoint>(
+    lock: &RwLock<Box<dyn DynIndex<E>>>,
     shard_id: usize,
     shards: usize,
-    rx: &Receiver<Msg<E>>,
+    rx: &Receiver<MutMsg<E>>,
 ) {
-    let to_global = |local: ItemId| -> ItemId { local * shards as ItemId + shard_id as ItemId };
     loop {
-        let job = match rx.recv() {
-            Ok(Msg::Batch(job)) => job,
-            Ok(Msg::Mutate(job)) => {
-                apply_mut_job(index, shard_id, shards, job);
-                continue;
+        match rx.recv() {
+            Ok(MutMsg::Mutate(job)) => {
+                // Write-lock for the whole sub-batch: concurrent query
+                // batches see this shard entirely before or entirely
+                // after it. Only this worker ever writes the lock, and
+                // a panic kills the worker, so the lock cannot be
+                // poisoned by the time this succeeds — `into_inner` is
+                // a formality, not a recovery path.
+                let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
+                apply_mut_job(guard.as_mut(), shard_id, shards, job);
             }
-            Ok(Msg::Crash) => panic!("shard {shard_id}: crash requested by test hook"),
-            Ok(Msg::Shutdown) | Err(_) => return,
-        };
-        let index: &dyn DynIndex<E> = index;
-        let Job {
-            queries,
-            seed,
-            phase1_tx,
-            alloc_rx,
-            phase2_tx,
-        } = job;
-        let has_sampling = queries.iter().any(Query::is_sampling);
-
-        // Phase 1: candidate computation; keep sampling handles warm.
-        let mut prepared: Vec<Option<Box<dyn DynPreparedSampler + '_>>> =
-            Vec::with_capacity(queries.len());
-        let mut partials = Vec::with_capacity(queries.len());
-        for query in queries.iter() {
-            let (partial, handle) = phase1_one(index, query, &to_global, shards == 1);
-            partials.push(partial);
-            prepared.push(handle);
-        }
-        let reported = phase1_tx.send((shard_id, partials)).is_ok();
-        // Drop the phase-1 sender *now*: the engine's gather loop uses
-        // channel closure to detect dead shards, which only works if
-        // live shards aren't still holding their senders while blocked
-        // on the allocation exchange below.
-        drop(phase1_tx);
-        if !reported {
-            continue; // engine gave up on the batch
-        }
-
-        // Phase 2: draw exactly the allocated counts from the handles.
-        if has_sampling {
-            let Ok(alloc) = alloc_rx.recv() else { continue };
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let drawn: Vec<Vec<ItemId>> = alloc
-                .iter()
-                .zip(&prepared)
-                .map(|(&n, handle)| match (n, handle) {
-                    (0, _) | (_, None) => Vec::new(),
-                    (n, Some(p)) => {
-                        let mut out = Vec::with_capacity(n);
-                        p.sample_into_dyn(&mut rng as &mut dyn RngCore, n, &mut out);
-                        for id in &mut out {
-                            *id = to_global(*id);
-                        }
-                        out
-                    }
-                })
-                .collect();
-            let _ = phase2_tx.send((shard_id, drawn));
+            Ok(MutMsg::Crash) => panic!("shard {shard_id}: crash requested by test hook"),
+            Ok(MutMsg::Shutdown) | Err(_) => return,
         }
     }
 }

@@ -1,12 +1,14 @@
 //! Index selection, capability metadata, and the object-safe index facade.
 //!
 //! Every backend owns one or more index structures chosen by
-//! [`IndexKind`]. Workers (and `irs-client`'s monolithic backend) talk
-//! to them through [`DynIndex`], an object-safe trait whose sampling
+//! [`IndexKind`]. Caller threads (queries), mutation workers, and
+//! `irs-client`'s monolithic backend all talk to them through
+//! [`DynIndex`], an object-safe `Send + Sync` trait whose sampling
 //! handles are the erased [`DynPreparedSampler`]s from `irs-core`, so a
 //! single driver loop serves all seven structures — and out-of-tree
 //! structures could be plugged in the same way. The trait carries both
-//! surfaces of the unified API: read-only queries (`&self`) and the
+//! surfaces of the unified API: read-only queries (`&self`, safe to
+//! drive from many threads at once under a shared read guard) and the
 //! fallible mutable companion (`&mut self` inserts/deletes, overridden
 //! by the update-capable kinds).
 //!
@@ -276,10 +278,14 @@ impl std::fmt::Display for IndexKind {
 /// [`DynIndex::remove`]) that refuse with
 /// [`UpdateError::UnsupportedKind`] unless the kind overrides them
 /// (AIT's §III-D algorithms; `DynamicAwit`'s weighted ones). Queries
-/// stay `&self`; the exclusive borrow is the lifecycle contract —
-/// no query can observe a half-applied mutation. Capability-aware
-/// callers gate on [`IndexKind::supports_mutation`] first and mint the
-/// kind-specific error; the defaults here are the backstop.
+/// stay `&self`; callers that share an index across threads put it
+/// behind a reader/writer lock (the engine's shards, the client's
+/// monolithic backend), so the exclusive borrow — and therefore the
+/// guarantee that no query observes a half-applied mutation — holds at
+/// runtime exactly where it held at compile time before.
+/// Capability-aware callers gate on [`IndexKind::supports_mutation`]
+/// first and mint the kind-specific error; the defaults here are the
+/// backstop.
 pub trait DynIndex<E>: Send + Sync {
     /// Appends local ids of intervals overlapping `q`.
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>);

@@ -3,9 +3,18 @@
 //! The index structures in this workspace answer one query at a time on
 //! one thread. This crate scales them out: an [`Engine`] partitions the
 //! dataset round-robin into `K` shards, builds one index per shard (any
-//! of the six structures, chosen by [`IndexKind`]), runs a
-//! worker-per-shard thread pool, and executes batches of typed
-//! [`Query`]s by scatter-gathering across the shards.
+//! of the seven structures, chosen by [`IndexKind`]), and executes
+//! batches of typed [`Query`]s across the shards.
+//!
+//! The engine is a **shared, clonable service**: the handle is a cheap
+//! `Arc` clone (`Clone + Send + Sync`), query batches execute *on the
+//! calling thread* under shared per-shard read locks, and many caller
+//! threads therefore run batches truly concurrently — throughput
+//! scales with callers (`irs-cli bench-engine --threads` plots the
+//! curve). Shard worker threads remain only on the write path:
+//! mutations are routed to the owning shard's worker and applied under
+//! that shard's write lock, so a query batch never observes a torn
+//! shard. See the [`engine`] module docs for the concurrency model.
 //!
 //! The API is **fallible end to end**: [`Engine::run`] returns one
 //! `Result<QueryOutput, QueryError>` per query, construction goes
@@ -22,8 +31,10 @@
 //! (inserts to the least-loaded shard, deletes to the shard decoded
 //! from the global id), with the same typed-error discipline
 //! ([`irs_core::UpdateError`]) and the update-capable kinds declared in
-//! [`IndexKind::capabilities`]. Queries take `&self`; mutations take
-//! `&mut self`, so the two can never interleave.
+//! [`IndexKind::capabilities`]. Mutation batches serialize on an
+//! internal writer lock shared by every clone, and each shard's
+//! sub-batch applies under the shard's write lock — queries interleave
+//! *between* sub-batches, never inside one.
 //!
 //! The non-obvious part is keeping sampling *statistically correct*
 //! across shards: the engine first collects exact per-shard result

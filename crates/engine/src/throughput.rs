@@ -33,6 +33,44 @@ pub fn batched_qps<E: GridEndpoint>(
     queries.len() as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Multi-caller throughput: splits `queries` across `threads` caller
+/// threads, each running its slice through a clone of the shared
+/// engine in batches of `batch`, and returns aggregate queries per
+/// second (wall clock of the slowest caller). With the concurrent read
+/// path this should scale with `threads` up to the core count — the
+/// curve `bench-engine --threads` plots.
+///
+/// `threads` is clamped to `[1, queries.len()]` (a caller with no
+/// queries would measure nothing); callers that *label* results by
+/// thread count should clamp the same way so labels match reality.
+/// An empty `queries` reports `0.0`.
+pub fn threaded_qps<E: GridEndpoint>(
+    engine: &Engine<E>,
+    queries: &[Interval<E>],
+    threads: usize,
+    batch: usize,
+    to_query: impl Fn(&Interval<E>) -> Query<E> + Copy + Send,
+) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let threads = threads.max(1).min(queries.len());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Fair split into *exactly* `threads` non-empty slices (the
+        // clamp above guarantees len ≥ threads), so the reported
+        // concurrency level is the one that actually ran.
+        for t in 0..threads {
+            let lo = t * queries.len() / threads;
+            let hi = (t + 1) * queries.len() / threads;
+            let slice = &queries[lo..hi];
+            let handle = engine.clone();
+            scope.spawn(move || batched_qps(&handle, slice, batch, to_query));
+        }
+    });
+    queries.len() as f64 / start.elapsed().as_secs_f64()
+}
+
 /// Available CPU count with the workspace-wide fallback of 1 — the one
 /// place that policy lives.
 pub fn cpu_count() -> usize {

@@ -6,8 +6,10 @@
 //!
 //! Compare `examples/taxi_dashboard.rs`, which runs the same facade
 //! over one single-threaded index; here `.shards(k)` swaps in the
-//! worker-per-shard engine and nothing else about the code changes —
-//! that is the point of the `Backend` abstraction.
+//! sharded engine and nothing else about the code changes — that is
+//! the point of the `Backend` abstraction. (For the multi-threaded
+//! service shape — one engine shared by a fleet of caller threads —
+//! see `examples/concurrent_service.rs`.)
 //!
 //! ```sh
 //! cargo run --release --example engine_dashboard

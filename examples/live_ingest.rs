@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stream = irs::datagen::TAXI.generate(batch * ticks, 43);
 
     // AIT: the paper's §III-D update algorithms behind the unified API.
-    // Swap in `.shards(4)` and the same calls route across workers.
+    // Swap in `.shards(4)` and the same calls route across shards.
     let mut client = Irs::builder()
         .kind(IndexKind::Ait)
         .seed(7)

@@ -61,14 +61,19 @@ USAGE:
   irs-cli sample   --data <FILE> --lo <LO> --hi <HI> --s <S> [--weighted] [--seed <S>]
   irs-cli stab     --data <FILE> --at <P>
   irs-cli bench-engine [--profile <P>] [--n <N>] [--kind <ait|ait-v|awit|awit-dynamic|kds|hint-m|interval-tree>]
-                       [--shards <K1,K2,..>] [--batches <B1,B2,..>] [--s <S>]
-                       [--queries <Q>] [--extent <PCT>] [--seed <S>]
+                       [--shards <K1,K2,..>] [--batches <B1,B2,..>] [--threads <T1,T2,..>]
+                       [--s <S>] [--queries <Q>] [--extent <PCT>] [--seed <S>]
   irs-cli bench-updates [--profile <P>] [--n <N>] [--kind <ait|awit-dynamic>] [--weighted]
                         [--updates <U>] [--shards <K1,K2,..>] [--seed <S>]
 
 bench-engine measures engine queries/sec (sample + search workloads) at
-each shard count × batch size on a synthetic dataset (default: 1,000,000
-taxi-profile intervals, shard counts 1..num_cpus doubling, s = 1000).
+each shard count × batch size × caller-thread count on a synthetic
+dataset (default: 1,000,000 taxi-profile intervals, shard counts
+1..num_cpus doubling, threads 1..num_cpus doubling, s = 1000). The
+--threads axis drives the shared engine from that many concurrent
+caller threads — the multi-caller scaling curve of the concurrent read
+path — and every cell is also emitted as a machine-readable JSONL row
+(`grep '^{'` to collect).
 
 bench-updates measures live-update throughput (Table VII's axes: one-by-one
 insertion, pooled batch insertion, deletion) through the unified client at
@@ -303,6 +308,14 @@ fn cmd_bench_engine(opts: &Opts) -> Result<(), String> {
         irs::engine_throughput::default_shard_sweep(),
     )?;
     let batch_sizes = num_list(opts, "batches", vec![64, 256, 1024])?;
+    // Caller-thread axis: how many threads hammer the shared engine at
+    // once. Defaults to the same doubling sweep as shards, so the
+    // multi-caller scaling curve lands in the JSONL by default.
+    let thread_counts = num_list(
+        opts,
+        "threads",
+        irs::engine_throughput::default_shard_sweep(),
+    )?;
 
     println!(
         "# engine throughput — kind = {kind}, profile = {}, n = {n}, s = {s}",
@@ -312,38 +325,64 @@ fn cmd_bench_engine(opts: &Opts) -> Result<(), String> {
     let data = profile.generate(n, seed);
     let queries =
         irs::datagen::QueryWorkload::from_data(&data).generate(query_count, extent, seed ^ 0xBE7C);
+    // `threaded_qps` can't run more callers than there are queries;
+    // clamp (and dedup) here so every printed/emitted row reports a
+    // concurrency level that actually ran.
+    let mut thread_counts: Vec<usize> = thread_counts
+        .into_iter()
+        .map(|t| t.min(queries.len().max(1)))
+        .collect();
+    thread_counts.dedup();
     println!(
-        "{:>7} {:>7} {:>14} {:>14}",
-        "shards", "batch", "sample q/s", "search q/s"
+        "{:>7} {:>7} {:>8} {:>14} {:>14}",
+        "shards", "batch", "threads", "sample q/s", "search q/s"
     );
-    // Scaling ratio baseline: the *first shard count's* run at the same
-    // batch size, labeled with that count (only "vs 1-shard" when the
-    // list starts at 1).
-    let base_shards = shard_counts[0];
-    let mut baseline_sample: Vec<Option<f64>> = vec![None; batch_sizes.len()];
+    // Scaling ratio baseline: the *first thread count's* run at the
+    // same shard count and batch size, labeled with that count (only
+    // "vs 1-thread" when the list starts at 1).
+    let base_threads = thread_counts[0];
     for &shards in &shard_counts {
         let engine = Engine::try_new(&data, EngineConfig::new(kind).shards(shards).seed(seed))
             .map_err(|e| e.to_string())?;
-        for (bi, &batch) in batch_sizes.iter().enumerate() {
-            let sample_qps = irs::engine_throughput::batched_qps(&engine, &queries, batch, |&q| {
-                Query::Sample { q, s }
-            });
-            let search_qps = irs::engine_throughput::batched_qps(&engine, &queries, batch, |&q| {
-                Query::Search { q }
-            });
-            let speedup = match baseline_sample[bi] {
-                None => {
-                    baseline_sample[bi] = Some(sample_qps);
-                    String::new()
-                }
-                Some(base) => {
-                    format!(
-                        "  ({:.2}x sample vs {base_shards}-shard)",
-                        sample_qps / base
-                    )
-                }
-            };
-            println!("{shards:>7} {batch:>7} {sample_qps:>14.0} {search_qps:>14.0}{speedup}");
+        for &batch in &batch_sizes {
+            let mut baseline_sample: Option<f64> = None;
+            for &threads in &thread_counts {
+                let sample_qps =
+                    irs::engine_throughput::threaded_qps(&engine, &queries, threads, batch, |&q| {
+                        Query::Sample { q, s }
+                    });
+                let search_qps =
+                    irs::engine_throughput::threaded_qps(&engine, &queries, threads, batch, |&q| {
+                        Query::Search { q }
+                    });
+                let speedup = match baseline_sample {
+                    None => {
+                        baseline_sample = Some(sample_qps);
+                        String::new()
+                    }
+                    Some(base) => {
+                        format!(
+                            "  ({:.2}x sample vs {base_threads}-thread)",
+                            sample_qps / base
+                        )
+                    }
+                };
+                println!(
+                    "{shards:>7} {batch:>7} {threads:>8} {sample_qps:>14.0} {search_qps:>14.0}{speedup}"
+                );
+                irs_bench::JsonRow::new("bench-engine")
+                    .str("kind", kind.name())
+                    .str("profile", profile.name)
+                    .int("n", n)
+                    .int("shards", shards)
+                    .int("batch", batch)
+                    .int("threads", threads)
+                    .int("s", s)
+                    .int("queries", queries.len())
+                    .num("sample_qps", sample_qps)
+                    .num("search_qps", search_qps)
+                    .emit();
+            }
         }
     }
     Ok(())

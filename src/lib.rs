@@ -72,10 +72,14 @@
 //! ## Scaling out
 //!
 //! `Irs::builder().shards(k)` (for `k > 1`) puts the same facade over
-//! [`Engine`] (crate `irs-engine`): the dataset shards across a
-//! worker-per-shard thread pool executing batches of typed [`Query`]s,
-//! with sampling kept distribution-identical to a single monolithic
-//! index via multinomial cross-shard allocation.
+//! [`Engine`] (crate `irs-engine`): the dataset shards `K` ways, and
+//! batches of typed [`Query`]s execute on the calling thread over the
+//! shared shard state, with sampling kept distribution-identical to a
+//! single monolithic index via multinomial cross-shard allocation.
+//! Both [`Client`] and [`Engine`] are cheap clonable handles
+//! (`Clone + Send + Sync`), so many threads share one backend and
+//! query it concurrently; mutations funnel through a single writer
+//! seat ([`Client::writer`]).
 //!
 //! See the crate-level docs of [`irs_client`], [`irs_ait`], [`irs_hint`],
 //! [`irs_kds`], and [`irs_interval_tree`] for details, and `DESIGN.md` /
@@ -83,7 +87,7 @@
 //! methodology.
 
 pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionStats};
-pub use irs_client::{Client, Irs, IrsBuilder, SampleStream};
+pub use irs_client::{Client, ClientWriter, Irs, IrsBuilder, SampleStream};
 pub use irs_core::{
     domain_bounds, pair_sort_indices, validate_update_weight, validate_weights, BruteForce,
     BuildError, Capabilities, Endpoint, GridEndpoint, Interval, Interval64, ItemId,
@@ -118,7 +122,7 @@ pub mod sampling {
 /// One-stop imports for applications.
 pub mod prelude {
     pub use irs_ait::{Ait, AitV, Awit, DynamicAwit};
-    pub use irs_client::{Client, Irs, IrsBuilder, SampleStream};
+    pub use irs_client::{Client, ClientWriter, Irs, IrsBuilder, SampleStream};
     pub use irs_core::{
         BuildError, Capabilities, Interval, Interval64, ItemId, MemoryFootprint, Mutation,
         Operation, PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch,

@@ -289,9 +289,9 @@ fn batches_are_ordered_and_seeded_replay_is_exact() {
     assert_ne!(a, b, "independent batches drew identical samples");
 }
 
-/// A shared engine must survive concurrent `run` callers (batches
-/// serialize internally; interleaved sampling batches used to deadlock
-/// the phase-1/phase-2 allocation exchange).
+/// A shared engine must survive concurrent `run` callers — batches now
+/// execute concurrently on the calling threads under shared read locks
+/// (the deeper stress lives in `tests/concurrent_stress.rs`).
 #[test]
 fn concurrent_runs_on_shared_engine_complete() {
     let data = dataset(2000, 61);
@@ -378,7 +378,7 @@ fn dead_shard_surfaces_as_error_and_drop_does_not_hang() {
 fn engine_mutations_route_and_ids_stay_stable() {
     let data = dataset(1000, 83);
     let shards = 4;
-    let mut engine = Engine::try_new(
+    let engine = Engine::try_new(
         &data,
         EngineConfig::new(IndexKind::Ait).shards(shards).seed(3),
     )
@@ -387,7 +387,7 @@ fn engine_mutations_route_and_ids_stay_stable() {
 
     // Inserts balance: after K inserts into balanced shards, every
     // shard gained exactly one.
-    let before = engine.shard_lens().to_vec();
+    let before = engine.shard_lens();
     let ids: Vec<ItemId> = (0..shards)
         .map(|i| {
             engine
@@ -395,7 +395,7 @@ fn engine_mutations_route_and_ids_stay_stable() {
                 .unwrap()
         })
         .collect();
-    for (k, (&b, &a)) in before.iter().zip(engine.shard_lens()).enumerate() {
+    for (k, (&b, a)) in before.iter().zip(engine.shard_lens()).enumerate() {
         assert_eq!(a, b + 1, "shard {k} load after round-robin of inserts");
     }
     // Ids are fresh (no collision with build-time ids) and distinct.
@@ -448,7 +448,7 @@ fn engine_mutations_route_and_ids_stay_stable() {
 #[test]
 fn engine_mutation_errors_are_typed() {
     let data = dataset(400, 89);
-    let mut kds = Engine::try_new(&data, EngineConfig::new(IndexKind::Kds).shards(2)).unwrap();
+    let kds = Engine::try_new(&data, EngineConfig::new(IndexKind::Kds).shards(2)).unwrap();
     assert!(!kds.capabilities().update);
     assert!(matches!(
         kds.insert(Interval::new(1, 2)),
@@ -456,21 +456,21 @@ fn engine_mutation_errors_are_typed() {
     ));
 
     // Weighted insert into an unweighted dynamic build: NotWeighted.
-    let mut dyn_uniform =
+    let dyn_uniform =
         Engine::try_new(&data, EngineConfig::new(IndexKind::AwitDynamic).shards(2)).unwrap();
     assert_eq!(
         dyn_uniform.insert_weighted(Interval::new(1, 2), 3.0),
         Err(UpdateError::NotWeighted)
     );
     // Weighted insert into AIT: structurally unsupported.
-    let mut ait = Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(2)).unwrap();
+    let ait = Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(2)).unwrap();
     assert!(matches!(
         ait.insert_weighted(Interval::new(1, 2), 3.0),
         Err(UpdateError::UnsupportedKind { kind: "ait", .. })
     ));
     // Bad weights bounce off the shared gate before any routing.
     let weights = irs::datagen::uniform_weights(data.len(), 5);
-    let mut dyn_weighted = Engine::try_new_weighted(
+    let dyn_weighted = Engine::try_new_weighted(
         &data,
         &weights,
         EngineConfig::new(IndexKind::AwitDynamic).shards(2),
@@ -482,7 +482,7 @@ fn engine_mutation_errors_are_typed() {
     );
 
     // A dead shard errs mutations with the same persistence as queries.
-    let mut broken =
+    let broken =
         Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(3).seed(7)).unwrap();
     broken.crash_shard_for_tests(1);
     let out = broken.apply(&[
