@@ -37,14 +37,14 @@ pub struct RejectionStats {
 #[derive(Debug)]
 pub struct AitV<E> {
     /// AIT over the virtual intervals; item ids are bucket indices.
-    virtual_ait: Ait<E>,
+    pub(crate) virtual_ait: Ait<E>,
     /// Dataset ids in pair-sort order; bucket `b` owns
     /// `members[b·size .. min((b+1)·size, n)]`.
-    members: Vec<ItemId>,
+    pub(crate) members: Vec<ItemId>,
     /// Dataset copy in original id order, needed for the `x ∩ q` rejection
     /// test.
-    data: Vec<Interval<E>>,
-    bucket_size: usize,
+    pub(crate) data: Vec<Interval<E>>,
+    pub(crate) bucket_size: usize,
 }
 
 impl<E: Endpoint> AitV<E> {

@@ -20,22 +20,22 @@ use irs_sampling::{sample_prefix_range, AliasTable};
 /// An AWIT node: the four sorted lists plus their cumulative weight
 /// arrays, index-aligned (`w_*[j] = Σ_{k≤j} w(list[k])`).
 #[derive(Debug)]
-struct AwitNode<E> {
-    center: E,
-    l_lo: Vec<Key<E>>,
-    l_hi: Vec<Key<E>>,
-    al_lo: Vec<Key<E>>,
-    al_hi: Vec<Key<E>>,
+pub(crate) struct AwitNode<E> {
+    pub(crate) center: E,
+    pub(crate) l_lo: Vec<Key<E>>,
+    pub(crate) l_hi: Vec<Key<E>>,
+    pub(crate) al_lo: Vec<Key<E>>,
+    pub(crate) al_hi: Vec<Key<E>>,
     /// `Wl`: cumulative weights of `l_lo`.
-    w_l_lo: Vec<f64>,
+    pub(crate) w_l_lo: Vec<f64>,
     /// `Wr`: cumulative weights of `l_hi`.
-    w_l_hi: Vec<f64>,
+    pub(crate) w_l_hi: Vec<f64>,
     /// `AWl`: cumulative weights of `al_lo`.
-    w_al_lo: Vec<f64>,
+    pub(crate) w_al_lo: Vec<f64>,
     /// `AWr`: cumulative weights of `al_hi`.
-    w_al_hi: Vec<f64>,
-    left: u32,
-    right: u32,
+    pub(crate) w_al_hi: Vec<f64>,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
 }
 
 impl<E: Endpoint> AwitNode<E> {
@@ -132,10 +132,10 @@ impl<E: Endpoint> NodeFactory<E> for AwitFactory {
 /// ```
 #[derive(Debug)]
 pub struct Awit<E> {
-    nodes: Vec<AwitNode<E>>,
-    root: u32,
-    len: usize,
-    height: usize,
+    pub(crate) nodes: Vec<AwitNode<E>>,
+    pub(crate) root: u32,
+    pub(crate) len: usize,
+    pub(crate) height: usize,
 }
 
 impl<E: Endpoint> Awit<E> {

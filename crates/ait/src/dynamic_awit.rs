@@ -46,18 +46,18 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct DynamicAwit<E> {
-    awit: Awit<E>,
+    pub(crate) awit: Awit<E>,
     /// AWIT position → public id (the AWIT is always built over a dense
     /// snapshot; ids survive rebuilds through this table).
-    slot_ids: Vec<ItemId>,
+    pub(crate) slot_ids: Vec<ItemId>,
     /// Live-or-tombstoned intervals resident in the AWIT, by public id.
-    resident: HashMap<ItemId, (Interval<E>, f64)>,
+    pub(crate) resident: HashMap<ItemId, (Interval<E>, f64)>,
     /// Buffered insertions not yet merged into the AWIT.
-    pool: Vec<(Interval<E>, ItemId, f64)>,
+    pub(crate) pool: Vec<(Interval<E>, ItemId, f64)>,
     /// Public ids deleted logically but still physically in the AWIT.
-    tombstones: HashMap<ItemId, Interval<E>>,
-    next_id: ItemId,
-    update_capacity: usize,
+    pub(crate) tombstones: HashMap<ItemId, Interval<E>>,
+    pub(crate) next_id: ItemId,
+    pub(crate) update_capacity: usize,
 }
 
 impl<E: Endpoint> DynamicAwit<E> {

@@ -27,6 +27,7 @@ mod aitv;
 mod awit;
 mod build;
 mod dynamic_awit;
+mod persist;
 mod records;
 mod update;
 

@@ -77,11 +77,12 @@ mod stream;
 
 pub use stream::SampleStream;
 
+use irs_core::persist::{PersistError, Reader};
 use irs_core::{
     splitmix64 as mix, validate_update_weight, validate_weights, BuildError, Capabilities,
     GridEndpoint, Interval, ItemId, Mutation, Operation, QueryError, UpdateError, UpdateOutput,
 };
-use irs_engine::{DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
+use irs_engine::{persist, DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -501,6 +502,116 @@ impl<E: GridEndpoint> Client<E> {
         let counter = self.shared.stream_counter.fetch_add(1, Ordering::Relaxed);
         let rng_seed = self.shared.seed ^ mix(counter + 1);
         Ok(stream::new_stream(self, q, op, rng_seed))
+    }
+
+    /// Saves the client's prepared backend to `dir` (created if
+    /// absent), in the same directory layout [`Engine::save`] writes —
+    /// a snapshot saved through either handle loads through the other.
+    ///
+    /// The snapshot is consistent: the writer seat is held for the
+    /// duration (mutations wait; queries keep running), and a loaded
+    /// copy is byte-equivalent — [`Client::run_seeded`] replays
+    /// identically and ids issued before the save stay valid after the
+    /// load. See `DESIGN.md`, "On-disk snapshot format".
+    pub fn save(&self, dir: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        let shared = &*self.shared;
+        match &shared.backend {
+            Backend::Sharded(engine) => {
+                engine.save_with_stream_counter(dir, shared.stream_counter.load(Ordering::SeqCst))
+            }
+            Backend::Mono {
+                index,
+                batch_counter,
+            } => {
+                let dir = dir.as_ref();
+                let _seat = shared.writer.lock().unwrap_or_else(|e| e.into_inner());
+                std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, &e))?;
+                let guard = index.read().map_err(|_| PersistError::Unsupported {
+                    reason: "the index lock is poisoned; its state cannot be trusted on disk",
+                })?;
+                let len = shared.len.load(Ordering::SeqCst);
+                let manifest = persist::Manifest {
+                    snapshot_id: persist::fresh_snapshot_id(),
+                    kind: shared.kind.name().to_string(),
+                    endpoint: E::type_name().to_string(),
+                    weighted: shared.weighted,
+                    shards: 1,
+                    seed: shared.seed,
+                    batch_counter: batch_counter.load(Ordering::SeqCst),
+                    stream_counter: shared.stream_counter.load(Ordering::SeqCst),
+                    len,
+                    shard_lens: vec![len],
+                };
+                let mut payload = Vec::new();
+                guard.encode_snapshot(&mut payload)?;
+                drop(guard);
+                let header = persist::ShardHeader {
+                    snapshot_id: manifest.snapshot_id,
+                    kind: manifest.kind.clone(),
+                    endpoint: manifest.endpoint.clone(),
+                    shard: 0,
+                    shards: 1,
+                    weighted: manifest.weighted,
+                };
+                // Shard file first, manifest last (both atomic): an
+                // interrupted save is detected at load by the snapshot
+                // id instead of silently mixing two states.
+                persist::write_shard_file(dir, &header, &payload)?;
+                persist::write_manifest(dir, &manifest)
+            }
+        }
+    }
+
+    /// Loads a client from a snapshot directory written by
+    /// [`Client::save`] or [`Engine::save`]. The backend is chosen by
+    /// the manifest: one shard restores the monolithic in-process
+    /// index, more restore the sharded engine — exactly as
+    /// [`IrsBuilder::shards`] would have chosen at build time.
+    ///
+    /// All validation is typed ([`PersistError`]): magic, format
+    /// version, per-section CRCs, manifest/shard cross-checks, and each
+    /// structure's decode invariants. Nothing on the load path panics.
+    pub fn load(dir: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        let manifest = persist::read_manifest(dir)?;
+        let kind = IndexKind::parse(&manifest.kind).ok_or_else(|| PersistError::UnknownKind {
+            name: manifest.kind.clone(),
+        })?;
+        if manifest.endpoint != E::type_name() {
+            return Err(PersistError::EndpointMismatch {
+                stored: manifest.endpoint.clone(),
+                expected: E::type_name(),
+            });
+        }
+        let backend = if manifest.shards > 1 {
+            Backend::Sharded(Engine::load(dir)?)
+        } else {
+            let shard = persist::read_shard_payload(dir, &manifest, 0)?;
+            let mut r = Reader::new(shard.payload());
+            let index = kind.decode_index::<E>(&mut r, manifest.weighted)?;
+            if !r.is_empty() {
+                return Err(PersistError::Corrupt {
+                    what: "index section has trailing bytes",
+                });
+            }
+            Backend::Mono {
+                index: RwLock::new(index),
+                batch_counter: AtomicU64::new(manifest.batch_counter),
+            }
+        };
+        Ok(Client {
+            shared: Arc::new(ClientShared {
+                backend,
+                kind,
+                weighted: manifest.weighted,
+                len: AtomicUsize::new(manifest.len),
+                seed: manifest.seed,
+                // Restored so post-restart streams derive fresh draw
+                // seeds instead of replaying pre-save streams.
+                stream_counter: AtomicU64::new(manifest.stream_counter),
+                writer: Mutex::new(()),
+            }),
+        })
     }
 
     /// The backend, for the stream module.

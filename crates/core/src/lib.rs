@@ -20,6 +20,10 @@
 //! - [`mutation`] — the fallible *mutation* vocabulary: typed
 //!   [`Mutation`] operations, [`UpdateOutput`]s carrying stable ids, and
 //!   the [`UpdateError`] taxonomy shared by every mutable backend.
+//! - [`persist`] — the versioned, endian-fixed snapshot codec: the
+//!   [`Codec`] trait every index structure implements, CRC-framed
+//!   sections, and the [`PersistError`] taxonomy behind the engine's
+//!   and client's `save(dir)` / `load(dir)`.
 //! - [`MemoryFootprint`] — deterministic deep-size accounting used to
 //!   reproduce the paper's memory tables without allocator hooks.
 //! - [`oracle::BruteForce`] — the linear-scan reference implementation each
@@ -29,12 +33,15 @@
 //! slice they were built from ([`ItemId`]); samples and search results are
 //! returned as ids so callers can recover payloads they keep alongside.
 
+#![deny(missing_docs)]
+
 pub mod dataset;
 pub mod erased;
 pub mod footprint;
 pub mod interval;
 pub mod mutation;
 pub mod oracle;
+pub mod persist;
 pub mod query;
 pub mod seed;
 pub mod traits;
@@ -45,6 +52,7 @@ pub use footprint::{slice_bytes, vec_bytes, MemoryFootprint};
 pub use interval::{Endpoint, GridEndpoint, Interval, Interval64, ItemId};
 pub use mutation::{validate_update_weight, Mutation, UpdateError, UpdateOp, UpdateOutput};
 pub use oracle::BruteForce;
+pub use persist::{Codec, PersistError};
 pub use query::{validate_weights, BuildError, Capabilities, Operation, QueryError};
 pub use seed::splitmix64;
 pub use traits::{

@@ -103,14 +103,17 @@
 //! unwound, so `join` returns immediately either way.
 
 use crate::kind::{DynIndex, IndexKind};
+use crate::persist;
 use crate::query::{Query, QueryOutput};
 use irs_core::erased::DynPreparedSampler;
+use irs_core::persist::PersistError;
 use irs_core::{
     splitmix64 as mix, validate_update_weight, validate_weights, BuildError, Capabilities,
     GridEndpoint, Interval, ItemId, Mutation, Operation, QueryError, UpdateError, UpdateOutput,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
@@ -1021,6 +1024,171 @@ impl<E: GridEndpoint> Engine<E> {
         while sh.tx.send(MutMsg::Crash).is_ok() {
             std::thread::yield_now();
         }
+    }
+}
+
+/// Snapshot persistence: the directory-level save/load pair. See the
+/// [`crate::persist`] module for the file layout and `DESIGN.md` for
+/// the byte-level format.
+impl<E: GridEndpoint> Engine<E> {
+    /// Saves the engine to `dir` (created if absent): a manifest plus
+    /// one file per shard, each CRC-framed (see [`crate::persist`]).
+    ///
+    /// The snapshot is **consistent**: the engine's writer lock is held
+    /// for the duration, so no mutation batch can land between two
+    /// shard files, and the manifest's lengths agree with the shard
+    /// payloads. Queries keep running concurrently (each shard is read
+    /// under its shared read lock). A loaded copy is byte-equivalent:
+    /// [`Engine::run_seeded`] replays identically, and ids issued
+    /// before the save stay valid after the load.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.save_with_stream_counter(dir, 0)
+    }
+
+    /// [`Engine::save`], recording a facade-level sample-stream counter
+    /// in the manifest. The engine itself has no stream surface (it
+    /// always writes 0 through [`Engine::save`]); `irs-client` passes
+    /// its own counter here so that streams created after a restart
+    /// derive fresh draw seeds instead of replaying pre-save streams.
+    pub fn save_with_stream_counter(
+        &self,
+        dir: impl AsRef<Path>,
+        stream_counter: u64,
+    ) -> Result<(), PersistError> {
+        let dir = dir.as_ref();
+        let inner = &*self.inner;
+        if inner.first_dead().is_some() {
+            return Err(PersistError::Unsupported {
+                reason: "a shard has failed; its state cannot be trusted on disk",
+            });
+        }
+        // Freeze mutations (queries proceed): shard payloads, `len`,
+        // and the router's per-shard lengths must agree.
+        let writer = inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+        std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, &e))?;
+        let manifest = persist::Manifest {
+            snapshot_id: persist::fresh_snapshot_id(),
+            kind: inner.kind.name().to_string(),
+            endpoint: E::type_name().to_string(),
+            weighted: inner.weighted,
+            shards: inner.shards.len(),
+            seed: inner.base_seed,
+            batch_counter: inner.batch_counter.load(Ordering::SeqCst),
+            stream_counter,
+            len: inner.len.load(Ordering::SeqCst),
+            shard_lens: writer.shard_lens.clone(),
+        };
+        // Shard files first, manifest last (each written atomically):
+        // a save that dies partway leaves the previous manifest, whose
+        // snapshot id disagrees with the fresh shard files — a typed
+        // `ManifestMismatch` at load, never a silent mix of two states.
+        for (k, shard) in inner.shards.iter().enumerate() {
+            let guard = shard.index.read().map_err(|_| PersistError::Unsupported {
+                reason: "a shard lock is poisoned; its state cannot be trusted on disk",
+            })?;
+            let mut payload = Vec::new();
+            guard.encode_snapshot(&mut payload)?;
+            drop(guard);
+            let header = persist::ShardHeader {
+                snapshot_id: manifest.snapshot_id,
+                kind: manifest.kind.clone(),
+                endpoint: manifest.endpoint.clone(),
+                shard: k,
+                shards: manifest.shards,
+                weighted: manifest.weighted,
+            };
+            persist::write_shard_file(dir, &header, &payload)?;
+        }
+        persist::write_manifest(dir, &manifest)
+    }
+
+    /// Loads an engine from a directory written by [`Engine::save`]
+    /// (or by `irs-client`'s `Client::save` — the layouts are shared).
+    ///
+    /// Everything is validated before any shard state is trusted:
+    /// magic, format version, per-section CRCs, the manifest/shard
+    /// cross-checks, and each structure's own decode invariants — every
+    /// failure is a typed [`PersistError`], never a panic. The loaded
+    /// engine is byte-equivalent to the saved one: `run_seeded`
+    /// reproduces the original's draws, the unseeded `run` stream
+    /// continues where it left off, and the global-id contract
+    /// (stable, never reissued) spans the restart.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        let manifest = persist::read_manifest(dir)?;
+        let kind = IndexKind::parse(&manifest.kind).ok_or_else(|| PersistError::UnknownKind {
+            name: manifest.kind.clone(),
+        })?;
+        if manifest.endpoint != E::type_name() {
+            return Err(PersistError::EndpointMismatch {
+                stored: manifest.endpoint.clone(),
+                expected: E::type_name(),
+            });
+        }
+        let mut indexes: Vec<Box<dyn DynIndex<E>>> = Vec::with_capacity(manifest.shards);
+        for k in 0..manifest.shards {
+            let shard = persist::read_shard_payload(dir, &manifest, k)?;
+            let mut r = irs_core::persist::Reader::new(shard.payload());
+            let index = kind.decode_index::<E>(&mut r, manifest.weighted)?;
+            if !r.is_empty() {
+                return Err(PersistError::Corrupt {
+                    what: "index section has trailing bytes",
+                });
+            }
+            indexes.push(index);
+        }
+        Self::from_restored(indexes, kind, &manifest).map_err(|e| PersistError::io(dir, &e))
+    }
+
+    /// Assembles a live engine around already-decoded shard indexes:
+    /// the locks, dead flags, and one mutation worker per shard — the
+    /// same runtime state [`Engine::try_new`] builds, minus the index
+    /// construction.
+    fn from_restored(
+        indexes: Vec<Box<dyn DynIndex<E>>>,
+        kind: IndexKind,
+        manifest: &persist::Manifest,
+    ) -> std::io::Result<Self> {
+        let shards = indexes.len();
+        let mut shards_vec = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (shard_id, index) in indexes.into_iter().enumerate() {
+            let lock = Arc::new(RwLock::new(index));
+            let (tx, rx) = mpsc::channel::<MutMsg<E>>();
+            let dead = Arc::new(AtomicBool::new(false));
+            let dead_flag = Arc::clone(&dead);
+            let worker_lock = Arc::clone(&lock);
+            let handle = std::thread::Builder::new()
+                .name(format!("irs-shard-{shard_id}"))
+                .spawn(move || {
+                    // Body local: drops (raising the flag) before the
+                    // captured `rx` drops (closing the channel) if the
+                    // worker unwinds — see `DeadOnPanic`.
+                    let _dead_guard = DeadOnPanic(dead_flag);
+                    mutation_worker(&worker_lock, shard_id, shards, &rx);
+                })?;
+            workers.push(handle);
+            shards_vec.push(Shard {
+                index: lock,
+                dead,
+                tx,
+            });
+        }
+        Ok(Engine {
+            inner: Arc::new(EngineShared {
+                shards: shards_vec,
+                workers,
+                kind,
+                len: AtomicUsize::new(manifest.len),
+                weighted: manifest.weighted,
+                base_seed: manifest.seed,
+                batch_counter: AtomicU64::new(manifest.batch_counter),
+                writer: Mutex::new(WriterState {
+                    shard_lens: manifest.shard_lens.clone(),
+                }),
+                scratch: ScratchPool::new(),
+            }),
+        })
     }
 }
 

@@ -25,6 +25,7 @@
 
 use irs_ait::{Ait, AitV, Awit, DynamicAwit};
 use irs_core::erased::{DynPreparedSampler, Erased, ErasedUpperBound};
+use irs_core::persist::{Codec, PersistError, Reader};
 use irs_core::{
     validate_update_weight, Capabilities, Endpoint, GridEndpoint, Interval, ItemId, Operation,
     QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery, UpdateError, UpdateOp,
@@ -255,6 +256,66 @@ impl IndexKind {
             }),
         }
     }
+
+    /// Decodes one index of this kind from a snapshot payload, behind
+    /// the same wrappers [`IndexKind::build_index`] constructs.
+    ///
+    /// The inverse of [`DynIndex::encode_snapshot`]: `weighted` must be
+    /// the flag the snapshot's manifest recorded (it selects the same
+    /// uniform-vs-weighted wrapper state construction would).
+    pub fn decode_index<E: GridEndpoint>(
+        self,
+        r: &mut Reader<'_>,
+        weighted: bool,
+    ) -> Result<Box<dyn DynIndex<E>>, PersistError> {
+        // The manifest's weighted flag must agree with the decoded
+        // structure: a weighted baseline whose weight arrays are absent
+        // would pass its own decode (that is the valid *unweighted*
+        // form) and then hit the structures' internal weighted-build
+        // assertions on the first weighted query.
+        fn check_weighted(
+            weighted: bool,
+            has_weights: bool,
+            empty: bool,
+        ) -> Result<(), PersistError> {
+            if weighted && !has_weights && !empty {
+                return Err(PersistError::Corrupt {
+                    what: "manifest says weighted, but the index carries no weights",
+                });
+            }
+            Ok(())
+        }
+        Ok(match self {
+            IndexKind::Ait => Box::new(MutableAit {
+                idx: Ait::decode(r)?,
+                live: None,
+            }),
+            IndexKind::AitV => Box::new(AitV::decode(r)?),
+            IndexKind::Awit => Box::new(AwitShard {
+                idx: Awit::decode(r)?,
+                uniform: !weighted,
+            }),
+            IndexKind::AwitDynamic => Box::new(DynAwitShard {
+                idx: DynamicAwit::decode(r)?,
+                uniform: !weighted,
+            }),
+            IndexKind::Kds => {
+                let idx = Kds::decode(r)?;
+                check_weighted(weighted, idx.is_weighted(), idx.is_empty())?;
+                Box::new(WeightedBaseline { idx, weighted })
+            }
+            IndexKind::HintM => {
+                let idx = HintM::decode(r)?;
+                check_weighted(weighted, idx.is_weighted(), idx.is_empty())?;
+                Box::new(WeightedBaseline { idx, weighted })
+            }
+            IndexKind::IntervalTree => {
+                let idx = IntervalTree::decode(r)?;
+                check_weighted(weighted, idx.is_weighted(), idx.is_empty())?;
+                Box::new(WeightedBaseline { idx, weighted })
+            }
+        })
+    }
 }
 
 impl std::fmt::Display for IndexKind {
@@ -339,6 +400,22 @@ pub trait DynIndex<E>: Send + Sync {
         let _ = id;
         Err(static_snapshot_error())
     }
+
+    /// Appends this index's snapshot encoding to `out` (the payload of
+    /// a shard file's index section; decode with
+    /// [`IndexKind::decode_index`]).
+    ///
+    /// Every in-tree kind overrides this with its structure's
+    /// [`Codec`]; the default refuses, so an out-of-tree `DynIndex`
+    /// that never opted into persistence surfaces a typed
+    /// [`PersistError::Unsupported`] instead of silently writing an
+    /// empty shard.
+    fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
+        let _ = out;
+        Err(PersistError::Unsupported {
+            reason: "this index implementation has no snapshot codec",
+        })
+    }
 }
 
 /// The backstop error for kinds that never override the mutable
@@ -359,6 +436,11 @@ fn stab_via_search<E: Endpoint, I: RangeSearch<E>>(idx: &I, p: E, out: &mut Vec<
 impl<E: GridEndpoint> DynIndex<E> for Ait<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.range_search_into(q, out);
+    }
+
+    fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
+        self.encode_into(out);
+        Ok(())
     }
 
     fn count(&self, q: Interval<E>) -> usize {
@@ -392,6 +474,13 @@ struct MutableAit<E> {
 impl<E: GridEndpoint> DynIndex<E> for MutableAit<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.idx.range_search_into(q, out);
+    }
+
+    // The lazy live table is a cache over `Ait::entries`; only the
+    // tree (with its pool and id allocator) goes to disk.
+    fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
+        self.idx.encode_into(out);
+        Ok(())
     }
 
     fn count(&self, q: Interval<E>) -> usize {
@@ -460,6 +549,13 @@ impl<E: GridEndpoint> DynIndex<E> for DynAwitShard<E> {
         self.idx.range_search_into(q, out);
     }
 
+    // Pool, tombstones, and the id allocator ride along inside the
+    // `DynamicAwit` codec, so stable ids survive the restart.
+    fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
+        self.idx.encode_into(out);
+        Ok(())
+    }
+
     fn count(&self, q: Interval<E>) -> usize {
         self.idx.range_count(q)
     }
@@ -517,6 +613,11 @@ impl<E: GridEndpoint> DynIndex<E> for AitV<E> {
         self.range_search_into(q, out);
     }
 
+    fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
+        self.encode_into(out);
+        Ok(())
+    }
+
     fn count(&self, q: Interval<E>) -> usize {
         // AIT-V has no counting structure (its per-node lists hold
         // virtual intervals); the exact count costs one search.
@@ -548,6 +649,11 @@ struct AwitShard<E> {
 impl<E: GridEndpoint> DynIndex<E> for AwitShard<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.idx.range_search_into(q, out);
+    }
+
+    fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
+        self.idx.encode_into(out);
+        Ok(())
     }
 
     fn count(&self, q: Interval<E>) -> usize {
@@ -611,6 +717,13 @@ macro_rules! impl_weighted_baseline {
                 self.idx.range_search_into(q, out);
             }
 
+            // The `weighted` flag is manifest state, not index state;
+            // `IndexKind::decode_index` restores it from there.
+            fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
+                self.idx.encode_into(out);
+                Ok(())
+            }
+
             fn count(&self, q: Interval<E>) -> usize {
                 self.idx.range_count(q)
             }
@@ -639,10 +752,12 @@ macro_rules! impl_weighted_baseline {
     };
 }
 
-impl_weighted_baseline!(Kds, Endpoint, |idx, p, out| stab_via_search(idx, p, out));
+impl_weighted_baseline!(Kds, GridEndpoint, |idx, p, out| stab_via_search(
+    idx, p, out
+));
 impl_weighted_baseline!(HintM, GridEndpoint, |idx, p, out| stab_via_search(
     idx, p, out
 ));
-impl_weighted_baseline!(IntervalTree, Endpoint, |idx, p, out| {
+impl_weighted_baseline!(IntervalTree, GridEndpoint, |idx, p, out| {
     StabbingQuery::stab_into(idx, p, out)
 });

@@ -60,11 +60,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod engine;
 mod kind;
+pub mod persist;
 mod query;
 pub mod throughput;
 
 pub use engine::{Engine, EngineConfig};
 pub use kind::{DynIndex, IndexKind};
+pub use persist::{inspect_snapshot, Manifest, SnapshotInfo};
 pub use query::{Query, QueryOutput};

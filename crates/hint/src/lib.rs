@@ -25,6 +25,20 @@
 //! Range search costs `Ω(|q ∩ X|)`: fast in practice, but inherently
 //! output-sensitive, which is exactly the drawback the AIT's sampling
 //! avoids (Table I of the paper).
+//!
+//! # Complexity
+//!
+//! | Operation | Time | Notes |
+//! |---|---|---|
+//! | Build | `O(n · m)` worst case | segment-tree decomposition per interval |
+//! | Range search | `Ω(\|q ∩ X\|)` | comparisons only in boundary partitions |
+//! | Range count | `Ω(partitions)` | middle partitions count in `O(1)` |
+//! | IRS (either problem) | `Ω(\|q ∩ X\| + s)` | search-then-sample (§V baseline) |
+//! | Space | `O(n · m)` worst case, ~`O(n)` typical | replicas per level |
+//!
+//! Snapshots: [`HintM`] implements [`irs_core::persist::Codec`], storing
+//! every partition's four sublists plus the grid geometry (see
+//! `DESIGN.md`, "On-disk snapshot format").
 
 mod index;
 

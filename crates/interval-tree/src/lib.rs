@@ -12,6 +12,21 @@
 //!   removes,
 //! - IRS by materializing `q ∩ X` and sampling from it (the baseline the
 //!   paper compares against): `Ω(|q ∩ X|)` per query.
+//!
+//! # Complexity
+//!
+//! | Operation | Time | Notes |
+//! |---|---|---|
+//! | Build | `O(n log n)` | median centers, sorted node lists |
+//! | Stabbing | `O(log n + K)` | the structure's native operator (§II-B) |
+//! | Range search | `O(min(n, log n + K))` | case-3 forks may visit both subtrees |
+//! | Range count | `O(log n)` per visited node | binary searches instead of scans |
+//! | IRS (either problem) | `Ω(\|q ∩ X\| + s)` | search-then-sample (§V baseline) |
+//! | Space | `O(n)` | each interval stored at one node (twice) |
+//!
+//! Snapshots: [`IntervalTree`] implements [`irs_core::persist::Codec`],
+//! storing the node arena and optional weights verbatim (see
+//! `DESIGN.md`, "On-disk snapshot format").
 
 mod tree;
 

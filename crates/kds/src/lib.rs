@@ -15,6 +15,21 @@
 //!
 //! The same decomposition yields `O(√n)` range counting — the kd-tree
 //! comparator of Table X.
+//!
+//! # Complexity
+//!
+//! | Operation | Time | Notes |
+//! |---|---|---|
+//! | Build | `O(n log n)` | in-place median partitioning |
+//! | Uniform IRS | `O(√n + s)` expected | §V baseline, paper's Table VI |
+//! | Weighted IRS | `O(√n + s log n)` expected | prefix-sum draws, Table IX |
+//! | Range count | `O(√n)` | canonical pieces, Table X |
+//! | Range search | `O(√n + \|q ∩ X\|)` | piece enumeration |
+//! | Space | `O(n)` | point array + node arena |
+//!
+//! Snapshots: [`Kds`] implements [`irs_core::persist::Codec`], storing
+//! the point permutation, node arena, and weight arrays verbatim (see
+//! `DESIGN.md`, "On-disk snapshot format").
 
 mod tree;
 

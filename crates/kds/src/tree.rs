@@ -149,6 +149,13 @@ impl<E: Endpoint> Kds<E> {
         self.leaf_size
     }
 
+    /// Whether the index carries per-interval weights (built with
+    /// [`Kds::new_weighted`], or decoded from a weighted snapshot).
+    /// Empty indexes report `false` either way.
+    pub fn is_weighted(&self) -> bool {
+        !self.weight_prefix.is_empty()
+    }
+
     /// Canonical decomposition of the query rectangle: fully covered
     /// subtrees are kept as array ranges; boundary leaves are scanned and
     /// their qualifying point positions collected.
@@ -400,6 +407,111 @@ impl<E: Endpoint> MemoryFootprint for Kds<E> {
             + vec_bytes(&self.nodes)
             + vec_bytes(&self.weight_prefix)
             + vec_bytes(&self.point_weights)
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk codec (see DESIGN.md, "On-disk snapshot format").
+
+use irs_core::persist::{check_arena_link, Codec, PersistError, Reader};
+
+impl<E: Endpoint + Codec> Codec for Point<E> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.lo.encode_into(out);
+        self.hi.encode_into(out);
+        self.id.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Point {
+            lo: E::decode(r)?,
+            hi: E::decode(r)?,
+            id: ItemId::decode(r)?,
+        })
+    }
+}
+
+impl<E: Endpoint + Codec> Codec for KdNode<E> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.begin.encode_into(out);
+        self.end.encode_into(out);
+        self.min_lo.encode_into(out);
+        self.max_lo.encode_into(out);
+        self.min_hi.encode_into(out);
+        self.max_hi.encode_into(out);
+        self.left.encode_into(out);
+        self.right.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(KdNode {
+            begin: u32::decode(r)?,
+            end: u32::decode(r)?,
+            min_lo: E::decode(r)?,
+            max_lo: E::decode(r)?,
+            min_hi: E::decode(r)?,
+            max_hi: E::decode(r)?,
+            left: u32::decode(r)?,
+            right: u32::decode(r)?,
+        })
+    }
+}
+
+impl<E: Endpoint + Codec> Codec for Kds<E> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.points.encode_into(out);
+        self.nodes.encode_into(out);
+        self.root.encode_into(out);
+        self.leaf_size.encode_into(out);
+        self.weight_prefix.encode_into(out);
+        self.point_weights.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let points: Vec<Point<E>> = Vec::decode(r)?;
+        if points.iter().any(|p| p.id as usize >= points.len()) {
+            return Err(PersistError::Corrupt {
+                what: "kd-tree point id out of range",
+            });
+        }
+        let nodes: Vec<KdNode<E>> = Vec::decode(r)?;
+        let root = u32::decode(r)?;
+        check_arena_link(root, nodes.len(), "kd-tree link out of range")?;
+        for n in &nodes {
+            check_arena_link(n.left, nodes.len(), "kd-tree link out of range")?;
+            check_arena_link(n.right, nodes.len(), "kd-tree link out of range")?;
+        }
+        if nodes
+            .iter()
+            .any(|n| n.begin > n.end || n.end as usize > points.len())
+        {
+            return Err(PersistError::Corrupt {
+                what: "kd-tree node range outside the point array",
+            });
+        }
+        let leaf_size = usize::decode(r)?;
+        if leaf_size == 0 {
+            return Err(PersistError::Corrupt {
+                what: "kd-tree leaf size is zero",
+            });
+        }
+        let weight_prefix: Vec<f64> = Vec::decode(r)?;
+        let point_weights: Vec<f64> = Vec::decode(r)?;
+        if !weight_prefix.is_empty()
+            && (weight_prefix.len() != points.len() || point_weights.len() != points.len())
+        {
+            return Err(PersistError::Corrupt {
+                what: "kd-tree weight arrays do not match the point array",
+            });
+        }
+        Ok(Kds {
+            points,
+            nodes,
+            root,
+            leaf_size,
+            weight_prefix,
+            point_weights,
+        })
     }
 }
 

@@ -19,7 +19,18 @@
 //!
 //! Range search remains `Ω(|q ∩ X|)` like all search-based baselines,
 //! and its efficiency degrades with long-interval skew, which is exactly
-//! what the HINT papers measured it against.
+//! what the HINT papers measured it against (the paper's related work,
+//! §VI, cites it among the non-sampling competitors).
+//!
+//! # Complexity
+//!
+//! | Operation | Time | Notes |
+//! |---|---|---|
+//! | Build | `O(n + buckets · levels)` | one placement per interval |
+//! | Range search | `Ω(\|q ∩ X\|)` | duration levels skip unreachable classes |
+//! | Range count | `Ω(\|q ∩ X\|)` | search-based |
+//! | IRS | `Ω(\|q ∩ X\| + s)` | search-then-sample |
+//! | Space | `O(n + buckets · levels)` | leveled start-bucket lists |
 
 use irs_core::{
     vec_bytes, GridEndpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeCount,

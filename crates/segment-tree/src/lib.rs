@@ -17,6 +17,15 @@
 //! nodes whose slab range the interval covers. A stabbing query walks the
 //! single root-to-leaf path of the queried slab and reports every list on
 //! it.
+//!
+//! # Complexity
+//!
+//! | Operation | Time | Notes |
+//! |---|---|---|
+//! | Build | `O(n log n)` | canonical-cover insertion |
+//! | Stabbing | `O(log n + K)` | the structure's native operator |
+//! | Range search | `O(K log n)` + dedup | why the paper builds on the interval tree instead (§VI) |
+//! | Space | `O(n log n)` | one copy per canonical node |
 
 use irs_core::{vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, StabbingQuery};
 

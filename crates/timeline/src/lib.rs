@@ -17,7 +17,19 @@
 //!    (a contiguous run of the start-sorted event list).
 //!
 //! Range search therefore costs `O(c + |q ∩ X| + replay)` — fast for
-//! short queries, `Ω(|q ∩ X|)` like all search-based baselines.
+//! short queries, `Ω(|q ∩ X|)` like all search-based baselines (the
+//! paper's related work, §VI, discusses it as the temporal-database
+//! representative HINTm superseded).
+//!
+//! # Complexity
+//!
+//! | Operation | Time | Notes |
+//! |---|---|---|
+//! | Build | `O(n log n)` | event sort + periodic checkpoints |
+//! | Range search | `O(c + replay + \|q ∩ X\|)` | `c` = checkpoint period |
+//! | Range count | same as search | search-based |
+//! | IRS | `Ω(\|q ∩ X\| + s)` | search-then-sample |
+//! | Space | `O(n + n/c · active)` | event list + snapshots |
 
 use irs_core::{
     vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeCount,

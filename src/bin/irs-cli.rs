@@ -7,6 +7,9 @@
 //! irs-cli stab         --data trips.csv --at 250
 //! irs-cli bench-engine --n 1000000 --shards 1,2,4,8 --batches 64,256
 //! irs-cli bench-updates --n 1000000 --updates 100000 --shards 1,4
+//! irs-cli snapshot save --data trips.csv --kind ait --shards 4 --out snap/
+//! irs-cli snapshot inspect --dir snap/
+//! irs-cli snapshot load --dir snap/ --lo 100 --hi 5000 --s 10
 //! ```
 //!
 //! Data files are CSV with one `lo,hi[,weight]` triple per line (header
@@ -23,6 +26,21 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `snapshot` takes a positional action before its options.
+    if cmd == "snapshot" {
+        let result = match args.get(1) {
+            None => Err("snapshot needs an action: save | load | inspect".to_string()),
+            Some(action) => Opts::parse(args.get(2..).unwrap_or(&[]))
+                .and_then(|opts| cmd_snapshot(action, &opts)),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match Opts::parse(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -65,6 +83,10 @@ USAGE:
                        [--s <S>] [--queries <Q>] [--extent <PCT>] [--seed <S>]
   irs-cli bench-updates [--profile <P>] [--n <N>] [--kind <ait|awit-dynamic>] [--weighted]
                         [--updates <U>] [--shards <K1,K2,..>] [--seed <S>]
+  irs-cli snapshot save    --data <FILE> --out <DIR> [--kind <K>] [--shards <N>]
+                           [--weighted] [--seed <S>]
+  irs-cli snapshot inspect --dir <DIR>
+  irs-cli snapshot load    --dir <DIR> [--lo <LO> --hi <HI> --s <S>]
 
 bench-engine measures engine queries/sec (sample + search workloads) at
 each shard count × batch size × caller-thread count on a synthetic
@@ -79,6 +101,12 @@ bench-updates measures live-update throughput (Table VII's axes: one-by-one
 insertion, pooled batch insertion, deletion) through the unified client at
 each shard count, emitting both a human table and machine-readable JSONL
 rows (`grep '^{'` to collect).
+
+snapshot saves a built backend (any kind, any shard count) to a
+directory of CRC-checked files, inspects a snapshot's manifest without
+loading it, and loads one back — skipping index construction — ready to
+serve (optionally proving it with one sample query). See DESIGN.md,
+\"On-disk snapshot format\".
 
 Data files: CSV lines `lo,hi[,weight]`.";
 
@@ -268,6 +296,83 @@ fn cmd_stab(opts: &Opts) -> Result<(), String> {
         writeln!(out, "{}\t{},{}", id, iv.lo, iv.hi).map_err(|e| e.to_string())?;
     }
     Ok(())
+}
+
+fn cmd_snapshot(action: &str, opts: &Opts) -> Result<(), String> {
+    match action {
+        "save" => {
+            let (data, weights) = load(opts.req("data")?)?;
+            let dir = opts.req("out")?;
+            let kind = match opts.get("kind") {
+                None => IndexKind::Ait,
+                Some(name) => {
+                    IndexKind::parse(name).ok_or_else(|| format!("unknown kind `{name}`"))?
+                }
+            };
+            let shards: usize = opts.num_or("shards", 1)?;
+            let seed: u64 = opts.num_or("seed", 42)?;
+            let mut builder = Irs::builder().kind(kind).shards(shards).seed(seed);
+            if opts.get("weighted").is_some() {
+                builder = builder.weights(weights);
+            }
+            let built = std::time::Instant::now();
+            let client = builder.build(&data).map_err(|e| e.to_string())?;
+            let build_ms = built.elapsed().as_secs_f64() * 1e3;
+            let saved = std::time::Instant::now();
+            client.save(dir).map_err(|e| e.to_string())?;
+            let save_ms = saved.elapsed().as_secs_f64() * 1e3;
+            let bytes: u64 = std::fs::read_dir(dir)
+                .map_err(|e| e.to_string())?
+                .filter_map(|f| f.and_then(|f| f.metadata()).ok())
+                .map(|m| m.len())
+                .sum();
+            println!(
+                "saved {} × {} shard(s) ({} intervals, {bytes} bytes) to {dir} \
+                 [build {build_ms:.0} ms, save {save_ms:.0} ms]",
+                kind,
+                client.shard_count(),
+                client.len(),
+            );
+            Ok(())
+        }
+        "inspect" => {
+            let info = irs::inspect_snapshot(opts.req("dir")?).map_err(|e| e.to_string())?;
+            let m = &info.manifest;
+            println!("format-version: {}", info.format_version);
+            println!("snapshot-id:    {:#018x}", m.snapshot_id);
+            println!("kind:           {}", m.kind);
+            println!("endpoint:       {}", m.endpoint);
+            println!("weighted:       {}", m.weighted);
+            println!("shards:         {}", m.shards);
+            println!("seed:           {}", m.seed);
+            println!("batch-counter:  {}", m.batch_counter);
+            println!("live intervals: {}", m.len);
+            println!("shard lengths:  {:?}", m.shard_lens);
+            Ok(())
+        }
+        "load" => {
+            let dir = opts.req("dir")?;
+            let loaded = std::time::Instant::now();
+            let client = Client::<i64>::load(dir).map_err(|e| e.to_string())?;
+            let load_ms = loaded.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "loaded {} × {} shard(s), {} live intervals [{load_ms:.0} ms]",
+                client.kind(),
+                client.shard_count(),
+                client.len(),
+            );
+            if let (Some(_), Some(_)) = (opts.get("lo"), opts.get("hi")) {
+                let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
+                let s: usize = opts.num_or("s", 10)?;
+                let ids = client.sample(q, s).map_err(|e| e.to_string())?;
+                println!("sample({q:?}, {s}) -> {ids:?}");
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown snapshot action `{other}` (want save | load | inspect)"
+        )),
+    }
 }
 
 /// Comma-separated positive-count list option, e.g. `--shards 1,2,4,8`

@@ -90,11 +90,15 @@ pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionS
 pub use irs_client::{Client, ClientWriter, Irs, IrsBuilder, SampleStream};
 pub use irs_core::{
     domain_bounds, pair_sort_indices, validate_update_weight, validate_weights, BruteForce,
-    BuildError, Capabilities, Endpoint, GridEndpoint, Interval, Interval64, ItemId,
-    MemoryFootprint, Mutation, Operation, PreparedSampler, QueryError, RangeCount, RangeSampler,
-    RangeSearch, StabbingQuery, UpdateError, UpdateOp, UpdateOutput, WeightedRangeSampler,
+    BuildError, Capabilities, Codec, Endpoint, GridEndpoint, Interval, Interval64, ItemId,
+    MemoryFootprint, Mutation, Operation, PersistError, PreparedSampler, QueryError, RangeCount,
+    RangeSampler, RangeSearch, StabbingQuery, UpdateError, UpdateOp, UpdateOutput,
+    WeightedRangeSampler,
 };
-pub use irs_engine::{DynIndex, Engine, EngineConfig, IndexKind, Query, QueryOutput};
+pub use irs_engine::{
+    inspect_snapshot, DynIndex, Engine, EngineConfig, IndexKind, Manifest, Query, QueryOutput,
+    SnapshotInfo,
+};
 pub use irs_hint::HintM;
 pub use irs_interval_tree::IntervalTree;
 pub use irs_kds::Kds;
@@ -125,8 +129,8 @@ pub mod prelude {
     pub use irs_client::{Client, ClientWriter, Irs, IrsBuilder, SampleStream};
     pub use irs_core::{
         BuildError, Capabilities, Interval, Interval64, ItemId, MemoryFootprint, Mutation,
-        Operation, PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch,
-        StabbingQuery, UpdateError, UpdateOp, UpdateOutput, WeightedRangeSampler,
+        Operation, PersistError, PreparedSampler, QueryError, RangeCount, RangeSampler,
+        RangeSearch, StabbingQuery, UpdateError, UpdateOp, UpdateOutput, WeightedRangeSampler,
     };
     pub use irs_engine::{Engine, EngineConfig, IndexKind, Query, QueryOutput};
     pub use irs_hint::HintM;

@@ -1,0 +1,485 @@
+//! Snapshot persistence: for every `IndexKind` × shard count, a
+//! saved-then-loaded engine must be *byte-equivalent* to the original —
+//! `run_seeded` reproduces the exact draws — and the mutable kinds must
+//! honour the global-id contract across the restart. Corrupted
+//! snapshots (truncation, foreign bytes, bit flips, future versions)
+//! must each surface the right typed `PersistError`, never a panic.
+
+use irs::prelude::*;
+use irs::BruteForce;
+use std::path::PathBuf;
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 7];
+
+/// A unique, self-cleaning snapshot directory per test case.
+struct SnapDir(PathBuf);
+
+impl SnapDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("irs-persist-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for SnapDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn dataset(n: usize, seed: u64) -> Vec<Interval64> {
+    irs::datagen::TAXI.generate(n, seed)
+}
+
+fn queries(data: &[Interval64], count: usize, seed: u64) -> Vec<Interval64> {
+    let workload = irs::datagen::QueryWorkload::from_data(data);
+    let mut qs = Vec::new();
+    for extent in [0.5, 8.0, 32.0] {
+        qs.extend(workload.generate(count, extent, seed ^ extent.to_bits()));
+    }
+    qs
+}
+
+/// A mixed batch exercising every operation the kind supports.
+fn batch(data: &[Interval64], weighted: bool) -> Vec<Query<i64>> {
+    queries(data, 3, 0x5A7E)
+        .into_iter()
+        .flat_map(|q| {
+            [
+                Query::Count { q },
+                Query::Search { q },
+                Query::Stab { p: q.lo },
+                if weighted {
+                    Query::SampleWeighted { q, s: 32 }
+                } else {
+                    Query::Sample { q, s: 32 }
+                },
+            ]
+        })
+        .collect()
+}
+
+fn sorted(mut v: Vec<ItemId>) -> Vec<ItemId> {
+    v.sort_unstable();
+    v
+}
+
+/// Every kind × K ∈ {1, 4, 7}: save → load → `run_seeded` must match
+/// the original byte for byte (samples included), along with the
+/// engine's queryable metadata.
+#[test]
+fn every_kind_and_shard_count_replays_byte_identically() {
+    let data = dataset(2500, 21);
+    for kind in IndexKind::ALL {
+        for shards in SHARD_COUNTS {
+            let dir = SnapDir::new(&format!("replay-{kind}-{shards}"));
+            let engine = Engine::try_new(
+                &data,
+                EngineConfig::new(kind)
+                    .shards(shards)
+                    .seed(77 + shards as u64),
+            )
+            .unwrap();
+            engine.save(dir.path()).unwrap();
+            let loaded: Engine<i64> = Engine::load(dir.path()).unwrap();
+            assert_eq!(loaded.kind(), kind);
+            assert_eq!(loaded.shard_count(), shards);
+            assert_eq!(loaded.len(), engine.len());
+            assert_eq!(loaded.shard_lens(), engine.shard_lens());
+            assert_eq!(loaded.capabilities(), engine.capabilities());
+            let qs = batch(&data, false);
+            for seed in [0u64, 0xDEAD_BEEF, 42] {
+                assert_eq!(
+                    engine.run_seeded(&qs, seed),
+                    loaded.run_seeded(&qs, seed),
+                    "{kind} K={shards} seed={seed}: loaded engine diverged"
+                );
+            }
+            // The *unseeded* stream also continues where the original's
+            // would: both engines sit at the same batch counter.
+            assert_eq!(engine.run(&qs), loaded.run(&qs), "{kind} K={shards} run()");
+        }
+    }
+}
+
+/// Weighted builds (every kind that samples by weight) replay their
+/// weighted draws byte-identically too.
+#[test]
+fn weighted_builds_replay_byte_identically() {
+    let data = dataset(1800, 22);
+    let weights: Vec<f64> = (0..data.len()).map(|i| 1.0 + (i % 9) as f64).collect();
+    for kind in [
+        IndexKind::Awit,
+        IndexKind::AwitDynamic,
+        IndexKind::Kds,
+        IndexKind::HintM,
+        IndexKind::IntervalTree,
+    ] {
+        for shards in SHARD_COUNTS {
+            let dir = SnapDir::new(&format!("weighted-{kind}-{shards}"));
+            let engine = Engine::try_new_weighted(
+                &data,
+                &weights,
+                EngineConfig::new(kind).shards(shards).seed(5),
+            )
+            .unwrap();
+            engine.save(dir.path()).unwrap();
+            let loaded: Engine<i64> = Engine::load(dir.path()).unwrap();
+            assert!(loaded.is_weighted());
+            let qs = batch(&data, true);
+            assert_eq!(
+                engine.run_seeded(&qs, 0xFEED),
+                loaded.run_seeded(&qs, 0xFEED),
+                "{kind} K={shards}: weighted replay diverged"
+            );
+        }
+    }
+}
+
+/// A snapshot taken *mid-churn* (pool entries buffered, tombstones
+/// live, ids retired) restores the exact mutable state: saved draws
+/// replay, pre-save ids resolve, deletes of retired ids still fail, and
+/// post-load mutations agree with a brute-force shadow.
+#[test]
+fn update_capable_kinds_keep_ids_and_oracle_agreement_across_restart() {
+    let data = dataset(1200, 23);
+    for kind in [IndexKind::Ait, IndexKind::AwitDynamic] {
+        for shards in SHARD_COUNTS {
+            let dir = SnapDir::new(&format!("churn-{kind}-{shards}"));
+            let engine =
+                Engine::try_new(&data, EngineConfig::new(kind).shards(shards).seed(9)).unwrap();
+            // Shadow: (interval, global id) of every live interval.
+            let mut shadow: Vec<(Interval64, ItemId)> = data
+                .iter()
+                .enumerate()
+                .map(|(g, &iv)| (iv, g as ItemId))
+                .collect();
+            // Churn before the save: buffered batch insert + one-by-one
+            // inserts + deletes, so pools/tombstones are non-empty.
+            let fresh: Vec<Interval64> = (0..40)
+                .map(|i| Interval::new(1000 * i, 1000 * i + 5000))
+                .collect();
+            let ids = engine.extend_batch(&fresh).unwrap();
+            shadow.extend(fresh.iter().copied().zip(ids.iter().copied()));
+            let lone = engine.insert(Interval::new(77, 99)).unwrap();
+            shadow.push((Interval::new(77, 99), lone));
+            let retired: Vec<ItemId> = (0..60).map(|g| g as ItemId).collect();
+            for &id in &retired {
+                engine.remove(id).unwrap();
+                shadow.retain(|&(_, sid)| sid != id);
+            }
+
+            engine.save(dir.path()).unwrap();
+            let loaded: Engine<i64> = Engine::load(dir.path()).unwrap();
+            assert_eq!(loaded.len(), shadow.len());
+
+            // Byte-equivalent replay of the churned state.
+            let qs = batch(&data, false);
+            assert_eq!(
+                engine.run_seeded(&qs, 0xAB),
+                loaded.run_seeded(&qs, 0xAB),
+                "{kind} K={shards}: churned replay diverged"
+            );
+
+            // The id contract spans the restart: a pre-save id deletes
+            // cleanly, a retired id is still unknown, and new ids never
+            // collide with anything ever issued.
+            assert_eq!(
+                loaded.remove(retired[0]),
+                Err(UpdateError::UnknownId { id: retired[0] }),
+                "{kind} K={shards}: retired id resurrected"
+            );
+            loaded.remove(lone).unwrap();
+            shadow.retain(|&(_, sid)| sid != lone);
+            let newcomer = Interval::new(500_000, 501_000);
+            let new_id = loaded.insert(newcomer).unwrap();
+            assert!(
+                !retired.contains(&new_id) && new_id != lone,
+                "{kind} K={shards}: id {new_id} reissued after restart"
+            );
+            shadow.push((newcomer, new_id));
+
+            // Post-load mutations keep full oracle agreement.
+            let shadow_data: Vec<Interval64> = shadow.iter().map(|&(iv, _)| iv).collect();
+            let bf = BruteForce::new(&shadow_data);
+            for &q in &queries(&data, 3, 0x0DD5 ^ 0x1234) {
+                let expect: Vec<ItemId> = sorted(
+                    bf.range_search(q)
+                        .into_iter()
+                        .map(|pos| shadow[pos as usize].1)
+                        .collect(),
+                );
+                assert_eq!(
+                    sorted(loaded.search(q).unwrap()),
+                    expect,
+                    "{kind} K={shards}: post-load search {q:?}"
+                );
+                assert_eq!(loaded.count(q).unwrap(), expect.len());
+                for id in loaded.sample(q, 48).unwrap() {
+                    assert!(
+                        expect.binary_search(&id).is_ok(),
+                        "{kind} K={shards}: sample {id} outside live q ∩ X"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The client facade saves/loads over both backends, and the layouts
+/// interoperate: an engine snapshot loads through a client.
+#[test]
+fn client_roundtrips_on_both_backends_and_interoperates() {
+    let data = dataset(1500, 24);
+    for shards in [1usize, 4] {
+        let dir = SnapDir::new(&format!("client-{shards}"));
+        let client = Irs::builder()
+            .kind(IndexKind::AitV)
+            .shards(shards)
+            .seed(13)
+            .build(&data)
+            .unwrap();
+        client.save(dir.path()).unwrap();
+        let loaded = Client::<i64>::load(dir.path()).unwrap();
+        assert_eq!(loaded.shard_count(), shards);
+        assert_eq!(loaded.len(), client.len());
+        let qs = batch(&data, false);
+        assert_eq!(client.run_seeded(&qs, 7), loaded.run_seeded(&qs, 7));
+        if shards > 1 {
+            // Same layout, other handle: the engine reads it directly.
+            let engine: Engine<i64> = Engine::load(dir.path()).unwrap();
+            assert_eq!(client.run_seeded(&qs, 7), engine.run_seeded(&qs, 7));
+        }
+    }
+}
+
+/// Corruption taxonomy: each kind of damage yields its typed
+/// `PersistError` — and never a panic — for every file in a snapshot.
+#[test]
+fn corruption_surfaces_typed_errors_never_panics() {
+    let data = dataset(600, 25);
+    let dir = SnapDir::new("corruption");
+    let engine =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(2).seed(3)).unwrap();
+    engine.save(dir.path()).unwrap();
+    let manifest = dir.path().join("manifest.irs");
+    let shard1 = dir.path().join("shard-0001.irs");
+    let load = |dir: &std::path::Path| Engine::<i64>::load(dir).map(|_| ());
+
+    for target in [&manifest, &shard1] {
+        let pristine = std::fs::read(target).unwrap();
+
+        // Truncated mid-payload.
+        std::fs::write(target, &pristine[..pristine.len() - pristine.len() / 3]).unwrap();
+        assert!(
+            matches!(load(dir.path()), Err(PersistError::Truncated { .. })),
+            "{target:?}: truncation not typed"
+        );
+
+        // Bad magic.
+        let mut bad = pristine.clone();
+        bad[..4].copy_from_slice(b"JUNK");
+        std::fs::write(target, &bad).unwrap();
+        assert!(
+            matches!(load(dir.path()), Err(PersistError::BadMagic { .. })),
+            "{target:?}: bad magic not typed"
+        );
+
+        // One payload byte flipped → the section CRC catches it.
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(target, &flipped).unwrap();
+        assert!(
+            matches!(
+                load(dir.path()),
+                Err(PersistError::ChecksumMismatch { .. } | PersistError::Truncated { .. })
+            ),
+            "{target:?}: bit flip not typed"
+        );
+
+        // A future format version is refused, not misread.
+        let mut future = pristine.clone();
+        future[8] = 0xFE;
+        future[9] = 0xFF;
+        std::fs::write(target, &future).unwrap();
+        assert_eq!(
+            load(dir.path()),
+            Err(PersistError::UnsupportedVersion {
+                found: u16::from_le_bytes([0xFE, 0xFF]),
+                supported: 1
+            }),
+            "{target:?}: future version not typed"
+        );
+
+        std::fs::write(target, &pristine).unwrap();
+        load(dir.path()).expect("restored snapshot must load again");
+    }
+}
+
+/// Cross-checks beyond byte damage: wrong endpoint type, unknown kind,
+/// a shard file swapped in from a different snapshot, and a missing
+/// directory are all typed refusals.
+#[test]
+fn mismatches_are_typed_refusals() {
+    let data = dataset(500, 26);
+    let dir = SnapDir::new("mismatch");
+    let engine =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Kds).shards(2).seed(4)).unwrap();
+    engine.save(dir.path()).unwrap();
+
+    // Endpoint type: saved as i64, loaded as u64 (same width!).
+    assert!(matches!(
+        Engine::<u64>::load(dir.path()).map(|_| ()),
+        Err(PersistError::EndpointMismatch { .. })
+    ));
+
+    // A shard from a *different* snapshot (other kind) swapped in.
+    let other = SnapDir::new("mismatch-other");
+    let donor =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::HintM).shards(2).seed(4)).unwrap();
+    donor.save(other.path()).unwrap();
+    let pristine = std::fs::read(dir.path().join("shard-0001.irs")).unwrap();
+    std::fs::copy(
+        other.path().join("shard-0001.irs"),
+        dir.path().join("shard-0001.irs"),
+    )
+    .unwrap();
+    assert!(matches!(
+        Engine::<i64>::load(dir.path()).map(|_| ()),
+        Err(PersistError::ManifestMismatch { .. })
+    ));
+    std::fs::write(dir.path().join("shard-0001.irs"), pristine).unwrap();
+
+    // Unknown kind name in the manifest (decoded from valid framing).
+    let mut manifest = irs_engine_manifest(dir.path());
+    manifest.kind = "btree-of-the-future".to_string();
+    irs_engine::persist::write_manifest(dir.path(), &manifest).unwrap();
+    assert!(matches!(
+        Engine::<i64>::load(dir.path()).map(|_| ()),
+        Err(PersistError::UnknownKind { .. })
+    ));
+
+    // Missing directory → typed I/O error.
+    assert!(matches!(
+        Engine::<i64>::load(dir.path().join("nope")).map(|_| ()),
+        Err(PersistError::Io { .. })
+    ));
+}
+
+fn irs_engine_manifest(dir: &std::path::Path) -> irs::Manifest {
+    irs::inspect_snapshot(dir).unwrap().manifest
+}
+
+/// A manifest claiming `weighted` over an index that carries no weight
+/// arrays is refused at load — not discovered as a panic on the first
+/// weighted query.
+#[test]
+fn weighted_flag_must_match_the_decoded_index() {
+    use irs::Codec;
+    let data = dataset(300, 27);
+    let dir = SnapDir::new("weighted-flag");
+    std::fs::create_dir_all(dir.path()).unwrap();
+    let unweighted = irs::Kds::new(&data);
+    let mut payload = Vec::new();
+    unweighted.encode_into(&mut payload);
+    let manifest = irs_engine::persist::Manifest {
+        snapshot_id: 7,
+        kind: "kds".to_string(),
+        endpoint: "i64".to_string(),
+        weighted: true, // lies: the payload has no weight arrays
+        shards: 1,
+        seed: 0,
+        batch_counter: 0,
+        stream_counter: 0,
+        len: data.len(),
+        shard_lens: vec![data.len()],
+    };
+    let header = irs_engine::persist::ShardHeader {
+        snapshot_id: 7,
+        kind: manifest.kind.clone(),
+        endpoint: manifest.endpoint.clone(),
+        shard: 0,
+        shards: 1,
+        weighted: true,
+    };
+    irs_engine::persist::write_shard_file(dir.path(), &header, &payload).unwrap();
+    irs_engine::persist::write_manifest(dir.path(), &manifest).unwrap();
+    assert_eq!(
+        Engine::<i64>::load(dir.path()).map(|_| ()),
+        Err(PersistError::Corrupt {
+            what: "manifest says weighted, but the index carries no weights"
+        })
+    );
+}
+
+/// An interrupted re-save (new shard files, old manifest — or the
+/// reverse) is detected by the per-save-run snapshot id, even when both
+/// snapshots share kind, shard count, and flags.
+#[test]
+fn mixed_save_runs_are_detected_by_snapshot_id() {
+    let data = dataset(400, 28);
+    let a = SnapDir::new("mix-a");
+    let b = SnapDir::new("mix-b");
+    let engine =
+        Engine::try_new(&data, EngineConfig::new(IndexKind::Ait).shards(2).seed(6)).unwrap();
+    engine.save(a.path()).unwrap();
+    engine.save(b.path()).unwrap(); // same engine, different save run
+    assert_ne!(
+        irs_engine_manifest(a.path()).snapshot_id,
+        irs_engine_manifest(b.path()).snapshot_id,
+        "each save run must get its own id"
+    );
+    // Simulate a save that died after rewriting one shard file.
+    std::fs::copy(
+        b.path().join("shard-0001.irs"),
+        a.path().join("shard-0001.irs"),
+    )
+    .unwrap();
+    assert!(matches!(
+        Engine::<i64>::load(a.path()).map(|_| ()),
+        Err(PersistError::ManifestMismatch { .. })
+    ));
+}
+
+/// Sample streams created after a restart must not replay the draw
+/// sequences of streams created before the save (the stream counter is
+/// part of the manifest).
+#[test]
+fn post_restart_streams_are_fresh_not_replays() {
+    let data = dataset(800, 29);
+    // Both backends: the mono client writes the manifest itself; the
+    // sharded client must thread its counter through the engine's save.
+    for shards in [1usize, 4] {
+        let dir = SnapDir::new(&format!("streams-{shards}"));
+        let client = Irs::builder()
+            .kind(IndexKind::Ait)
+            .shards(shards)
+            .seed(31)
+            .build(&data)
+            .unwrap();
+        let q = queries(&data, 1, 0xF00D)[0];
+        let mut first_pre = client.sample_stream(q).unwrap();
+        let pre: Vec<ItemId> = (0..64).map(|_| first_pre.next().unwrap()).collect();
+        drop(first_pre);
+        let _second = client.sample_stream(q).unwrap(); // counter advances to 2
+        client.save(dir.path()).unwrap();
+        assert_eq!(
+            irs_engine_manifest(dir.path()).stream_counter,
+            2,
+            "shards={shards}"
+        );
+        let loaded = Client::<i64>::load(dir.path()).unwrap();
+        let mut first_post = loaded.sample_stream(q).unwrap();
+        let post: Vec<ItemId> = (0..64).map(|_| first_post.next().unwrap()).collect();
+        assert_ne!(
+            pre, post,
+            "shards={shards}: post-restart stream replayed a pre-save stream's draws"
+        );
+    }
+}
