@@ -186,6 +186,29 @@ impl IrsBuilder {
     }
 }
 
+/// A point-in-time description of a [`Client`]'s backend, for health
+/// and stats surfaces (notably `irs-server`'s `stats` endpoint).
+///
+/// Taken with [`Client::stats`]. The snapshot is internally consistent
+/// per field (each counter is read atomically) but not across fields —
+/// a concurrent mutation may land between the `len` read and the
+/// `shard_lens` read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientStats {
+    /// The configured index kind.
+    pub kind: IndexKind,
+    /// [`irs_core::Codec::type_name`] of the endpoint scalar.
+    pub endpoint: &'static str,
+    /// Number of shards behind the facade (1 = monolithic backend).
+    pub shards: usize,
+    /// Live intervals indexed.
+    pub len: usize,
+    /// Live intervals per shard (`vec![len]` on the monolithic backend).
+    pub shard_lens: Vec<usize>,
+    /// Whether per-interval weights were supplied at build time.
+    pub weighted: bool,
+}
+
 /// Salts the monolithic backend's per-batch draw streams apart from
 /// the seed itself and from the stream-counter derivation.
 const MONO_BATCH_SALT: u64 = 0x10_0717_BA7C;
@@ -286,6 +309,25 @@ impl<E: GridEndpoint> Client<E> {
     /// Whether per-interval weights were supplied at build time.
     pub fn is_weighted(&self) -> bool {
         self.shared.weighted
+    }
+
+    /// A point-in-time description of the backend — kind, endpoint
+    /// type, shard layout, live lengths — for health/stats surfaces.
+    /// Never blocks on the writer seat (all fields are lock-free reads
+    /// or per-shard length snapshots).
+    pub fn stats(&self) -> ClientStats {
+        let len = self.len();
+        ClientStats {
+            kind: self.shared.kind,
+            endpoint: E::type_name(),
+            shards: self.shard_count(),
+            len,
+            shard_lens: match &self.shared.backend {
+                Backend::Mono { .. } => vec![len],
+                Backend::Sharded(engine) => engine.shard_lens(),
+            },
+            weighted: self.shared.weighted,
+        }
     }
 
     /// Executes a batch: one `Result` per [`Query`], in order. An empty

@@ -24,6 +24,10 @@
 //!   [`Codec`] trait every index structure implements, CRC-framed
 //!   sections, and the [`PersistError`] taxonomy behind the engine's
 //!   and client's `save(dir)` / `load(dir)`.
+//! - [`wire`] — the error↔wire mapping behind `irs-server`/`irs-wire`:
+//!   every [`QueryError`]/[`UpdateError`]/[`PersistError`] variant is
+//!   assigned a stable numeric [`ErrorCode`], and [`WireError`] carries
+//!   code + message across process boundaries.
 //! - [`MemoryFootprint`] — deterministic deep-size accounting used to
 //!   reproduce the paper's memory tables without allocator hooks.
 //! - [`oracle::BruteForce`] — the linear-scan reference implementation each
@@ -45,6 +49,7 @@ pub mod persist;
 pub mod query;
 pub mod seed;
 pub mod traits;
+pub mod wire;
 
 pub use dataset::{candidates_weight, domain_bounds, pair_sort_indices, pair_sorted};
 pub use erased::{DynPreparedSampler, Erased, ErasedUpperBound};
@@ -58,3 +63,4 @@ pub use seed::splitmix64;
 pub use traits::{
     PreparedSampler, RangeCount, RangeSampler, RangeSearch, StabbingQuery, WeightedRangeSampler,
 };
+pub use wire::{ErrorCode, WireError};

@@ -13,10 +13,12 @@
 //! 1,000 queries) and the weight generator (uniform integers in
 //! `[1, 100]`).
 
+pub mod csv;
 pub mod profiles;
 pub mod queries;
 pub mod synth;
 
+pub use csv::{load_csv, parse_csv};
 pub use profiles::{DatasetProfile, BOOK, BTC, RENFE, TAXI};
 pub use queries::{uniform_weights, QueryWorkload};
 pub use synth::{clustered, uniform, zipf_lengths};

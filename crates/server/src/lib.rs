@@ -1,0 +1,526 @@
+//! # irs-server — the network daemon
+//!
+//! Serves a [`Client`] over TCP using the `irs-wire` protocol: batch
+//! queries (`run`/`run_seeded` semantics preserved, including seeded
+//! reproducibility), typed mutations routed through the backend's
+//! single writer seat, snapshot administration (save / inspect / load,
+//! with load atomically swapping the serving backend), and
+//! health/stats.
+//!
+//! ## Threading model
+//!
+//! One accept thread plus one thread per connection. Each connection
+//! thread holds a cheap [`Client`] clone of the serving backend — the
+//! same share-the-`Arc` pattern in-process callers use — so reads run
+//! concurrently on connection threads and mutations serialize on the
+//! engine's writer seat exactly as they do in one process.
+//!
+//! ## Graceful shutdown
+//!
+//! Shutdown arrives either programmatically ([`ServerHandle::shutdown`])
+//! or over the wire (`Request::Shutdown`, acked **before** draining
+//! starts). Either way the flag flips, the accept loop wakes and stops
+//! accepting, and every connection thread finishes what it owes: a
+//! half-received request is read to completion, dispatched, and its
+//! response flushed before the connection closes. Connection read
+//! timeouts act as the poll ticks that make this possible — a thread
+//! blocked waiting for a client that sends nothing notices the flag
+//! within one [`ServerConfig::poll_interval`]. [`ServerHandle::join`]
+//! returns only after every connection thread has exited, so an acked
+//! mutation is never lost.
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use irs_client::Client;
+use irs_core::persist::PersistError;
+use irs_core::{ErrorCode, GridEndpoint, WireError};
+use irs_wire::frame::{write_frame, FrameReader, ReadEvent};
+use irs_wire::message::{
+    decode_message, encode_message, Request, Response, ServerStats, SnapshotSummary,
+};
+
+/// Tunables for a serving loop. The default suits tests and production
+/// alike; the knob exists so tests can tighten drain latency.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Read timeout on every connection — the shutdown-flag poll tick.
+    /// Shorter drains faster under idle connections; longer polls less.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Counters the daemon keeps alongside the backend's own stats.
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    mutations: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// handle.
+struct Shared<E: GridEndpoint> {
+    /// The serving backend. Read-locked per request (to clone the cheap
+    /// facade), write-locked only by `Load`'s atomic swap.
+    client: RwLock<Client<E>>,
+    /// Flips once; never clears. Connection threads poll it on read
+    /// timeouts, the accept loop checks it per accept.
+    draining: AtomicBool,
+    counters: Counters,
+    started: Instant,
+    addr: SocketAddr,
+    config: ServerConfig,
+}
+
+impl<E: GridEndpoint> Shared<E> {
+    /// A facade clone of the currently serving backend.
+    fn client(&self) -> Client<E> {
+        self.client
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn stats(&self) -> ServerStats {
+        let c = self.client();
+        let s = c.stats();
+        ServerStats {
+            kind: s.kind.name().to_string(),
+            endpoint: s.endpoint.to_string(),
+            shards: s.shards,
+            len: s.len,
+            shard_lens: s.shard_lens,
+            weighted: s.weighted,
+            connections_accepted: self.counters.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.counters.connections_active.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            mutations: self.counters.mutations.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            draining: self.draining.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Flips the drain flag and wakes the accept loop (which may be
+    /// blocked in `accept`) with a throwaway self-connection.
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            // First to flip wakes the accept loop; the connection is
+            // dropped immediately and never served.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// Handle to a running server: its address, a shutdown trigger, and the
+/// join point that waits for the drain to complete.
+pub struct ServerHandle<E: GridEndpoint> {
+    shared: Arc<Shared<E>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl<E: GridEndpoint> ServerHandle<E> {
+    /// The address actually bound — with port 0, the ephemeral port the
+    /// OS picked.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A facade clone of the serving backend — the same object remote
+    /// mutations land in, so callers (tests, embedders) can observe
+    /// state directly. After [`ServerHandle::join`] returns, this clone
+    /// reflects every mutation the server ever acked.
+    pub fn client(&self) -> Client<E> {
+        self.shared.client()
+    }
+
+    /// Whether the server is draining (shutdown requested, connections
+    /// finishing their in-flight work).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain every
+    /// connection, exit. Idempotent; returns immediately — use
+    /// [`ServerHandle::join`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Waits until the accept loop and every connection thread have
+    /// exited. Does not itself request shutdown — call
+    /// [`ServerHandle::shutdown`] first (or let a wire `Shutdown`
+    /// request arrive).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serves `client` on `addr` with default [`ServerConfig`]. Binds and
+/// spawns the accept loop, returning immediately; bind `addr` with port
+/// 0 for an OS-assigned ephemeral port (read it back via
+/// [`ServerHandle::local_addr`]).
+pub fn serve<E: GridEndpoint>(
+    client: Client<E>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle<E>> {
+    serve_with(client, addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit tunables.
+pub fn serve_with<E: GridEndpoint>(
+    client: Client<E>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle<E>> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        client: RwLock::new(client),
+        draining: AtomicBool::new(false),
+        counters: Counters::default(),
+        started: Instant::now(),
+        addr,
+        config,
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("irs-server-accept".to_string())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// Accepts until the drain flag flips, then joins every connection
+/// thread so the caller's `join` means "all in-flight work is done".
+fn accept_loop<E: GridEndpoint>(listener: TcpListener, shared: Arc<Shared<E>>) {
+    let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late arrival): close
+                    // it unserved and stop accepting.
+                    drop(stream);
+                    break;
+                }
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                let worker = std::thread::Builder::new()
+                    .name("irs-server-conn".to_string())
+                    .spawn(move || serve_connection(stream, shared));
+                match worker {
+                    Ok(h) => workers.lock().unwrap_or_else(|e| e.into_inner()).push(h),
+                    Err(_) => { /* spawn failed: connection dropped */ }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Listener died (resource exhaustion, socket torn down):
+            // drain what we have rather than spin.
+            Err(_) => break,
+        }
+    }
+    for h in workers
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+    {
+        let _ = h.join();
+    }
+}
+
+/// What a dispatched request asks the connection loop to do next.
+enum Flow {
+    /// Keep serving this connection.
+    Continue,
+    /// The peer asked the whole server to shut down (already acked).
+    Drain,
+}
+
+/// One connection, start to finish. All protocol errors are answered
+/// with a typed error response where the stream still has integrity;
+/// after a framing error the stream has lost sync, so the error is sent
+/// and the connection closed.
+fn serve_connection<E: GridEndpoint>(stream: TcpStream, shared: Arc<Shared<E>>) {
+    shared
+        .counters
+        .connections_active
+        .fetch_add(1, Ordering::Relaxed);
+    serve_connection_inner(stream, &shared);
+    shared
+        .counters
+        .connections_active
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+fn serve_connection_inner<E: GridEndpoint>(mut stream: TcpStream, shared: &Shared<E>) {
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.read_event(&mut stream) {
+            Ok(ReadEvent::Frame(payload)) => {
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let (response, flow) = dispatch(&payload, shared);
+                if write_frame(&mut stream, &encode_message(&response)).is_err() {
+                    return; // peer gone; nothing left to flush
+                }
+                match flow {
+                    Flow::Continue => {
+                        // Drain check: the response above was this
+                        // connection's in-flight work; if the server is
+                        // draining and nothing else is mid-frame, stop.
+                        if shared.draining.load(Ordering::SeqCst) && !reader.mid_frame() {
+                            return;
+                        }
+                    }
+                    Flow::Drain => {
+                        // Ack already flushed; now flip the flag and
+                        // close. In-flight work on other connections
+                        // drains under the same rules.
+                        shared.begin_drain();
+                        return;
+                    }
+                }
+            }
+            Ok(ReadEvent::Eof) => return,
+            Ok(ReadEvent::Timeout { mid_frame }) => {
+                // Poll tick. A draining server keeps reading while a
+                // request is mid-frame (it will be answered), and
+                // closes once the peer owes us nothing.
+                if shared.draining.load(Ordering::SeqCst) && !mid_frame {
+                    return;
+                }
+            }
+            Err(frame_err) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                // Best-effort typed refusal; the stream has lost sync
+                // (or died), so close either way.
+                let response = Response::Error(frame_err.to_wire_error());
+                let _ = write_frame(&mut stream, &encode_message(&response));
+                return;
+            }
+        }
+    }
+}
+
+/// Maps a request-decode failure to its wire form: endpoint mismatches
+/// keep their typed persist code, unknown tags get
+/// [`ErrorCode::UnknownMessage`], everything else is
+/// [`ErrorCode::BadMessage`].
+fn decode_error_to_wire(e: &PersistError) -> WireError {
+    match e {
+        PersistError::EndpointMismatch { .. } => WireError::from(e),
+        PersistError::Corrupt {
+            what: "unknown request tag",
+        } => WireError::protocol(ErrorCode::UnknownMessage, e.to_string()),
+        other => WireError::protocol(
+            ErrorCode::BadMessage,
+            format!("undecodable request: {other}"),
+        ),
+    }
+}
+
+/// Decodes and executes one request. Batch entries fail individually
+/// inside `Run`/`Apply` responses; whole-request failures (snapshot
+/// errors, protocol errors) come back as `Response::Error`.
+fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, Flow) {
+    let request: Request<E> = match decode_message(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return (Response::Error(decode_error_to_wire(&e)), Flow::Continue);
+        }
+    };
+    match request {
+        Request::Health => (Response::Ok, Flow::Continue),
+        Request::Stats => (Response::Stats(shared.stats()), Flow::Continue),
+        Request::Run { seed, queries } => {
+            shared
+                .counters
+                .queries
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            let client = shared.client();
+            let results = match seed {
+                Some(seed) => client.run_seeded(&queries, seed),
+                None => client.run(&queries),
+            };
+            let results = results
+                .iter()
+                .map(|r| r.as_ref().map_err(WireError::from).cloned())
+                .collect();
+            (Response::Run(results), Flow::Continue)
+        }
+        Request::Apply { muts } => {
+            shared
+                .counters
+                .mutations
+                .fetch_add(muts.len() as u64, Ordering::Relaxed);
+            let mut client = shared.client();
+            let results = client
+                .apply(&muts)
+                .iter()
+                .map(|r| r.as_ref().map_err(WireError::from).cloned())
+                .collect();
+            (Response::Apply(results), Flow::Continue)
+        }
+        Request::Save { dir } => match shared.client().save(&dir) {
+            Ok(()) => (Response::Ok, Flow::Continue),
+            Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+        },
+        Request::InspectSnapshot { dir } => match irs_engine::persist::inspect_snapshot(&dir) {
+            Ok(info) => (
+                Response::Snapshot(SnapshotSummary {
+                    format_version: info.format_version,
+                    kind: info.manifest.kind,
+                    endpoint: info.manifest.endpoint,
+                    weighted: info.manifest.weighted,
+                    shards: info.manifest.shards,
+                    seed: info.manifest.seed,
+                    len: info.manifest.len,
+                }),
+                Flow::Continue,
+            ),
+            Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+        },
+        Request::Load { dir } => match Client::<E>::load(&dir) {
+            Ok(fresh) => {
+                *shared.client.write().unwrap_or_else(|e| e.into_inner()) = fresh;
+                (Response::Ok, Flow::Continue)
+            }
+            Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+        },
+        Request::Shutdown => (Response::Ok, Flow::Drain),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::Interval;
+    use irs_engine::IndexKind;
+    use irs_wire::RemoteClient;
+
+    fn demo_client() -> Client<i64> {
+        let data: Vec<Interval<i64>> = (0..200)
+            .map(|i| Interval::new(i, i + (i % 17) + 1))
+            .collect();
+        irs_client::Irs::builder()
+            .kind(IndexKind::Ait)
+            .seed(7)
+            .build(&data)
+            .expect("build")
+    }
+
+    #[test]
+    fn serve_query_mutate_shutdown_roundtrip() {
+        let handle = serve(demo_client(), ("127.0.0.1", 0)).expect("serve");
+        let addr = handle.local_addr();
+
+        let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+        remote.health().expect("health");
+
+        let n = remote.count(Interval::new(0, 1000)).expect("count");
+        assert_eq!(n, 200);
+
+        let id = remote.insert(Interval::new(-5, -1)).expect("insert");
+        assert_eq!(remote.count(Interval::new(-5, -1)).expect("count"), 1);
+        remote.remove(id).expect("remove");
+        assert_eq!(remote.count(Interval::new(-5, -1)).expect("count"), 0);
+
+        let stats = remote.stats().expect("stats");
+        assert_eq!(stats.kind, "ait");
+        assert_eq!(stats.endpoint, "i64");
+        assert_eq!(stats.len, 200);
+        assert!(stats.requests >= 5);
+        assert!(!stats.draining);
+
+        remote.shutdown().expect("shutdown acked");
+        handle.join();
+    }
+
+    #[test]
+    fn seeded_runs_match_the_in_process_engine_exactly() {
+        let local = demo_client();
+        let handle = serve(local.clone(), ("127.0.0.1", 0)).expect("serve");
+        let mut remote = RemoteClient::<i64>::connect(handle.local_addr()).expect("connect");
+
+        let queries: Vec<irs_engine::Query<i64>> = (0..10)
+            .map(|i| irs_engine::Query::Sample {
+                q: Interval::new(i * 3, i * 3 + 40),
+                s: 8,
+            })
+            .collect();
+        let over_wire = remote.run_seeded(&queries, 99).expect("run_seeded");
+        let in_process = local.run_seeded(&queries, 99);
+        assert_eq!(over_wire.len(), in_process.len());
+        for (w, l) in over_wire.iter().zip(&in_process) {
+            assert_eq!(w.as_ref().ok(), l.as_ref().ok());
+        }
+
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn wrong_endpoint_is_refused_with_a_typed_code() {
+        let handle = serve(demo_client(), ("127.0.0.1", 0)).expect("serve");
+        // A u32 client aimed at an i64 server.
+        let mut remote = RemoteClient::<u32>::connect(handle.local_addr()).expect("connect");
+        let err = remote
+            .count(Interval::new(1u32, 5u32))
+            .expect_err("must refuse");
+        assert_eq!(err.code, ErrorCode::PersistEndpointMismatch);
+
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn programmatic_shutdown_drains_idle_connections() {
+        let handle = serve(demo_client(), ("127.0.0.1", 0)).expect("serve");
+        // An idle connection that never sends a byte must not wedge the
+        // drain: the poll tick notices the flag.
+        let _idle = TcpStream::connect(handle.local_addr()).expect("connect");
+        handle.shutdown();
+        handle.join();
+    }
+}

@@ -1,0 +1,316 @@
+//! The blocking remote client: the network twin of `irs-client`'s
+//! `Client`.
+//!
+//! A [`RemoteClient`] owns one TCP connection and speaks one request /
+//! one response at a time. It mirrors the in-process surface — batch
+//! entry points (`run`, `run_seeded`, `apply`) plus the one-query
+//! conveniences (`count`, `sample`, `insert`, …) — but every failure,
+//! whether raised by the engine, the snapshot layer, or the wire
+//! itself, arrives as a [`WireError`] carrying its stable
+//! [`ErrorCode`].
+//!
+//! Connections are cheap; for concurrent load, open one `RemoteClient`
+//! per thread (the server runs a thread per connection and serializes
+//! mutations through its single writer seat, so remote writers from
+//! many connections compose exactly like `Client::writer` callers in
+//! one process).
+
+use irs_core::{ErrorCode, GridEndpoint, Interval, ItemId, Mutation, UpdateOutput, WireError};
+use irs_engine::{Query, QueryOutput};
+use std::io;
+use std::marker::PhantomData;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{read_frame_blocking, write_frame, FrameReader};
+use crate::message::{
+    decode_message, encode_message, Request, Response, ServerStats, SnapshotSummary,
+};
+
+/// A blocking connection to an `irs-server`, typed by the endpoint
+/// scalar `E` it expects the server to hold. A wrong guess is refused
+/// by the server on the first `Run`/`Apply` with
+/// [`ErrorCode::WrongEndpoint`]'s persist twin rather than misread.
+#[derive(Debug)]
+pub struct RemoteClient<E> {
+    stream: TcpStream,
+    reader: FrameReader,
+    _endpoint: PhantomData<fn() -> E>,
+}
+
+/// Lifts a response-shape violation (the server answered, but with the
+/// wrong variant) into a typed wire error.
+fn unexpected(what: &'static str, got: &Response) -> WireError {
+    WireError::protocol(
+        ErrorCode::BadMessage,
+        format!("expected {what} response, got {got:?}"),
+    )
+}
+
+impl<E: GridEndpoint> RemoteClient<E> {
+    /// Connects to a running server. No handshake bytes are exchanged
+    /// until the first request; use [`RemoteClient::health`] to confirm
+    /// the peer speaks this protocol.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RemoteClient {
+            stream,
+            reader: FrameReader::new(),
+            _endpoint: PhantomData,
+        })
+    }
+
+    /// One request/response exchange. Frame-level failures become wire
+    /// errors via [`crate::FrameError::to_wire_error`]; a top-level
+    /// [`Response::Error`] becomes `Err` directly.
+    fn call(&mut self, req: &Request<E>) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &encode_message(req)).map_err(|e| e.to_wire_error())?;
+        let payload = read_frame_blocking(&mut self.reader, &mut self.stream)
+            .map_err(|e| e.to_wire_error())?;
+        let resp: Response = decode_message(&payload).map_err(|e| {
+            WireError::protocol(ErrorCode::BadMessage, format!("undecodable response: {e}"))
+        })?;
+        match resp {
+            Response::Error(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+
+    fn call_ok(&mut self, req: &Request<E>, what: &'static str) -> Result<(), WireError> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(what, &other)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Health and stats
+    // ------------------------------------------------------------------
+
+    /// Confirms the server is alive and speaking this protocol version.
+    pub fn health(&mut self) -> Result<(), WireError> {
+        self.call_ok(&Request::Health, "Ok")
+    }
+
+    /// The serving backend's shape plus the daemon's counters.
+    pub fn stats(&mut self) -> Result<ServerStats, WireError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Runs a batch of queries on the server's own draw stream; one
+    /// result per query, in order — the remote form of `Client::run`.
+    pub fn run(
+        &mut self,
+        queries: &[Query<E>],
+    ) -> Result<Vec<Result<QueryOutput, WireError>>, WireError> {
+        self.run_inner(None, queries)
+    }
+
+    /// Runs a batch on an explicit seed — the remote form of
+    /// `Client::run_seeded`. The same seed, batch, and server state
+    /// reproduce byte-identical results, in-process or over the wire.
+    pub fn run_seeded(
+        &mut self,
+        queries: &[Query<E>],
+        seed: u64,
+    ) -> Result<Vec<Result<QueryOutput, WireError>>, WireError> {
+        self.run_inner(Some(seed), queries)
+    }
+
+    fn run_inner(
+        &mut self,
+        seed: Option<u64>,
+        queries: &[Query<E>],
+    ) -> Result<Vec<Result<QueryOutput, WireError>>, WireError> {
+        let req = Request::Run {
+            seed,
+            queries: queries.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Run(results) => {
+                if results.len() != queries.len() {
+                    return Err(WireError::protocol(
+                        ErrorCode::BadMessage,
+                        format!(
+                            "server answered {} results for {} queries",
+                            results.len(),
+                            queries.len()
+                        ),
+                    ));
+                }
+                Ok(results)
+            }
+            other => Err(unexpected("Run", &other)),
+        }
+    }
+
+    /// Runs one query and unwraps its single result.
+    fn one(&mut self, query: Query<E>) -> Result<QueryOutput, WireError> {
+        let mut results = self.run(std::slice::from_ref(&query))?;
+        results.pop().expect("length checked by run")
+    }
+
+    /// Counts intervals overlapping `q`.
+    pub fn count(&mut self, q: Interval<E>) -> Result<usize, WireError> {
+        match self.one(Query::Count { q })? {
+            QueryOutput::Count(n) => Ok(n),
+            other => Err(unexpected("Count", &Response::Run(vec![Ok(other)]))),
+        }
+    }
+
+    /// Reports the ids of all intervals overlapping `q`.
+    pub fn search(&mut self, q: Interval<E>) -> Result<Vec<ItemId>, WireError> {
+        match self.one(Query::Search { q })? {
+            QueryOutput::Ids(ids) => Ok(ids),
+            other => Err(unexpected("Ids", &Response::Run(vec![Ok(other)]))),
+        }
+    }
+
+    /// Reports the ids of all intervals containing the point `p`.
+    pub fn stab(&mut self, p: E) -> Result<Vec<ItemId>, WireError> {
+        match self.one(Query::Stab { p })? {
+            QueryOutput::Ids(ids) => Ok(ids),
+            other => Err(unexpected("Ids", &Response::Run(vec![Ok(other)]))),
+        }
+    }
+
+    /// Draws `s` independent uniform samples from the intervals
+    /// overlapping `q`, advancing the server's draw stream.
+    pub fn sample(&mut self, q: Interval<E>, s: usize) -> Result<Vec<ItemId>, WireError> {
+        match self.one(Query::Sample { q, s })? {
+            QueryOutput::Samples(ids) => Ok(ids),
+            other => Err(unexpected("Samples", &Response::Run(vec![Ok(other)]))),
+        }
+    }
+
+    /// Draws `s` independent weighted samples (requires a weighted
+    /// backend).
+    pub fn sample_weighted(&mut self, q: Interval<E>, s: usize) -> Result<Vec<ItemId>, WireError> {
+        match self.one(Query::SampleWeighted { q, s })? {
+            QueryOutput::Samples(ids) => Ok(ids),
+            other => Err(unexpected("Samples", &Response::Run(vec![Ok(other)]))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    /// Applies a batch of mutations under the server's writer seat; one
+    /// result per mutation, in order — the remote form of
+    /// `ClientWriter::apply`.
+    pub fn apply(
+        &mut self,
+        muts: &[Mutation<E>],
+    ) -> Result<Vec<Result<UpdateOutput, WireError>>, WireError> {
+        let req = Request::Apply {
+            muts: muts.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Apply(results) => {
+                if results.len() != muts.len() {
+                    return Err(WireError::protocol(
+                        ErrorCode::BadMessage,
+                        format!(
+                            "server answered {} results for {} mutations",
+                            results.len(),
+                            muts.len()
+                        ),
+                    ));
+                }
+                Ok(results)
+            }
+            other => Err(unexpected("Apply", &other)),
+        }
+    }
+
+    /// Applies one mutation and unwraps its single result.
+    fn one_mut(&mut self, m: Mutation<E>) -> Result<UpdateOutput, WireError> {
+        let mut results = self.apply(std::slice::from_ref(&m))?;
+        results.pop().expect("length checked by apply")
+    }
+
+    /// Inserts one interval; reports its engine-assigned global id.
+    pub fn insert(&mut self, iv: Interval<E>) -> Result<ItemId, WireError> {
+        match self.one_mut(Mutation::Insert { iv })? {
+            UpdateOutput::Inserted(id) => Ok(id),
+            other => Err(WireError::protocol(
+                ErrorCode::BadMessage,
+                format!("expected Inserted, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Inserts one weighted interval (requires a weighted backend).
+    pub fn insert_weighted(&mut self, iv: Interval<E>, weight: f64) -> Result<ItemId, WireError> {
+        match self.one_mut(Mutation::InsertWeighted { iv, weight })? {
+            UpdateOutput::Inserted(id) => Ok(id),
+            other => Err(WireError::protocol(
+                ErrorCode::BadMessage,
+                format!("expected Inserted, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Removes the interval with global id `id`.
+    pub fn remove(&mut self, id: ItemId) -> Result<(), WireError> {
+        match self.one_mut(Mutation::Delete { id })? {
+            UpdateOutput::Removed => Ok(()),
+            other => Err(WireError::protocol(
+                ErrorCode::BadMessage,
+                format!("expected Removed, got {other:?}"),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot administration
+    // ------------------------------------------------------------------
+
+    /// Saves the serving backend to `dir` on the **server's**
+    /// filesystem.
+    pub fn save(&mut self, dir: &str) -> Result<(), WireError> {
+        self.call_ok(
+            &Request::Save {
+                dir: dir.to_string(),
+            },
+            "Ok",
+        )
+    }
+
+    /// Reads a server-side snapshot directory's manifest without
+    /// loading it.
+    pub fn inspect_snapshot(&mut self, dir: &str) -> Result<SnapshotSummary, WireError> {
+        let req = Request::InspectSnapshot {
+            dir: dir.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Snapshot(info) => Ok(info),
+            other => Err(unexpected("Snapshot", &other)),
+        }
+    }
+
+    /// Replaces the serving backend with one loaded from a server-side
+    /// snapshot directory.
+    pub fn load(&mut self, dir: &str) -> Result<(), WireError> {
+        self.call_ok(
+            &Request::Load {
+                dir: dir.to_string(),
+            },
+            "Ok",
+        )
+    }
+
+    /// Asks the server to drain and exit. The `Ok` reply is sent before
+    /// the server begins draining, so acked work is never lost.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        self.call_ok(&Request::Shutdown, "Ok")
+    }
+}

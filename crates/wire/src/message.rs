@@ -1,0 +1,489 @@
+//! The typed request/response vocabulary carried inside frames.
+//!
+//! Every message is one frame payload: a tag byte followed by
+//! [`Codec`]-encoded fields. Requests that carry intervals
+//! ([`Request::Run`], [`Request::Apply`]) also carry the endpoint
+//! scalar's [`Codec::type_name`]; the server decodes with its own
+//! endpoint type and refuses a mismatch with the typed
+//! [`PersistError::EndpointMismatch`] — exactly the policy snapshots
+//! follow, so a `u32` client can never misread an `i64` server.
+//!
+//! Decoding never trusts the bytes: unknown tags, truncated bodies, and
+//! trailing garbage are all typed [`PersistError`]s, which the server
+//! maps to stable wire error codes (see `irs_core::wire`).
+
+use irs_core::persist::{Codec, PersistError, Reader};
+use irs_core::{GridEndpoint, Mutation, UpdateOutput, WireError};
+use irs_engine::{Query, QueryOutput};
+
+/// One request frame, client → server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request<E> {
+    /// Liveness probe; answered with [`Response::Ok`] while serving.
+    Health,
+    /// Engine + server counters; answered with [`Response::Stats`].
+    Stats,
+    /// A batch of queries, answered with [`Response::Run`] carrying one
+    /// result per query in order. `seed: Some(s)` pins the draw stream
+    /// (the server's `run_seeded` — identical seed, batch, and engine
+    /// state reproduce identical bytes); `None` advances the server's
+    /// own stream.
+    Run {
+        /// Explicit draw-stream seed, or `None` for the server's stream.
+        seed: Option<u64>,
+        /// The queries, answered in order.
+        queries: Vec<Query<E>>,
+    },
+    /// A batch of typed mutations, applied under the server's writer
+    /// seat; answered with [`Response::Apply`] carrying one result per
+    /// mutation in order.
+    Apply {
+        /// The mutations, applied in order.
+        muts: Vec<Mutation<E>>,
+    },
+    /// Saves the serving backend to a snapshot directory **on the
+    /// server's filesystem**; answered with [`Response::Ok`].
+    Save {
+        /// Target directory (created if absent), server-side.
+        dir: String,
+    },
+    /// Reads a snapshot directory's manifest (server-side) without
+    /// loading it; answered with [`Response::Snapshot`].
+    InspectSnapshot {
+        /// The snapshot directory, server-side.
+        dir: String,
+    },
+    /// Replaces the serving backend with one loaded from a snapshot
+    /// directory (server-side); answered with [`Response::Ok`]. In-flight
+    /// requests on other connections finish against the old backend;
+    /// later ones see the new one.
+    Load {
+        /// The snapshot directory, server-side.
+        dir: String,
+    },
+    /// Asks the server to drain and exit: it stops accepting
+    /// connections, lets every in-flight request finish and flush its
+    /// response (this one answered with [`Response::Ok`] first), then
+    /// shuts down.
+    Shutdown,
+}
+
+const REQ_HEALTH: u8 = 1;
+const REQ_STATS: u8 = 2;
+const REQ_RUN: u8 = 3;
+const REQ_APPLY: u8 = 4;
+const REQ_SAVE: u8 = 5;
+const REQ_INSPECT: u8 = 6;
+const REQ_LOAD: u8 = 7;
+const REQ_SHUTDOWN: u8 = 8;
+
+/// Decodes the endpoint type name stamped into a `Run`/`Apply` body and
+/// refuses a mismatch — the wire twin of the snapshot manifest check.
+fn check_endpoint<E: GridEndpoint>(r: &mut Reader<'_>) -> Result<(), PersistError> {
+    let stored = String::decode(r)?;
+    if stored != E::type_name() {
+        return Err(PersistError::EndpointMismatch {
+            stored,
+            expected: E::type_name(),
+        });
+    }
+    Ok(())
+}
+
+impl<E: GridEndpoint> Codec for Request<E> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Health => out.push(REQ_HEALTH),
+            Request::Stats => out.push(REQ_STATS),
+            Request::Run { seed, queries } => {
+                out.push(REQ_RUN);
+                E::type_name().to_string().encode_into(out);
+                seed.encode_into(out);
+                queries.encode_into(out);
+            }
+            Request::Apply { muts } => {
+                out.push(REQ_APPLY);
+                E::type_name().to_string().encode_into(out);
+                muts.encode_into(out);
+            }
+            Request::Save { dir } => {
+                out.push(REQ_SAVE);
+                dir.encode_into(out);
+            }
+            Request::InspectSnapshot { dir } => {
+                out.push(REQ_INSPECT);
+                dir.encode_into(out);
+            }
+            Request::Load { dir } => {
+                out.push(REQ_LOAD);
+                dir.encode_into(out);
+            }
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match u8::decode(r)? {
+            REQ_HEALTH => Ok(Request::Health),
+            REQ_STATS => Ok(Request::Stats),
+            REQ_RUN => {
+                check_endpoint::<E>(r)?;
+                Ok(Request::Run {
+                    seed: Option::decode(r)?,
+                    queries: Vec::decode(r)?,
+                })
+            }
+            REQ_APPLY => {
+                check_endpoint::<E>(r)?;
+                Ok(Request::Apply {
+                    muts: Vec::decode(r)?,
+                })
+            }
+            REQ_SAVE => Ok(Request::Save {
+                dir: String::decode(r)?,
+            }),
+            REQ_INSPECT => Ok(Request::InspectSnapshot {
+                dir: String::decode(r)?,
+            }),
+            REQ_LOAD => Ok(Request::Load {
+                dir: String::decode(r)?,
+            }),
+            REQ_SHUTDOWN => Ok(Request::Shutdown),
+            _ => Err(PersistError::Corrupt {
+                what: "unknown request tag",
+            }),
+        }
+    }
+}
+
+/// One response frame, server → client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Success with no payload (health, save, load, shutdown).
+    Ok,
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// Answer to [`Request::Run`]: one result per query, in order —
+    /// the same `Vec<Result<..>>` shape the in-process `Engine::run`
+    /// returns, with errors in wire form.
+    Run(Vec<Result<QueryOutput, WireError>>),
+    /// Answer to [`Request::Apply`]: one result per mutation, in order.
+    Apply(Vec<Result<UpdateOutput, WireError>>),
+    /// Answer to [`Request::InspectSnapshot`].
+    Snapshot(SnapshotSummary),
+    /// The request as a whole failed (protocol error, refused admin
+    /// operation, draining server). Per-query/per-mutation failures
+    /// travel inside [`Response::Run`]/[`Response::Apply`] instead.
+    Error(WireError),
+}
+
+const RESP_OK: u8 = 1;
+const RESP_STATS: u8 = 2;
+const RESP_RUN: u8 = 3;
+const RESP_APPLY: u8 = 4;
+const RESP_SNAPSHOT: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+impl Codec for Response {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Ok => out.push(RESP_OK),
+            Response::Stats(stats) => {
+                out.push(RESP_STATS);
+                stats.encode_into(out);
+            }
+            Response::Run(results) => {
+                out.push(RESP_RUN);
+                results.encode_into(out);
+            }
+            Response::Apply(results) => {
+                out.push(RESP_APPLY);
+                results.encode_into(out);
+            }
+            Response::Snapshot(info) => {
+                out.push(RESP_SNAPSHOT);
+                info.encode_into(out);
+            }
+            Response::Error(e) => {
+                out.push(RESP_ERROR);
+                e.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match u8::decode(r)? {
+            RESP_OK => Ok(Response::Ok),
+            RESP_STATS => Ok(Response::Stats(ServerStats::decode(r)?)),
+            RESP_RUN => Ok(Response::Run(Vec::decode(r)?)),
+            RESP_APPLY => Ok(Response::Apply(Vec::decode(r)?)),
+            RESP_SNAPSHOT => Ok(Response::Snapshot(SnapshotSummary::decode(r)?)),
+            RESP_ERROR => Ok(Response::Error(WireError::decode(r)?)),
+            _ => Err(PersistError::Corrupt {
+                what: "unknown response tag",
+            }),
+        }
+    }
+}
+
+/// What [`Request::Stats`] reports: the backend's shape plus the
+/// daemon's counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The serving index kind's stable name.
+    pub kind: String,
+    /// The endpoint scalar's type name.
+    pub endpoint: String,
+    /// Shards behind the facade (1 = monolithic).
+    pub shards: usize,
+    /// Live intervals.
+    pub len: usize,
+    /// Live intervals per shard.
+    pub shard_lens: Vec<usize>,
+    /// Whether the backend holds per-interval weights.
+    pub weighted: bool,
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Requests served (all kinds, including failed ones).
+    pub requests: u64,
+    /// Individual queries answered inside `Run` batches.
+    pub queries: u64,
+    /// Individual mutations applied inside `Apply` batches.
+    pub mutations: u64,
+    /// Protocol-level errors observed (malformed frames/messages).
+    pub protocol_errors: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Whether the server is draining for shutdown.
+    pub draining: bool,
+}
+
+impl Codec for ServerStats {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        self.endpoint.encode_into(out);
+        self.shards.encode_into(out);
+        self.len.encode_into(out);
+        self.shard_lens.encode_into(out);
+        self.weighted.encode_into(out);
+        self.connections_accepted.encode_into(out);
+        self.connections_active.encode_into(out);
+        self.requests.encode_into(out);
+        self.queries.encode_into(out);
+        self.mutations.encode_into(out);
+        self.protocol_errors.encode_into(out);
+        self.uptime_ms.encode_into(out);
+        self.draining.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ServerStats {
+            kind: String::decode(r)?,
+            endpoint: String::decode(r)?,
+            shards: usize::decode(r)?,
+            len: usize::decode(r)?,
+            shard_lens: Vec::decode(r)?,
+            weighted: bool::decode(r)?,
+            connections_accepted: u64::decode(r)?,
+            connections_active: u64::decode(r)?,
+            requests: u64::decode(r)?,
+            queries: u64::decode(r)?,
+            mutations: u64::decode(r)?,
+            protocol_errors: u64::decode(r)?,
+            uptime_ms: u64::decode(r)?,
+            draining: bool::decode(r)?,
+        })
+    }
+}
+
+/// What [`Request::InspectSnapshot`] reports: the manifest fields a
+/// remote admin needs, without shipping any shard payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// The snapshot's on-disk format version.
+    pub format_version: u16,
+    /// Saved index kind's stable name.
+    pub kind: String,
+    /// Saved endpoint scalar's type name.
+    pub endpoint: String,
+    /// Whether the snapshot holds per-interval weights.
+    pub weighted: bool,
+    /// Shard count of the snapshot.
+    pub shards: usize,
+    /// The saved backend's base seed.
+    pub seed: u64,
+    /// Live intervals at save time.
+    pub len: usize,
+}
+
+impl Codec for SnapshotSummary {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.format_version.encode_into(out);
+        self.kind.encode_into(out);
+        self.endpoint.encode_into(out);
+        self.weighted.encode_into(out);
+        self.shards.encode_into(out);
+        self.seed.encode_into(out);
+        self.len.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SnapshotSummary {
+            format_version: u16::decode(r)?,
+            kind: String::decode(r)?,
+            endpoint: String::decode(r)?,
+            weighted: bool::decode(r)?,
+            shards: usize::decode(r)?,
+            seed: u64::decode(r)?,
+            len: usize::decode(r)?,
+        })
+    }
+}
+
+/// Encodes any message into a fresh frame payload.
+pub fn encode_message<T: Codec>(msg: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    msg.encode_into(&mut out);
+    out
+}
+
+/// Decodes a whole frame payload as one message; trailing bytes are
+/// corrupt (a frame carries exactly one message).
+pub fn decode_message<T: Codec>(payload: &[u8]) -> Result<T, PersistError> {
+    let mut r = Reader::new(payload);
+    let msg = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(PersistError::Corrupt {
+            what: "frame has trailing bytes after its message",
+        });
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::Interval;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs: Vec<Request<i64>> = vec![
+            Request::Health,
+            Request::Stats,
+            Request::Run {
+                seed: Some(7),
+                queries: vec![
+                    Query::Sample {
+                        q: Interval::new(1, 9),
+                        s: 4,
+                    },
+                    Query::Count {
+                        q: Interval::new(-2, 2),
+                    },
+                ],
+            },
+            Request::Apply {
+                muts: vec![
+                    Mutation::Insert {
+                        iv: Interval::new(5, 6),
+                    },
+                    Mutation::Delete { id: 3 },
+                ],
+            },
+            Request::Save { dir: "snap".into() },
+            Request::InspectSnapshot { dir: "snap".into() },
+            Request::Load { dir: "snap".into() },
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            let payload = encode_message(req);
+            assert_eq!(&decode_message::<Request<i64>>(&payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Ok,
+            Response::Run(vec![
+                Ok(QueryOutput::Count(3)),
+                Err(WireError::protocol(
+                    irs_core::ErrorCode::QueryNotWeighted,
+                    "nope",
+                )),
+            ]),
+            Response::Apply(vec![Ok(UpdateOutput::Inserted(9))]),
+            Response::Stats(ServerStats {
+                kind: "ait".into(),
+                endpoint: "i64".into(),
+                shards: 4,
+                len: 100,
+                shard_lens: vec![25; 4],
+                weighted: false,
+                connections_accepted: 3,
+                connections_active: 1,
+                requests: 17,
+                queries: 120,
+                mutations: 5,
+                protocol_errors: 0,
+                uptime_ms: 12345,
+                draining: false,
+            }),
+            Response::Snapshot(SnapshotSummary {
+                format_version: 1,
+                kind: "kds".into(),
+                endpoint: "i64".into(),
+                weighted: true,
+                shards: 2,
+                seed: 42,
+                len: 10,
+            }),
+            Response::Error(WireError::protocol(
+                irs_core::ErrorCode::UnknownMessage,
+                "tag 99",
+            )),
+        ];
+        for resp in &resps {
+            let payload = encode_message(resp);
+            assert_eq!(&decode_message::<Response>(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn endpoint_mismatch_is_typed_at_decode() {
+        let req: Request<i64> = Request::Run {
+            seed: None,
+            queries: vec![Query::Stab { p: 5 }],
+        };
+        let payload = encode_message(&req);
+        // Decoding an i64 request as a u32 server refuses before
+        // touching any interval bytes.
+        match decode_message::<Request<u32>>(&payload) {
+            Err(PersistError::EndpointMismatch { stored, expected }) => {
+                assert_eq!(stored, "i64");
+                assert_eq!(expected, "u32");
+            }
+            other => panic!("expected EndpointMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_corrupt() {
+        assert!(matches!(
+            decode_message::<Request<i64>>(&[0x63]),
+            Err(PersistError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            decode_message::<Response>(&[0x63]),
+            Err(PersistError::Corrupt { .. })
+        ));
+        let mut payload = encode_message(&Response::Ok);
+        payload.push(0xFF);
+        assert!(matches!(
+            decode_message::<Response>(&payload),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+}

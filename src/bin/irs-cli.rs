@@ -10,14 +10,17 @@
 //! irs-cli snapshot save --data trips.csv --kind ait --shards 4 --out snap/
 //! irs-cli snapshot inspect --dir snap/
 //! irs-cli snapshot load --dir snap/ --lo 100 --hi 5000 --s 10
+//! irs-cli serve        --data trips.csv --addr 127.0.0.1:7878
+//! irs-cli remote 127.0.0.1:7878 count --lo 100 --hi 5000
 //! ```
 //!
 //! Data files are CSV with one `lo,hi[,weight]` triple per line (header
 //! lines starting with a letter may open the file). No external
 //! dependencies — argument parsing is by hand.
 
+use irs::cli::Opts;
 use irs::prelude::*;
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -26,6 +29,26 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `remote` takes a positional address and action before its options.
+    if cmd == "remote" {
+        let result = match (args.get(1), args.get(2)) {
+            (Some(addr), Some(action)) => Opts::parse(args.get(3..).unwrap_or(&[]))
+                .and_then(|opts| cmd_remote(addr, action, &opts)),
+            _ => Err("remote needs an address and an action: \
+                      irs-cli remote <HOST:PORT> <ACTION> [options]"
+                .to_string()),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                // Runtime errors (connection refused, typed wire
+                // refusals) are self-describing; the usage dump is for
+                // argument mistakes only.
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // `snapshot` takes a positional action before its options.
     if cmd == "snapshot" {
         let result = match args.get(1) {
@@ -36,7 +59,7 @@ fn main() -> ExitCode {
         return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("error: {e}\n\n{USAGE}");
+                eprintln!("error: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -55,6 +78,7 @@ fn main() -> ExitCode {
         "stab" => cmd_stab(&opts),
         "bench-engine" => cmd_bench_engine(&opts),
         "bench-updates" => cmd_bench_updates(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -87,6 +111,16 @@ USAGE:
                            [--weighted] [--seed <S>]
   irs-cli snapshot inspect --dir <DIR>
   irs-cli snapshot load    --dir <DIR> [--lo <LO> --hi <HI> --s <S>]
+  irs-cli serve    (--data <FILE> | --snapshot <DIR>) [--addr <HOST:PORT>]
+                   [--kind <K>] [--shards <N>] [--weighted] [--seed <S>]
+  irs-cli remote <HOST:PORT> <ACTION> [options]
+     ACTION: health | stats | shutdown
+           | count --lo <LO> --hi <HI>
+           | sample --lo <LO> --hi <HI> --s <S> [--seed <S>] [--weighted]
+           | stab --at <P>
+           | insert --lo <LO> --hi <HI> [--weight <W>]
+           | delete --id <ID>
+           | save --out <DIR> | inspect --dir <DIR> | load --dir <DIR>
 
 bench-engine measures engine queries/sec (sample + search workloads) at
 each shard count × batch size × caller-thread count on a synthetic
@@ -108,53 +142,15 @@ loading it, and loads one back — skipping index construction — ready to
 serve (optionally proving it with one sample query). See DESIGN.md,
 \"On-disk snapshot format\".
 
+serve runs the irs-server daemon in-process over a freshly built backend
+(--data, with the same build options as snapshot save) or a loaded
+snapshot (--snapshot); default address 127.0.0.1:7878, port 0 for an
+OS-assigned port. It serves until a remote `shutdown` arrives, then
+drains gracefully. remote speaks the wire protocol to any running
+server — snapshot paths (save/inspect/load) name directories on the
+*server's* filesystem. See DESIGN.md, \"Wire protocol\".
+
 Data files: CSV lines `lo,hi[,weight]`.";
-
-/// Flat `--key value` option bag.
-struct Opts(Vec<(String, String)>);
-
-impl Opts {
-    fn parse(args: &[String]) -> Result<Self, String> {
-        let mut pairs = Vec::new();
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            let key = a
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --option, got `{a}`"))?;
-            if key == "weighted" {
-                pairs.push((key.to_string(), "true".to_string()));
-                continue;
-            }
-            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-            pairs.push((key.to_string(), val.clone()));
-        }
-        Ok(Opts(pairs))
-    }
-
-    fn get(&self, key: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn req(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing --{key}"))
-    }
-
-    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
-        self.req(key)?
-            .parse()
-            .map_err(|_| format!("--{key}: not a number"))
-    }
-
-    fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number")),
-        }
-    }
-}
 
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let profile = match opts.req("profile")? {
@@ -179,60 +175,9 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// CSV loading now lives in `irs::datagen` (shared with `irs-server`).
 fn load(path: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    parse_csv(std::io::BufReader::new(file), path)
-}
-
-/// Parses `lo,hi[,weight]` lines. Header lines (starting with a letter)
-/// are only recognized *before* the first data line; a malformed line in
-/// the data body is an error naming the line, never silently skipped.
-fn parse_csv(reader: impl BufRead, path: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
-    let mut data = Vec::new();
-    let mut weights = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let err = |what: &str| format!("{path}:{}: {what}", lineno + 1);
-        if line.starts_with(|c: char| c.is_alphabetic()) {
-            if data.is_empty() {
-                continue; // header
-            }
-            return Err(err(
-                "malformed data line (non-numeric; headers may only open the file)",
-            ));
-        }
-        let mut parts = line.split(',');
-        let lo: i64 = parts
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| err("bad lo"))?;
-        let hi: i64 = parts
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| err("bad hi"))?;
-        if lo > hi {
-            return Err(err("lo > hi"));
-        }
-        let w: f64 = match parts.next() {
-            Some(v) => v.trim().parse().map_err(|_| err("bad weight"))?,
-            None => 1.0,
-        };
-        // Catch these here with a file:line error; the index builders
-        // only assert, which would abort without naming the bad row.
-        if !(w.is_finite() && w > 0.0) {
-            return Err(err("bad weight (must be positive and finite)"));
-        }
-        data.push(Interval::new(lo, hi));
-        weights.push(w);
-    }
-    if data.is_empty() {
-        return Err(format!("{path}: no intervals"));
-    }
-    Ok((data, weights))
+    irs::datagen::load_csv(path)
 }
 
 fn cmd_count(opts: &Opts) -> Result<(), String> {
@@ -595,62 +540,154 @@ fn cmd_bench_updates(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(text: &str) -> Result<(Vec<Interval64>, Vec<f64>), String> {
-        parse_csv(text.as_bytes(), "test.csv")
-    }
-
-    #[test]
-    fn plain_rows_parse_with_default_weight() {
-        let (data, weights) = parse("1,5\n2,8,3.5\n").unwrap();
-        assert_eq!(data, vec![Interval::new(1, 5), Interval::new(2, 8)]);
-        assert_eq!(weights, vec![1.0, 3.5]);
-    }
-
-    #[test]
-    fn leading_header_and_blank_lines_are_skipped() {
-        let (data, _) = parse("lo,hi,weight\n\n10,20\n30,40\n").unwrap();
-        assert_eq!(data.len(), 2);
-    }
-
-    #[test]
-    fn malformed_line_mid_file_errors_with_line_number() {
-        // Previously this line was silently skipped as a "header".
-        let err = parse("1,5\nnot,a,row\n2,8\n").unwrap_err();
-        assert!(
-            err.contains("test.csv:2"),
-            "error must name the line: {err}"
-        );
-        assert!(err.contains("malformed"), "{err}");
-    }
-
-    #[test]
-    fn numeric_garbage_errors_with_line_number() {
-        let err = parse("1,5\n3,\n").unwrap_err();
-        assert!(err.contains("test.csv:2"), "{err}");
-        let err = parse("1,5\n4,2\n").unwrap_err();
-        assert!(err.contains("lo > hi"), "{err}");
-        let err = parse("1,5\n4,9,heavy\n").unwrap_err();
-        assert!(err.contains("bad weight"), "{err}");
-    }
-
-    #[test]
-    fn non_positive_or_non_finite_weights_error_with_line_number() {
-        // These parse as f64 but would abort deep inside the index
-        // builders; the loader must reject them with file:line instead.
-        for bad in ["-3", "0", "NaN", "inf"] {
-            let err = parse(&format!("1,5,2\n2,8,{bad}\n")).unwrap_err();
-            assert!(err.contains("test.csv:2"), "`{bad}`: {err}");
-            assert!(err.contains("bad weight"), "`{bad}`: {err}");
+/// Builds (from `--data`) or loads (from `--snapshot`) the backend the
+/// server will serve — same build options as `snapshot save`.
+fn serve_backend(opts: &Opts) -> Result<Client<i64>, String> {
+    match (opts.get("snapshot"), opts.get("data")) {
+        (Some(dir), None) => Client::<i64>::load(dir).map_err(|e| e.to_string()),
+        (None, Some(path)) => {
+            let (data, weights) = load(path)?;
+            let kind = match opts.get("kind") {
+                None => IndexKind::Ait,
+                Some(name) => {
+                    IndexKind::parse(name).ok_or_else(|| format!("unknown kind `{name}`"))?
+                }
+            };
+            let mut builder = Irs::builder()
+                .kind(kind)
+                .shards(opts.num_or("shards", 1)?)
+                .seed(opts.num_or("seed", 42)?);
+            if opts.get("weighted").is_some() {
+                builder = builder.weights(weights);
+            }
+            builder.build(&data).map_err(|e| e.to_string())
         }
+        _ => Err("serve needs exactly one of --data <FILE> or --snapshot <DIR>".to_string()),
     }
+}
 
-    #[test]
-    fn empty_input_is_an_error() {
-        assert!(parse("").unwrap_err().contains("no intervals"));
-        assert!(parse("lo,hi\n").unwrap_err().contains("no intervals"));
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7878");
+    let client = serve_backend(opts)?;
+    let stats = client.stats();
+    let handle = irs::serve(client, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "irs-server listening on {} — {} × {} shard(s), {} intervals{}",
+        handle.local_addr(),
+        stats.kind,
+        stats.shards,
+        stats.len,
+        if stats.weighted { ", weighted" } else { "" },
+    );
+    println!("serving until a remote `shutdown` arrives (irs-cli remote <addr> shutdown)");
+    handle.join();
+    println!("drained; bye");
+    Ok(())
+}
+
+fn cmd_remote(addr: &str, action: &str, opts: &Opts) -> Result<(), String> {
+    let mut remote =
+        irs::RemoteClient::<i64>::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let wire = |e: irs::WireError| e.to_string();
+    match action {
+        "health" => {
+            remote.health().map_err(wire)?;
+            println!("ok");
+        }
+        "stats" => {
+            let s = remote.stats().map_err(wire)?;
+            println!("kind:            {}", s.kind);
+            println!("endpoint:        {}", s.endpoint);
+            println!("shards:          {}", s.shards);
+            println!("live intervals:  {}", s.len);
+            println!("shard lengths:   {:?}", s.shard_lens);
+            println!("weighted:        {}", s.weighted);
+            println!(
+                "connections:     {} accepted, {} active",
+                s.connections_accepted, s.connections_active
+            );
+            println!(
+                "requests:        {} ({} queries, {} mutations)",
+                s.requests, s.queries, s.mutations
+            );
+            println!("protocol errors: {}", s.protocol_errors);
+            println!("uptime:          {:.1} s", s.uptime_ms as f64 / 1e3);
+            println!("draining:        {}", s.draining);
+        }
+        "count" => {
+            let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
+            println!("{}", remote.count(q).map_err(wire)?);
+        }
+        "sample" => {
+            let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
+            let s: usize = opts.num("s")?;
+            let weighted = opts.get("weighted").is_some();
+            let query = if weighted {
+                Query::SampleWeighted { q, s }
+            } else {
+                Query::Sample { q, s }
+            };
+            let results = match opts.get("seed") {
+                Some(_) => remote.run_seeded(&[query], opts.num("seed")?),
+                None => remote.run(&[query]),
+            }
+            .map_err(wire)?;
+            match results.into_iter().next().expect("one result per query") {
+                Ok(QueryOutput::Samples(ids)) => {
+                    if ids.is_empty() {
+                        eprintln!("(empty result set)");
+                    }
+                    for id in ids {
+                        println!("{id}");
+                    }
+                }
+                Ok(other) => return Err(format!("unexpected output {other:?}")),
+                Err(e) => return Err(wire(e)),
+            }
+        }
+        "stab" => {
+            for id in remote.stab(opts.num::<i64>("at")?).map_err(wire)? {
+                println!("{id}");
+            }
+        }
+        "insert" => {
+            let iv = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
+            let id = match opts.get("weight") {
+                Some(_) => remote.insert_weighted(iv, opts.num("weight")?),
+                None => remote.insert(iv),
+            }
+            .map_err(wire)?;
+            println!("inserted id {id}");
+        }
+        "delete" => {
+            remote.remove(opts.num("id")?).map_err(wire)?;
+            println!("removed");
+        }
+        "save" => {
+            let dir = opts.req("out")?;
+            remote.save(dir).map_err(wire)?;
+            println!("saved (server-side) to {dir}");
+        }
+        "inspect" => {
+            let s = remote.inspect_snapshot(opts.req("dir")?).map_err(wire)?;
+            println!("format-version: {}", s.format_version);
+            println!("kind:           {}", s.kind);
+            println!("endpoint:       {}", s.endpoint);
+            println!("weighted:       {}", s.weighted);
+            println!("shards:         {}", s.shards);
+            println!("seed:           {}", s.seed);
+            println!("live intervals: {}", s.len);
+        }
+        "load" => {
+            let dir = opts.req("dir")?;
+            remote.load(dir).map_err(wire)?;
+            println!("server now serves snapshot {dir}");
+        }
+        "shutdown" => {
+            remote.shutdown().map_err(wire)?;
+            println!("shutdown acknowledged; server is draining");
+        }
+        other => Err(format!("unknown remote action `{other}`"))?,
     }
+    Ok(())
 }

@@ -1,0 +1,87 @@
+//! Option parsing shared by the repo's binaries (`irs-cli`,
+//! `irs-server`): a flat `--key value` bag with typed accessors. No
+//! external dependencies — parsing is by hand, and unknown options are
+//! simply never read (each command documents what it consumes).
+
+/// Flat `--key value` option bag. Boolean flags (`--weighted`) take no
+/// value; everything else does.
+pub struct Opts(Vec<(String, String)>);
+
+/// Option names that are flags (present/absent, no value).
+const FLAGS: &[&str] = &["weighted"];
+
+impl Opts {
+    /// Parses `--key value` pairs (and bare flags) from `args`.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got `{a}`"))?;
+            if FLAGS.contains(&key) {
+                pairs.push((key.to_string(), "true".to_string()));
+                continue;
+            }
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_string(), val.clone()));
+        }
+        Ok(Opts(pairs))
+    }
+
+    /// The value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a required `--key`.
+    pub fn req(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// A required numeric option.
+    pub fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| format!("--{key}: not a number"))
+    }
+
+    /// An optional numeric option with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Opts, String> {
+        Opts::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn pairs_and_flags_parse() {
+        let o = opts(&["--n", "100", "--weighted", "--out", "x.csv"]).unwrap();
+        assert_eq!(o.num::<usize>("n").unwrap(), 100);
+        assert!(o.get("weighted").is_some());
+        assert_eq!(o.req("out").unwrap(), "x.csv");
+        assert!(o.get("missing").is_none());
+        assert_eq!(o.num_or::<u64>("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn malformed_options_are_errors() {
+        assert!(opts(&["bare"]).is_err());
+        assert!(opts(&["--n"]).is_err());
+        let o = opts(&["--n", "ten"]).unwrap();
+        assert!(o.num::<usize>("n").is_err());
+        assert!(o.req("out").is_err());
+    }
+}

@@ -104,7 +104,18 @@ pub use irs_interval_tree::IntervalTree;
 pub use irs_kds::Kds;
 pub use irs_period_index::PeriodIndex;
 pub use irs_segment_tree::SegmentTree;
+pub use irs_server::{serve, serve_with, ServerConfig, ServerHandle};
 pub use irs_timeline::TimelineIndex;
+pub use irs_wire::{ErrorCode, RemoteClient, ServerStats, SnapshotSummary, WireError};
+
+/// CLI plumbing shared by the repo's binaries.
+pub mod cli;
+
+/// The wire protocol (re-export of [`irs_wire`]): framing, the typed
+/// request/response vocabulary, and the blocking [`RemoteClient`].
+pub mod wire {
+    pub use irs_wire::*;
+}
 
 /// Engine throughput-measurement helpers (re-export of
 /// [`irs_engine::throughput`]), shared by `irs-cli bench-engine` and the
@@ -138,5 +149,7 @@ pub mod prelude {
     pub use irs_kds::Kds;
     pub use irs_period_index::PeriodIndex;
     pub use irs_segment_tree::SegmentTree;
+    pub use irs_server::{serve, ServerHandle};
     pub use irs_timeline::TimelineIndex;
+    pub use irs_wire::{ErrorCode, RemoteClient, WireError};
 }
