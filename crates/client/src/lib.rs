@@ -311,6 +311,19 @@ impl<E: GridEndpoint> Client<E> {
         self.shared.weighted
     }
 
+    /// Estimated bytes of heap memory the backend's indexes retain
+    /// (the engine's per-shard sum, or the monolithic index under a
+    /// brief read lock). The figure the catalog's memory budget
+    /// accounts per collection.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.shared.backend {
+            Backend::Mono { index, .. } => {
+                index.read().unwrap_or_else(|e| e.into_inner()).heap_bytes()
+            }
+            Backend::Sharded(engine) => engine.heap_bytes(),
+        }
+    }
+
     /// A point-in-time description of the backend — kind, endpoint
     /// type, shard layout, live lengths — for health/stats surfaces.
     /// Never blocks on the writer seat (all fields are lock-free reads

@@ -1,0 +1,230 @@
+//! The catalog error taxonomy: everything a multi-tenant [`Catalog`]
+//! operation can refuse with, as typed variants.
+//!
+//! The catalog layer (crate `irs-catalog`) manages *named collections*
+//! — each an independent backend with its own index kind, shard count,
+//! and seed — behind one shared handle with a global memory budget.
+//! Its failures follow the same discipline as [`QueryError`] /
+//! [`UpdateError`] / [`PersistError`]: every refusal is a typed variant
+//! with a stable wire code (the append-only `6xx` block in
+//! [`crate::wire::ErrorCode`]), nothing panics, and budget exhaustion
+//! is a refusal — never an abort or an OOM.
+//!
+//! Two variants wrap inner taxonomies ([`CatalogError::Persist`],
+//! [`CatalogError::Update`]) so a snapshot failure or a per-mutation
+//! failure surfaced through a catalog operation keeps its *original*
+//! stable code instead of being flattened into a catalog-shaped one.
+//!
+//! [`Catalog`]: https://docs.rs/irs-catalog
+//! [`QueryError`]: crate::QueryError
+//! [`UpdateError`]: crate::UpdateError
+//! [`PersistError`]: crate::PersistError
+
+use crate::mutation::UpdateError;
+use crate::persist::PersistError;
+use std::fmt;
+
+/// A typed refusal from a catalog operation (create / drop / describe /
+/// reindex / budgeted mutation / catalog save & load).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CatalogError {
+    /// No collection with this name exists in the catalog.
+    UnknownCollection {
+        /// The name the caller asked for.
+        name: String,
+    },
+    /// A collection with this name already exists (create refuses to
+    /// overwrite; drop it first).
+    CollectionExists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The name violates the catalog's naming rules (lowercase ASCII
+    /// letters, digits, `-` and `_`; must start with a letter or digit;
+    /// 1–64 bytes). Names double as snapshot subdirectory names, so
+    /// the rules are deliberately filesystem-safe.
+    InvalidName {
+        /// The rejected name.
+        name: String,
+        /// Which rule it broke.
+        reason: &'static str,
+    },
+    /// Admitting this collection (or this insert batch) would push the
+    /// catalog past its global memory budget. The operation is refused
+    /// up front — existing collections are untouched and nothing was
+    /// allocated toward the request.
+    BudgetExceeded {
+        /// The collection whose growth was refused.
+        name: String,
+        /// Estimated bytes the refused operation would have added.
+        requested_bytes: usize,
+        /// Estimated bytes the catalog currently holds (summed
+        /// per-collection `heap_bytes`).
+        used_bytes: usize,
+        /// The configured global budget.
+        budget_bytes: usize,
+    },
+    /// A re-index of this collection is already in flight; one rebuild
+    /// per collection at a time.
+    ReindexInProgress {
+        /// The busy collection.
+        name: String,
+    },
+    /// The requested index kind cannot serve this collection's data or
+    /// declared workload (e.g. re-indexing a weighted collection onto a
+    /// kind without weighted sampling, or a churning collection onto a
+    /// static snapshot kind).
+    IncompatibleKind {
+        /// The collection in question.
+        name: String,
+        /// The refused kind's stable name.
+        kind: String,
+        /// Why the kind cannot serve it.
+        reason: &'static str,
+    },
+    /// The collection spec itself is invalid (bad weights, malformed
+    /// hints), independent of any name or budget.
+    InvalidSpec {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The request needs a catalog-serving endpoint, but this server
+    /// (or handle) serves a single collection. The single-collection
+    /// request vocabulary keeps working on both.
+    NotServingCatalog,
+    /// Snapshot plumbing under a catalog operation failed (catalog
+    /// save/load, the re-index snapshot step). Keeps the inner
+    /// [`PersistError`]'s stable `3xx` wire code.
+    Persist(PersistError),
+    /// A mutation surfaced through a catalog convenience failed in the
+    /// backend. Keeps the inner [`UpdateError`]'s stable `2xx` wire
+    /// code.
+    Update(UpdateError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownCollection { name } => {
+                write!(f, "no collection named `{name}` exists in the catalog")
+            }
+            CatalogError::CollectionExists { name } => {
+                write!(f, "a collection named `{name}` already exists")
+            }
+            CatalogError::InvalidName { name, reason } => {
+                write!(f, "invalid collection name `{name}`: {reason}")
+            }
+            CatalogError::BudgetExceeded {
+                name,
+                requested_bytes,
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "growing collection `{name}` by ~{requested_bytes} bytes would exceed \
+                 the catalog budget ({used_bytes} of {budget_bytes} bytes in use)"
+            ),
+            CatalogError::ReindexInProgress { name } => {
+                write!(f, "collection `{name}` is already being re-indexed")
+            }
+            CatalogError::IncompatibleKind { name, kind, reason } => {
+                write!(
+                    f,
+                    "kind `{kind}` cannot serve collection `{name}`: {reason}"
+                )
+            }
+            CatalogError::InvalidSpec { reason } => {
+                write!(f, "invalid collection spec: {reason}")
+            }
+            CatalogError::NotServingCatalog => {
+                write!(f, "this endpoint serves a single collection, not a catalog")
+            }
+            CatalogError::Persist(e) => write!(f, "catalog snapshot failure: {e}"),
+            CatalogError::Update(e) => write!(f, "catalog mutation failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<PersistError> for CatalogError {
+    fn from(e: PersistError) -> Self {
+        CatalogError::Persist(e)
+    }
+}
+
+impl From<UpdateError> for CatalogError {
+    fn from(e: UpdateError) -> Self {
+        CatalogError::Update(e)
+    }
+}
+
+/// Validates a collection name against the catalog naming rules:
+/// 1–64 bytes of lowercase ASCII letters, digits, `-`, `_`, starting
+/// with a letter or digit. The single gate every creation path (local
+/// or over the wire) goes through.
+pub fn validate_collection_name(name: &str) -> Result<(), CatalogError> {
+    let invalid = |reason| {
+        Err(CatalogError::InvalidName {
+            name: name.to_string(),
+            reason,
+        })
+    };
+    if name.is_empty() {
+        return invalid("the name is empty");
+    }
+    if name.len() > 64 {
+        return invalid("the name is longer than 64 bytes");
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("non-empty");
+    if !first.is_ascii_lowercase() && !first.is_ascii_digit() {
+        return invalid("the name must start with a lowercase letter or digit");
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+    {
+        return invalid("only lowercase ASCII letters, digits, `-` and `_` are allowed");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_rules() {
+        for good in ["a", "taxi", "tenant-7", "a_b-c", "0day", &"x".repeat(64)] {
+            assert!(validate_collection_name(good).is_ok(), "{good}");
+        }
+        for bad in [
+            "",
+            "Taxi",
+            "-lead",
+            "_lead",
+            "sp ace",
+            "dot.dot",
+            "slash/",
+            "..",
+            &"x".repeat(65),
+        ] {
+            assert!(
+                matches!(
+                    validate_collection_name(bad),
+                    Err(CatalogError::InvalidName { .. })
+                ),
+                "{bad:?} should be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn wrapped_errors_render_their_inner_message() {
+        let e = CatalogError::from(PersistError::Corrupt { what: "w" });
+        assert!(e.to_string().contains("catalog snapshot failure"));
+        let e = CatalogError::from(UpdateError::UnknownId { id: 7 });
+        assert!(e.to_string().contains("catalog mutation failure"));
+    }
+}

@@ -28,6 +28,10 @@
 //!   every [`QueryError`]/[`UpdateError`]/[`PersistError`] variant is
 //!   assigned a stable numeric [`ErrorCode`], and [`WireError`] carries
 //!   code + message across process boundaries.
+//! - [`catalog`] — the multi-tenant vocabulary shared with `irs-catalog`:
+//!   the [`CatalogError`] taxonomy (budget refusals, naming rules,
+//!   re-index conflicts) mapped into the append-only `6xx` wire-code
+//!   block, and the one collection-name validation gate.
 //! - [`MemoryFootprint`] — deterministic deep-size accounting used to
 //!   reproduce the paper's memory tables without allocator hooks.
 //! - [`oracle::BruteForce`] — the linear-scan reference implementation each
@@ -39,6 +43,7 @@
 
 #![deny(missing_docs)]
 
+pub mod catalog;
 pub mod dataset;
 pub mod erased;
 pub mod footprint;
@@ -51,6 +56,7 @@ pub mod seed;
 pub mod traits;
 pub mod wire;
 
+pub use catalog::{validate_collection_name, CatalogError};
 pub use dataset::{candidates_weight, domain_bounds, pair_sort_indices, pair_sorted};
 pub use erased::{DynPreparedSampler, Erased, ErasedUpperBound};
 pub use footprint::{slice_bytes, vec_bytes, MemoryFootprint};

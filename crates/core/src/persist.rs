@@ -47,6 +47,9 @@ pub const FORMAT_VERSION: u16 = 1;
 pub const ROLE_MANIFEST: u8 = 0x01;
 /// File role byte: one shard's index snapshot.
 pub const ROLE_SHARD: u8 = 0x02;
+/// File role byte: the catalog manifest covering every collection
+/// (`irs-catalog`'s `catalog.irs`).
+pub const ROLE_CATALOG: u8 = 0x03;
 
 /// Why a snapshot could not be written or read back.
 ///

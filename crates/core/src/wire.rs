@@ -18,6 +18,7 @@
 //! fails to compile until it is assigned a code, rather than silently
 //! falling into a catch-all.
 
+use crate::catalog::CatalogError;
 use crate::mutation::UpdateError;
 use crate::persist::{Codec, PersistError, Reader};
 use crate::query::QueryError;
@@ -32,6 +33,7 @@ use std::fmt;
 /// - `3xx` — [`PersistError`] variants
 /// - `4xx` — protocol-level failures (framing, decoding, routing)
 /// - `5xx` — server-side failures
+/// - `6xx` — [`CatalogError`] variants (multi-tenant catalog refusals)
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u16)]
 pub enum ErrorCode {
@@ -105,11 +107,29 @@ pub enum ErrorCode {
     /// The server failed in a way that has no more specific code; the
     /// message says what happened.
     Internal = 500,
+
+    // --- 6xx: CatalogError ---
+    /// [`CatalogError::UnknownCollection`].
+    CatalogUnknownCollection = 600,
+    /// [`CatalogError::CollectionExists`].
+    CatalogCollectionExists = 601,
+    /// [`CatalogError::InvalidName`].
+    CatalogInvalidName = 602,
+    /// [`CatalogError::BudgetExceeded`].
+    CatalogBudgetExceeded = 603,
+    /// [`CatalogError::ReindexInProgress`].
+    CatalogReindexInProgress = 604,
+    /// [`CatalogError::IncompatibleKind`].
+    CatalogIncompatibleKind = 605,
+    /// [`CatalogError::InvalidSpec`].
+    CatalogInvalidSpec = 606,
+    /// [`CatalogError::NotServingCatalog`].
+    CatalogNotServing = 607,
 }
 
 impl ErrorCode {
     /// Every assigned code, for exhaustiveness tests and docs tables.
-    pub const ALL: [ErrorCode; 27] = [
+    pub const ALL: [ErrorCode; 35] = [
         ErrorCode::QueryUnsupportedOperation,
         ErrorCode::QueryNotWeighted,
         ErrorCode::QueryShardFailed,
@@ -137,6 +157,14 @@ impl ErrorCode {
         ErrorCode::WrongEndpoint,
         ErrorCode::ShuttingDown,
         ErrorCode::Internal,
+        ErrorCode::CatalogUnknownCollection,
+        ErrorCode::CatalogCollectionExists,
+        ErrorCode::CatalogInvalidName,
+        ErrorCode::CatalogBudgetExceeded,
+        ErrorCode::CatalogReindexInProgress,
+        ErrorCode::CatalogIncompatibleKind,
+        ErrorCode::CatalogInvalidSpec,
+        ErrorCode::CatalogNotServing,
     ];
 
     /// The wire representation.
@@ -181,6 +209,14 @@ impl ErrorCode {
             ErrorCode::WrongEndpoint => "wrong-endpoint",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::CatalogUnknownCollection => "catalog-unknown-collection",
+            ErrorCode::CatalogCollectionExists => "catalog-collection-exists",
+            ErrorCode::CatalogInvalidName => "catalog-invalid-name",
+            ErrorCode::CatalogBudgetExceeded => "catalog-budget-exceeded",
+            ErrorCode::CatalogReindexInProgress => "catalog-reindex-in-progress",
+            ErrorCode::CatalogIncompatibleKind => "catalog-incompatible-kind",
+            ErrorCode::CatalogInvalidSpec => "catalog-invalid-spec",
+            ErrorCode::CatalogNotServing => "catalog-not-serving",
         }
     }
 }
@@ -234,6 +270,26 @@ impl From<&PersistError> for ErrorCode {
     }
 }
 
+impl From<&CatalogError> for ErrorCode {
+    fn from(e: &CatalogError) -> ErrorCode {
+        match e {
+            CatalogError::UnknownCollection { .. } => ErrorCode::CatalogUnknownCollection,
+            CatalogError::CollectionExists { .. } => ErrorCode::CatalogCollectionExists,
+            CatalogError::InvalidName { .. } => ErrorCode::CatalogInvalidName,
+            CatalogError::BudgetExceeded { .. } => ErrorCode::CatalogBudgetExceeded,
+            CatalogError::ReindexInProgress { .. } => ErrorCode::CatalogReindexInProgress,
+            CatalogError::IncompatibleKind { .. } => ErrorCode::CatalogIncompatibleKind,
+            CatalogError::InvalidSpec { .. } => ErrorCode::CatalogInvalidSpec,
+            CatalogError::NotServingCatalog => ErrorCode::CatalogNotServing,
+            // The wrappers surface the inner taxonomy's own stable code
+            // so callers branch on the root cause, not the layer it
+            // crossed.
+            CatalogError::Persist(inner) => inner.into(),
+            CatalogError::Update(inner) => inner.into(),
+        }
+    }
+}
+
 /// A typed error in transportable form: the variant's stable
 /// [`ErrorCode`] plus the original error's one-sentence rendering.
 ///
@@ -280,6 +336,15 @@ impl From<&UpdateError> for WireError {
 
 impl From<&PersistError> for WireError {
     fn from(e: &PersistError) -> WireError {
+        WireError {
+            code: e.into(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<&CatalogError> for WireError {
+    fn from(e: &CatalogError) -> WireError {
         WireError {
             code: e.into(),
             message: e.to_string(),
@@ -540,6 +605,72 @@ mod tests {
         ];
         for (err, code) in cases {
             assert_eq!(WireError::from(&err).code, code);
+        }
+    }
+
+    #[test]
+    fn every_catalog_error_variant_has_a_code() {
+        use crate::catalog::CatalogError;
+        let n = || "t".to_string();
+        let cases = [
+            (
+                CatalogError::UnknownCollection { name: n() },
+                ErrorCode::CatalogUnknownCollection,
+            ),
+            (
+                CatalogError::CollectionExists { name: n() },
+                ErrorCode::CatalogCollectionExists,
+            ),
+            (
+                CatalogError::InvalidName {
+                    name: n(),
+                    reason: "r",
+                },
+                ErrorCode::CatalogInvalidName,
+            ),
+            (
+                CatalogError::BudgetExceeded {
+                    name: n(),
+                    requested_bytes: 10,
+                    used_bytes: 90,
+                    budget_bytes: 95,
+                },
+                ErrorCode::CatalogBudgetExceeded,
+            ),
+            (
+                CatalogError::ReindexInProgress { name: n() },
+                ErrorCode::CatalogReindexInProgress,
+            ),
+            (
+                CatalogError::IncompatibleKind {
+                    name: n(),
+                    kind: "kds".into(),
+                    reason: "static",
+                },
+                ErrorCode::CatalogIncompatibleKind,
+            ),
+            (
+                CatalogError::InvalidSpec { reason: n() },
+                ErrorCode::CatalogInvalidSpec,
+            ),
+            (
+                CatalogError::NotServingCatalog,
+                ErrorCode::CatalogNotServing,
+            ),
+            // Wrappers keep the inner taxonomy's code.
+            (
+                CatalogError::Persist(PersistError::Corrupt { what: "w" }),
+                ErrorCode::PersistCorrupt,
+            ),
+            (
+                CatalogError::Update(UpdateError::UnknownId { id: 3 }),
+                ErrorCode::UpdateUnknownId,
+            ),
+        ];
+        for (err, code) in cases {
+            let wire = WireError::from(&err);
+            assert_eq!(wire.code, code, "{err}");
+            assert_eq!(wire.message, err.to_string());
         }
     }
 

@@ -559,6 +559,24 @@ impl<E: GridEndpoint> Engine<E> {
         self.inner.weighted
     }
 
+    /// Estimated bytes of heap memory the engine's indexes retain,
+    /// summed over shards ([`crate::DynIndex::heap_bytes`]). Takes each
+    /// shard's read lock briefly, so the figure is a consistent
+    /// per-shard (not cross-shard) snapshot — the precision a memory
+    /// budget needs.
+    pub fn heap_bytes(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.index
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .heap_bytes()
+            })
+            .sum()
+    }
+
     /// Executes a batch: one `Result` per [`Query`], in order. An empty
     /// result set is `Ok` (empty samples / zero count), never an error.
     ///

@@ -27,9 +27,9 @@ use irs_ait::{Ait, AitV, Awit, DynamicAwit};
 use irs_core::erased::{DynPreparedSampler, Erased, ErasedUpperBound};
 use irs_core::persist::{Codec, PersistError, Reader};
 use irs_core::{
-    validate_update_weight, Capabilities, Endpoint, GridEndpoint, Interval, ItemId, Operation,
-    QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery, UpdateError, UpdateOp,
-    WeightedRangeSampler,
+    validate_update_weight, Capabilities, Endpoint, GridEndpoint, Interval, ItemId,
+    MemoryFootprint, Operation, QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery,
+    UpdateError, UpdateOp, WeightedRangeSampler,
 };
 use irs_hint::HintM;
 use irs_interval_tree::IntervalTree;
@@ -401,6 +401,17 @@ pub trait DynIndex<E>: Send + Sync {
         Err(static_snapshot_error())
     }
 
+    /// Bytes of heap memory this index retains (recursively, capacity
+    /// not length), per [`irs_core::MemoryFootprint`]. The catalog's
+    /// memory budget accounts collections with this estimate; every
+    /// in-tree kind overrides it with its structure's deterministic
+    /// deep-size accounting. The default reports `0` — an out-of-tree
+    /// index that never opted in is simply invisible to budgets, never
+    /// wrongly refused.
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+
     /// Appends this index's snapshot encoding to `out` (the payload of
     /// a shard file's index section; decode with
     /// [`IndexKind::decode_index`]).
@@ -436,6 +447,10 @@ fn stab_via_search<E: Endpoint, I: RangeSearch<E>>(idx: &I, p: E, out: &mut Vec<
 impl<E: GridEndpoint> DynIndex<E> for Ait<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.range_search_into(q, out);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        MemoryFootprint::heap_bytes(self)
     }
 
     fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
@@ -481,6 +496,16 @@ impl<E: GridEndpoint> DynIndex<E> for MutableAit<E> {
     fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
         self.idx.encode_into(out);
         Ok(())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // The live table is open-addressed; its buckets hold the pair
+        // plus a control byte. `capacity()` understates the allocation
+        // by the load factor, which is fine for a budget *estimate*.
+        let table = self.live.as_ref().map_or(0, |m| {
+            m.capacity() * (std::mem::size_of::<(ItemId, Interval<E>)>() + 1)
+        });
+        MemoryFootprint::heap_bytes(&self.idx) + table
     }
 
     fn count(&self, q: Interval<E>) -> usize {
@@ -556,6 +581,10 @@ impl<E: GridEndpoint> DynIndex<E> for DynAwitShard<E> {
         Ok(())
     }
 
+    fn heap_bytes(&self) -> usize {
+        MemoryFootprint::heap_bytes(&self.idx)
+    }
+
     fn count(&self, q: Interval<E>) -> usize {
         self.idx.range_count(q)
     }
@@ -613,6 +642,10 @@ impl<E: GridEndpoint> DynIndex<E> for AitV<E> {
         self.range_search_into(q, out);
     }
 
+    fn heap_bytes(&self) -> usize {
+        MemoryFootprint::heap_bytes(self)
+    }
+
     fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
         self.encode_into(out);
         Ok(())
@@ -649,6 +682,10 @@ struct AwitShard<E> {
 impl<E: GridEndpoint> DynIndex<E> for AwitShard<E> {
     fn search_into(&self, q: Interval<E>, out: &mut Vec<ItemId>) {
         self.idx.range_search_into(q, out);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        MemoryFootprint::heap_bytes(&self.idx)
     }
 
     fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
@@ -722,6 +759,10 @@ macro_rules! impl_weighted_baseline {
             fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
                 self.idx.encode_into(out);
                 Ok(())
+            }
+
+            fn heap_bytes(&self) -> usize {
+                MemoryFootprint::heap_bytes(&self.idx)
             }
 
             fn count(&self, q: Interval<E>) -> usize {

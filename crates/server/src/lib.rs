@@ -38,12 +38,18 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use irs_catalog::{
+    Catalog, CatalogError, CollectionInfo, CollectionSpec, KindSpec, WorkloadHints,
+    DEFAULT_COLLECTION,
+};
 use irs_client::Client;
 use irs_core::persist::PersistError;
 use irs_core::{ErrorCode, GridEndpoint, WireError};
+use irs_engine::IndexKind;
 use irs_wire::frame::{write_frame, FrameReader, ReadEvent};
 use irs_wire::message::{
-    decode_message, encode_message, Request, Response, ServerStats, SnapshotSummary,
+    decode_message, encode_message, CollectionSummary, Request, Response, ServerStats,
+    SnapshotSummary,
 };
 
 /// Tunables for a serving loop. The default suits tests and production
@@ -74,12 +80,22 @@ struct Counters {
     protocol_errors: AtomicU64,
 }
 
+/// What the daemon fronts: one anonymous backend (the classic
+/// single-tenant daemon) or a whole multi-tenant [`Catalog`].
+enum Backing<E: GridEndpoint> {
+    /// One backend. Read-locked per request (to clone the cheap
+    /// facade), write-locked only by `Load`'s atomic swap.
+    Single(RwLock<Client<E>>),
+    /// A catalog of named collections. The lock guards only
+    /// `LoadCatalog`'s whole-tenancy swap; all per-collection
+    /// concurrency lives inside the catalog itself.
+    Catalog(RwLock<Catalog<E>>),
+}
+
 /// State shared by the accept loop, every connection thread, and the
 /// handle.
 struct Shared<E: GridEndpoint> {
-    /// The serving backend. Read-locked per request (to clone the cheap
-    /// facade), write-locked only by `Load`'s atomic swap.
-    client: RwLock<Client<E>>,
+    backing: Backing<E>,
     /// Flips once; never clears. Connection threads poll it on read
     /// timeouts, the accept loop checks it per accept.
     draining: AtomicBool,
@@ -90,24 +106,62 @@ struct Shared<E: GridEndpoint> {
 }
 
 impl<E: GridEndpoint> Shared<E> {
-    /// A facade clone of the currently serving backend.
-    fn client(&self) -> Client<E> {
-        self.client
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+    /// A facade clone of the single-tenant backend, or a typed refusal
+    /// on a catalog server (where plain frames route to the `default`
+    /// collection instead).
+    fn single_client(&self) -> Option<Client<E>> {
+        match &self.backing {
+            Backing::Single(client) => {
+                Some(client.read().unwrap_or_else(|e| e.into_inner()).clone())
+            }
+            Backing::Catalog(_) => None,
+        }
+    }
+
+    /// A handle clone of the serving catalog, or the typed
+    /// catalog-not-serving refusal on a single-tenant server.
+    fn catalog(&self) -> Result<Catalog<E>, WireError> {
+        match &self.backing {
+            Backing::Catalog(catalog) => {
+                Ok(catalog.read().unwrap_or_else(|e| e.into_inner()).clone())
+            }
+            Backing::Single(_) => Err(WireError::from(&CatalogError::NotServingCatalog)),
+        }
     }
 
     fn stats(&self) -> ServerStats {
-        let c = self.client();
-        let s = c.stats();
+        let (kind, shards, len, shard_lens, weighted) = match &self.backing {
+            Backing::Single(client) => {
+                let c = client.read().unwrap_or_else(|e| e.into_inner()).clone();
+                let s = c.stats();
+                (
+                    s.kind.name().to_string(),
+                    s.shards,
+                    s.len,
+                    s.shard_lens,
+                    s.weighted,
+                )
+            }
+            Backing::Catalog(catalog) => {
+                // Aggregate view: the "shards" of a catalog server are
+                // its collections, reported in name order.
+                let infos = catalog.read().unwrap_or_else(|e| e.into_inner()).list();
+                (
+                    "catalog".to_string(),
+                    infos.len(),
+                    infos.iter().map(|i| i.len).sum(),
+                    infos.iter().map(|i| i.len).collect(),
+                    infos.iter().any(|i| i.weighted),
+                )
+            }
+        };
         ServerStats {
-            kind: s.kind.name().to_string(),
-            endpoint: s.endpoint.to_string(),
-            shards: s.shards,
-            len: s.len,
-            shard_lens: s.shard_lens,
-            weighted: s.weighted,
+            kind,
+            endpoint: E::type_name().to_string(),
+            shards,
+            len,
+            shard_lens,
+            weighted,
             connections_accepted: self.counters.connections_accepted.load(Ordering::Relaxed),
             connections_active: self.counters.connections_active.load(Ordering::Relaxed),
             requests: self.counters.requests.load(Ordering::Relaxed),
@@ -148,8 +202,22 @@ impl<E: GridEndpoint> ServerHandle<E> {
     /// mutations land in, so callers (tests, embedders) can observe
     /// state directly. After [`ServerHandle::join`] returns, this clone
     /// reflects every mutation the server ever acked.
+    ///
+    /// # Panics
+    ///
+    /// On a catalog server (started with [`serve_catalog`]), which has
+    /// no single anonymous backend — use [`ServerHandle::catalog`].
     pub fn client(&self) -> Client<E> {
-        self.shared.client()
+        self.shared
+            .single_client()
+            .expect("ServerHandle::client on a catalog server; use ServerHandle::catalog")
+    }
+
+    /// A handle clone of the serving catalog, or `None` on a
+    /// single-tenant server. The clone shares all state with the one
+    /// remote requests land in.
+    pub fn catalog(&self) -> Option<Catalog<E>> {
+        self.shared.catalog().ok()
     }
 
     /// Whether the server is draining (shutdown requested, connections
@@ -193,10 +261,39 @@ pub fn serve_with<E: GridEndpoint>(
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> io::Result<ServerHandle<E>> {
+    serve_backing(Backing::Single(RwLock::new(client)), addr, config)
+}
+
+/// Serves a multi-tenant [`Catalog`] on `addr` with default
+/// [`ServerConfig`]. Collection-tagged requests (`CreateCollection`,
+/// `RunIn`, …) address collections by name; plain single-collection
+/// frames still work, routed to the collection named
+/// [`DEFAULT_COLLECTION`].
+pub fn serve_catalog<E: GridEndpoint>(
+    catalog: Catalog<E>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle<E>> {
+    serve_catalog_with(catalog, addr, ServerConfig::default())
+}
+
+/// [`serve_catalog`] with explicit tunables.
+pub fn serve_catalog_with<E: GridEndpoint>(
+    catalog: Catalog<E>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle<E>> {
+    serve_backing(Backing::Catalog(RwLock::new(catalog)), addr, config)
+}
+
+fn serve_backing<E: GridEndpoint>(
+    backing: Backing<E>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle<E>> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        client: RwLock::new(client),
+        backing,
         draining: AtomicBool::new(false),
         counters: Counters::default(),
         started: Instant::now(),
@@ -356,9 +453,66 @@ fn decode_error_to_wire(e: &PersistError) -> WireError {
     }
 }
 
+/// One collection's wire summary.
+fn collection_summary(info: &CollectionInfo) -> CollectionSummary {
+    CollectionSummary {
+        name: info.name.clone(),
+        kind: info.kind.name().to_string(),
+        shards: info.shards,
+        len: info.len,
+        weighted: info.weighted,
+        heap_bytes: info.heap_bytes,
+        auto: info.auto.is_some(),
+    }
+}
+
+/// Executes a run batch against a named collection and lifts each
+/// per-query failure to wire form; a whole-batch failure (unknown
+/// collection) becomes the response error.
+fn run_in_catalog<E: GridEndpoint>(
+    catalog: &Catalog<E>,
+    collection: &str,
+    seed: Option<u64>,
+    queries: &[irs_engine::Query<E>],
+) -> Response {
+    let results = match seed {
+        Some(seed) => catalog.run_seeded_in(collection, queries, seed),
+        None => catalog.run_in(collection, queries),
+    };
+    match results {
+        Ok(results) => Response::Run(
+            results
+                .into_iter()
+                .map(|r| r.map_err(|e| WireError::from(&e)))
+                .collect(),
+        ),
+        Err(e) => Response::Error(WireError::from(&e)),
+    }
+}
+
+/// Executes a mutation batch against a named collection; whole-batch
+/// refusals (unknown collection, budget exhaustion) become the response
+/// error, per-mutation failures travel inside the `Apply` vector.
+fn apply_in_catalog<E: GridEndpoint>(
+    catalog: &Catalog<E>,
+    collection: &str,
+    muts: &[irs_core::Mutation<E>],
+) -> Response {
+    match catalog.apply_in(collection, muts) {
+        Ok(results) => Response::Apply(
+            results
+                .into_iter()
+                .map(|r| r.map_err(|e| WireError::from(&e)))
+                .collect(),
+        ),
+        Err(e) => Response::Error(WireError::from(&e)),
+    }
+}
+
 /// Decodes and executes one request. Batch entries fail individually
 /// inside `Run`/`Apply` responses; whole-request failures (snapshot
-/// errors, protocol errors) come back as `Response::Error`.
+/// errors, catalog refusals, protocol errors) come back as
+/// `Response::Error`.
 fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, Flow) {
     let request: Request<E> = match decode_message(payload) {
         Ok(req) => req,
@@ -378,34 +532,71 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                 .counters
                 .queries
                 .fetch_add(queries.len() as u64, Ordering::Relaxed);
-            let client = shared.client();
-            let results = match seed {
-                Some(seed) => client.run_seeded(&queries, seed),
-                None => client.run(&queries),
+            let response = match &shared.backing {
+                Backing::Single(_) => {
+                    let client = shared.single_client().expect("single backing");
+                    let results = match seed {
+                        Some(seed) => client.run_seeded(&queries, seed),
+                        None => client.run(&queries),
+                    };
+                    Response::Run(
+                        results
+                            .iter()
+                            .map(|r| r.as_ref().map_err(WireError::from).cloned())
+                            .collect(),
+                    )
+                }
+                // Back-compat: an untagged batch addresses "default".
+                Backing::Catalog(_) => {
+                    let catalog = shared.catalog().expect("catalog backing");
+                    run_in_catalog(&catalog, DEFAULT_COLLECTION, seed, &queries)
+                }
             };
-            let results = results
-                .iter()
-                .map(|r| r.as_ref().map_err(WireError::from).cloned())
-                .collect();
-            (Response::Run(results), Flow::Continue)
+            (response, Flow::Continue)
         }
         Request::Apply { muts } => {
             shared
                 .counters
                 .mutations
                 .fetch_add(muts.len() as u64, Ordering::Relaxed);
-            let mut client = shared.client();
-            let results = client
-                .apply(&muts)
-                .iter()
-                .map(|r| r.as_ref().map_err(WireError::from).cloned())
-                .collect();
-            (Response::Apply(results), Flow::Continue)
+            let response = match &shared.backing {
+                Backing::Single(_) => {
+                    let mut client = shared.single_client().expect("single backing");
+                    Response::Apply(
+                        client
+                            .apply(&muts)
+                            .iter()
+                            .map(|r| r.as_ref().map_err(WireError::from).cloned())
+                            .collect(),
+                    )
+                }
+                Backing::Catalog(_) => {
+                    let catalog = shared.catalog().expect("catalog backing");
+                    apply_in_catalog(&catalog, DEFAULT_COLLECTION, &muts)
+                }
+            };
+            (response, Flow::Continue)
         }
-        Request::Save { dir } => match shared.client().save(&dir) {
-            Ok(()) => (Response::Ok, Flow::Continue),
-            Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
-        },
+        Request::Save { dir } => {
+            let result = match &shared.backing {
+                Backing::Single(_) => shared
+                    .single_client()
+                    .expect("single backing")
+                    .save(&dir)
+                    .map_err(|e| WireError::from(&e)),
+                // Back-compat: save the default collection in the
+                // single-tenant snapshot layout.
+                Backing::Catalog(_) => shared
+                    .catalog()
+                    .expect("catalog backing")
+                    .save_collection_snapshot(DEFAULT_COLLECTION, &dir)
+                    .map_err(|e| WireError::from(&e)),
+            };
+            match result {
+                Ok(()) => (Response::Ok, Flow::Continue),
+                Err(e) => (Response::Error(e), Flow::Continue),
+            }
+        }
         Request::InspectSnapshot { dir } => match irs_engine::persist::inspect_snapshot(&dir) {
             Ok(info) => (
                 Response::Snapshot(SnapshotSummary {
@@ -421,14 +612,153 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
             ),
             Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
         },
-        Request::Load { dir } => match Client::<E>::load(&dir) {
-            Ok(fresh) => {
-                *shared.client.write().unwrap_or_else(|e| e.into_inner()) = fresh;
-                (Response::Ok, Flow::Continue)
-            }
-            Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+        Request::Load { dir } => match &shared.backing {
+            Backing::Single(slot) => match Client::<E>::load(&dir) {
+                Ok(fresh) => {
+                    *slot.write().unwrap_or_else(|e| e.into_inner()) = fresh;
+                    (Response::Ok, Flow::Continue)
+                }
+                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+            },
+            Backing::Catalog(_) => (
+                Response::Error(WireError::from(&CatalogError::InvalidSpec {
+                    reason: "this server fronts a catalog; single-collection Load \
+                             would discard the other tenants — use LoadCatalog"
+                        .to_string(),
+                })),
+                Flow::Continue,
+            ),
         },
         Request::Shutdown => (Response::Ok, Flow::Drain),
+        Request::CreateCollection { spec } => {
+            let catalog = match shared.catalog() {
+                Ok(c) => c,
+                Err(e) => return (Response::Error(e), Flow::Continue),
+            };
+            let kind = match &spec.kind {
+                None => KindSpec::Auto(WorkloadHints {
+                    update_rate: spec.update_rate,
+                    weighted: spec.weighted,
+                    expected_extent: spec.expected_extent,
+                }),
+                Some(name) => match IndexKind::parse(name) {
+                    Some(k) => KindSpec::Fixed(k),
+                    None => {
+                        return (
+                            Response::Error(WireError::from(&CatalogError::InvalidSpec {
+                                reason: format!("unknown index kind {name:?}"),
+                            })),
+                            Flow::Continue,
+                        )
+                    }
+                },
+            };
+            let mut cspec = CollectionSpec::<E>::new(spec.name)
+                .kind(kind)
+                .shards(spec.shards)
+                .seed(spec.seed);
+            if spec.weighted {
+                cspec = cspec.weights(Vec::new());
+            }
+            match catalog.create(cspec) {
+                Ok(info) => (
+                    Response::Collections(vec![collection_summary(&info)]),
+                    Flow::Continue,
+                ),
+                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+            }
+        }
+        Request::DropCollection { name } => {
+            let catalog = match shared.catalog() {
+                Ok(c) => c,
+                Err(e) => return (Response::Error(e), Flow::Continue),
+            };
+            match catalog.drop_collection(&name) {
+                Ok(()) => (Response::Ok, Flow::Continue),
+                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+            }
+        }
+        Request::ListCollections => match shared.catalog() {
+            Ok(catalog) => (
+                Response::Collections(catalog.list().iter().map(collection_summary).collect()),
+                Flow::Continue,
+            ),
+            Err(e) => (Response::Error(e), Flow::Continue),
+        },
+        Request::RunIn {
+            collection,
+            seed,
+            queries,
+        } => {
+            shared
+                .counters
+                .queries
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            match shared.catalog() {
+                Ok(catalog) => (
+                    run_in_catalog(&catalog, &collection, seed, &queries),
+                    Flow::Continue,
+                ),
+                Err(e) => (Response::Error(e), Flow::Continue),
+            }
+        }
+        Request::ApplyIn { collection, muts } => {
+            shared
+                .counters
+                .mutations
+                .fetch_add(muts.len() as u64, Ordering::Relaxed);
+            match shared.catalog() {
+                Ok(catalog) => (
+                    apply_in_catalog(&catalog, &collection, &muts),
+                    Flow::Continue,
+                ),
+                Err(e) => (Response::Error(e), Flow::Continue),
+            }
+        }
+        Request::SaveCatalog { dir } => match shared.catalog() {
+            Ok(catalog) => match catalog.save(&dir) {
+                Ok(()) => (Response::Ok, Flow::Continue),
+                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+            },
+            Err(e) => (Response::Error(e), Flow::Continue),
+        },
+        Request::LoadCatalog { dir } => match &shared.backing {
+            Backing::Catalog(slot) => match Catalog::<E>::load(&dir) {
+                Ok(fresh) => {
+                    *slot.write().unwrap_or_else(|e| e.into_inner()) = fresh;
+                    (Response::Ok, Flow::Continue)
+                }
+                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+            },
+            Backing::Single(_) => (
+                Response::Error(WireError::from(&CatalogError::NotServingCatalog)),
+                Flow::Continue,
+            ),
+        },
+        Request::Reindex { collection, kind } => {
+            let catalog = match shared.catalog() {
+                Ok(c) => c,
+                Err(e) => return (Response::Error(e), Flow::Continue),
+            };
+            let kind = match IndexKind::parse(&kind) {
+                Some(k) => k,
+                None => {
+                    return (
+                        Response::Error(WireError::from(&CatalogError::InvalidSpec {
+                            reason: format!("unknown index kind {kind:?}"),
+                        })),
+                        Flow::Continue,
+                    )
+                }
+            };
+            match catalog.reindex(&collection, kind, None) {
+                Ok(info) => (
+                    Response::Collections(vec![collection_summary(&info)]),
+                    Flow::Continue,
+                ),
+                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+            }
+        }
     }
 }
 
@@ -511,6 +841,66 @@ mod tests {
         assert_eq!(err.code, ErrorCode::PersistEndpointMismatch);
 
         handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn catalog_requests_are_refused_on_single_servers() {
+        let handle = serve(demo_client(), ("127.0.0.1", 0)).expect("serve");
+        let mut remote = RemoteClient::<i64>::connect(handle.local_addr()).expect("connect");
+        let err = remote.list_collections().expect_err("must refuse");
+        assert_eq!(err.code, ErrorCode::CatalogNotServing);
+        let err = remote
+            .load_catalog("/nonexistent")
+            .expect_err("must refuse");
+        assert_eq!(err.code, ErrorCode::CatalogNotServing);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn catalog_server_routes_plain_frames_to_default() {
+        let catalog: Catalog<i64> = Catalog::new();
+        let handle = serve_catalog(catalog, ("127.0.0.1", 0)).expect("serve");
+        let mut remote = RemoteClient::<i64>::connect(handle.local_addr()).expect("connect");
+
+        // No "default" collection yet: plain frames get the typed 6xx.
+        let results = remote.run(&[irs_engine::Query::Count {
+            q: Interval::new(0, 10),
+        }]);
+        assert_eq!(
+            results.expect_err("must refuse").code,
+            ErrorCode::CatalogUnknownCollection
+        );
+
+        let summary = remote
+            .create_collection(irs_wire::WireCollectionSpec {
+                name: "default".into(),
+                kind: Some("ait".into()),
+                update_rate: 0.0,
+                expected_extent: 0.0,
+                weighted: false,
+                shards: 1,
+                seed: 7,
+            })
+            .expect("create");
+        assert_eq!(summary.kind, "ait");
+        assert_eq!(summary.len, 0);
+
+        // Plain (untagged) mutation and query now address "default".
+        let id = remote.insert(Interval::new(1, 5)).expect("insert");
+        assert_eq!(remote.count(Interval::new(0, 10)).expect("count"), 1);
+        remote.remove(id).expect("remove");
+
+        let names: Vec<String> = remote
+            .list_collections()
+            .expect("ls")
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(names, ["default"]);
+
+        remote.shutdown().expect("shutdown");
         handle.join();
     }
 

@@ -23,7 +23,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::frame::{read_frame_blocking, write_frame, FrameReader};
 use crate::message::{
-    decode_message, encode_message, Request, Response, ServerStats, SnapshotSummary,
+    decode_message, encode_message, CollectionSummary, Request, Response, ServerStats,
+    SnapshotSummary, WireCollectionSpec,
 };
 
 /// A blocking connection to an `irs-server`, typed by the endpoint
@@ -312,5 +313,165 @@ impl<E: GridEndpoint> RemoteClient<E> {
     /// the server begins draining, so acked work is never lost.
     pub fn shutdown(&mut self) -> Result<(), WireError> {
         self.call_ok(&Request::Shutdown, "Ok")
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog administration (multi-tenant servers)
+    // ------------------------------------------------------------------
+
+    /// Unwraps the single-collection summary `CreateCollection` and
+    /// `Reindex` answer with.
+    fn one_summary(&mut self, req: &Request<E>) -> Result<CollectionSummary, WireError> {
+        match self.call(req)? {
+            Response::Collections(mut summaries) if summaries.len() == 1 => {
+                Ok(summaries.pop().expect("length checked"))
+            }
+            other => Err(unexpected("Collections[1]", &other)),
+        }
+    }
+
+    /// Creates an empty named collection on a catalog server; reports
+    /// its post-create summary (including the kind the planner picked
+    /// when `spec.kind` was `None`). Single-collection servers refuse
+    /// with [`ErrorCode::CatalogNotServing`].
+    pub fn create_collection(
+        &mut self,
+        spec: WireCollectionSpec,
+    ) -> Result<CollectionSummary, WireError> {
+        self.one_summary(&Request::CreateCollection { spec })
+    }
+
+    /// Drops a named collection and every interval in it.
+    pub fn drop_collection(&mut self, name: &str) -> Result<(), WireError> {
+        self.call_ok(
+            &Request::DropCollection {
+                name: name.to_string(),
+            },
+            "Ok",
+        )
+    }
+
+    /// Describes every collection, sorted by name.
+    pub fn list_collections(&mut self) -> Result<Vec<CollectionSummary>, WireError> {
+        match self.call(&Request::ListCollections)? {
+            Response::Collections(summaries) => Ok(summaries),
+            other => Err(unexpected("Collections", &other)),
+        }
+    }
+
+    /// Rebuilds a collection on a different index kind and atomically
+    /// swaps it in; reports the post-swap summary. Global ids survive
+    /// the swap.
+    pub fn reindex(
+        &mut self,
+        collection: &str,
+        kind: &str,
+    ) -> Result<CollectionSummary, WireError> {
+        self.one_summary(&Request::Reindex {
+            collection: collection.to_string(),
+            kind: kind.to_string(),
+        })
+    }
+
+    /// Runs a batch of queries against a named collection on the
+    /// collection's own draw stream.
+    pub fn run_in(
+        &mut self,
+        collection: &str,
+        queries: &[Query<E>],
+    ) -> Result<Vec<Result<QueryOutput, WireError>>, WireError> {
+        self.run_in_inner(collection, None, queries)
+    }
+
+    /// Runs a batch against a named collection on an explicit seed —
+    /// the remote form of the catalog's `run_seeded_in`.
+    pub fn run_seeded_in(
+        &mut self,
+        collection: &str,
+        queries: &[Query<E>],
+        seed: u64,
+    ) -> Result<Vec<Result<QueryOutput, WireError>>, WireError> {
+        self.run_in_inner(collection, Some(seed), queries)
+    }
+
+    fn run_in_inner(
+        &mut self,
+        collection: &str,
+        seed: Option<u64>,
+        queries: &[Query<E>],
+    ) -> Result<Vec<Result<QueryOutput, WireError>>, WireError> {
+        let req = Request::RunIn {
+            collection: collection.to_string(),
+            seed,
+            queries: queries.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Run(results) => {
+                if results.len() != queries.len() {
+                    return Err(WireError::protocol(
+                        ErrorCode::BadMessage,
+                        format!(
+                            "server answered {} results for {} queries",
+                            results.len(),
+                            queries.len()
+                        ),
+                    ));
+                }
+                Ok(results)
+            }
+            other => Err(unexpected("Run", &other)),
+        }
+    }
+
+    /// Applies a batch of mutations to a named collection under its
+    /// writer seat. Ids in mutations and outputs are the collection's
+    /// **global** ids, stable across re-indexes.
+    pub fn apply_in(
+        &mut self,
+        collection: &str,
+        muts: &[Mutation<E>],
+    ) -> Result<Vec<Result<UpdateOutput, WireError>>, WireError> {
+        let req = Request::ApplyIn {
+            collection: collection.to_string(),
+            muts: muts.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Apply(results) => {
+                if results.len() != muts.len() {
+                    return Err(WireError::protocol(
+                        ErrorCode::BadMessage,
+                        format!(
+                            "server answered {} results for {} mutations",
+                            results.len(),
+                            muts.len()
+                        ),
+                    ));
+                }
+                Ok(results)
+            }
+            other => Err(unexpected("Apply", &other)),
+        }
+    }
+
+    /// Saves the whole catalog (every collection plus one manifest) to
+    /// `dir` on the **server's** filesystem.
+    pub fn save_catalog(&mut self, dir: &str) -> Result<(), WireError> {
+        self.call_ok(
+            &Request::SaveCatalog {
+                dir: dir.to_string(),
+            },
+            "Ok",
+        )
+    }
+
+    /// Replaces the serving catalog with one loaded from a server-side
+    /// directory.
+    pub fn load_catalog(&mut self, dir: &str) -> Result<(), WireError> {
+        self.call_ok(
+            &Request::LoadCatalog {
+                dir: dir.to_string(),
+            },
+            "Ok",
+        )
     }
 }

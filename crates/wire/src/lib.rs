@@ -45,4 +45,6 @@ pub mod message;
 pub use client::RemoteClient;
 pub use frame::{FrameError, FrameReader, ReadEvent, MAX_PAYLOAD, WIRE_MAGIC};
 pub use irs_core::{ErrorCode, WireError};
-pub use message::{Request, Response, ServerStats, SnapshotSummary};
+pub use message::{
+    CollectionSummary, Request, Response, ServerStats, SnapshotSummary, WireCollectionSpec,
+};

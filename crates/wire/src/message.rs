@@ -66,6 +66,65 @@ pub enum Request<E> {
     /// response (this one answered with [`Response::Ok`] first), then
     /// shuts down.
     Shutdown,
+    /// Creates an **empty** named collection on a catalog server (data
+    /// arrives through [`Request::ApplyIn`]); answered with
+    /// [`Response::Collections`] carrying the new collection's summary.
+    /// A single-collection server refuses with the catalog-not-serving
+    /// code.
+    CreateCollection {
+        /// The collection's shape.
+        spec: WireCollectionSpec,
+    },
+    /// Removes a named collection; answered with [`Response::Ok`].
+    DropCollection {
+        /// The collection to drop.
+        name: String,
+    },
+    /// Describes every collection; answered with
+    /// [`Response::Collections`], sorted by name.
+    ListCollections,
+    /// [`Request::Run`] against a named collection.
+    RunIn {
+        /// The target collection.
+        collection: String,
+        /// Explicit draw-stream seed, or `None` for the collection's
+        /// own stream.
+        seed: Option<u64>,
+        /// The queries, answered in order.
+        queries: Vec<Query<E>>,
+    },
+    /// [`Request::Apply`] against a named collection. Ids in mutations
+    /// and outputs are the collection's **global** ids — stable across
+    /// re-indexes.
+    ApplyIn {
+        /// The target collection.
+        collection: String,
+        /// The mutations, applied in order.
+        muts: Vec<Mutation<E>>,
+    },
+    /// Saves the whole catalog (every collection plus one manifest) to
+    /// a directory on the **server's** filesystem; answered with
+    /// [`Response::Ok`].
+    SaveCatalog {
+        /// Target directory (created if absent), server-side.
+        dir: String,
+    },
+    /// Replaces the serving catalog with one loaded from a server-side
+    /// directory; answered with [`Response::Ok`].
+    LoadCatalog {
+        /// The catalog directory, server-side.
+        dir: String,
+    },
+    /// Rebuilds a collection on a different index kind and swaps it in
+    /// atomically (readers keep flowing); answered with
+    /// [`Response::Collections`] carrying the collection's post-swap
+    /// summary.
+    Reindex {
+        /// The target collection.
+        collection: String,
+        /// The new kind's stable name.
+        kind: String,
+    },
 }
 
 const REQ_HEALTH: u8 = 1;
@@ -76,6 +135,14 @@ const REQ_SAVE: u8 = 5;
 const REQ_INSPECT: u8 = 6;
 const REQ_LOAD: u8 = 7;
 const REQ_SHUTDOWN: u8 = 8;
+const REQ_CREATE_COLLECTION: u8 = 9;
+const REQ_DROP_COLLECTION: u8 = 10;
+const REQ_LIST_COLLECTIONS: u8 = 11;
+const REQ_RUN_IN: u8 = 12;
+const REQ_APPLY_IN: u8 = 13;
+const REQ_SAVE_CATALOG: u8 = 14;
+const REQ_LOAD_CATALOG: u8 = 15;
+const REQ_REINDEX: u8 = 16;
 
 /// Decodes the endpoint type name stamped into a `Run`/`Apply` body and
 /// refuses a mismatch — the wire twin of the snapshot manifest check.
@@ -119,6 +186,45 @@ impl<E: GridEndpoint> Codec for Request<E> {
                 dir.encode_into(out);
             }
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::CreateCollection { spec } => {
+                out.push(REQ_CREATE_COLLECTION);
+                spec.encode_into(out);
+            }
+            Request::DropCollection { name } => {
+                out.push(REQ_DROP_COLLECTION);
+                name.encode_into(out);
+            }
+            Request::ListCollections => out.push(REQ_LIST_COLLECTIONS),
+            Request::RunIn {
+                collection,
+                seed,
+                queries,
+            } => {
+                out.push(REQ_RUN_IN);
+                E::type_name().to_string().encode_into(out);
+                collection.encode_into(out);
+                seed.encode_into(out);
+                queries.encode_into(out);
+            }
+            Request::ApplyIn { collection, muts } => {
+                out.push(REQ_APPLY_IN);
+                E::type_name().to_string().encode_into(out);
+                collection.encode_into(out);
+                muts.encode_into(out);
+            }
+            Request::SaveCatalog { dir } => {
+                out.push(REQ_SAVE_CATALOG);
+                dir.encode_into(out);
+            }
+            Request::LoadCatalog { dir } => {
+                out.push(REQ_LOAD_CATALOG);
+                dir.encode_into(out);
+            }
+            Request::Reindex { collection, kind } => {
+                out.push(REQ_REINDEX);
+                collection.encode_into(out);
+                kind.encode_into(out);
+            }
         }
     }
 
@@ -149,6 +255,38 @@ impl<E: GridEndpoint> Codec for Request<E> {
                 dir: String::decode(r)?,
             }),
             REQ_SHUTDOWN => Ok(Request::Shutdown),
+            REQ_CREATE_COLLECTION => Ok(Request::CreateCollection {
+                spec: WireCollectionSpec::decode(r)?,
+            }),
+            REQ_DROP_COLLECTION => Ok(Request::DropCollection {
+                name: String::decode(r)?,
+            }),
+            REQ_LIST_COLLECTIONS => Ok(Request::ListCollections),
+            REQ_RUN_IN => {
+                check_endpoint::<E>(r)?;
+                Ok(Request::RunIn {
+                    collection: String::decode(r)?,
+                    seed: Option::decode(r)?,
+                    queries: Vec::decode(r)?,
+                })
+            }
+            REQ_APPLY_IN => {
+                check_endpoint::<E>(r)?;
+                Ok(Request::ApplyIn {
+                    collection: String::decode(r)?,
+                    muts: Vec::decode(r)?,
+                })
+            }
+            REQ_SAVE_CATALOG => Ok(Request::SaveCatalog {
+                dir: String::decode(r)?,
+            }),
+            REQ_LOAD_CATALOG => Ok(Request::LoadCatalog {
+                dir: String::decode(r)?,
+            }),
+            REQ_REINDEX => Ok(Request::Reindex {
+                collection: String::decode(r)?,
+                kind: String::decode(r)?,
+            }),
             _ => Err(PersistError::Corrupt {
                 what: "unknown request tag",
             }),
@@ -175,6 +313,10 @@ pub enum Response {
     /// operation, draining server). Per-query/per-mutation failures
     /// travel inside [`Response::Run`]/[`Response::Apply`] instead.
     Error(WireError),
+    /// Answer to [`Request::ListCollections`] (every collection, sorted
+    /// by name) and to [`Request::CreateCollection`]/[`Request::Reindex`]
+    /// (a single-element vector describing the affected collection).
+    Collections(Vec<CollectionSummary>),
 }
 
 const RESP_OK: u8 = 1;
@@ -183,6 +325,7 @@ const RESP_RUN: u8 = 3;
 const RESP_APPLY: u8 = 4;
 const RESP_SNAPSHOT: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_COLLECTIONS: u8 = 7;
 
 impl Codec for Response {
     fn encode_into(&self, out: &mut Vec<u8>) {
@@ -208,6 +351,10 @@ impl Codec for Response {
                 out.push(RESP_ERROR);
                 e.encode_into(out);
             }
+            Response::Collections(summaries) => {
+                out.push(RESP_COLLECTIONS);
+                summaries.encode_into(out);
+            }
         }
     }
 
@@ -219,6 +366,7 @@ impl Codec for Response {
             RESP_APPLY => Ok(Response::Apply(Vec::decode(r)?)),
             RESP_SNAPSHOT => Ok(Response::Snapshot(SnapshotSummary::decode(r)?)),
             RESP_ERROR => Ok(Response::Error(WireError::decode(r)?)),
+            RESP_COLLECTIONS => Ok(Response::Collections(Vec::decode(r)?)),
             _ => Err(PersistError::Corrupt {
                 what: "unknown response tag",
             }),
@@ -294,6 +442,98 @@ impl Codec for ServerStats {
             protocol_errors: u64::decode(r)?,
             uptime_ms: u64::decode(r)?,
             draining: bool::decode(r)?,
+        })
+    }
+}
+
+/// The shape of a collection a remote client asks a catalog server to
+/// create. The wire crate deliberately mirrors the catalog's spec with
+/// plain fields (no `irs-catalog` dependency): `kind: None` requests
+/// the adaptive planner (`kind: auto`), with the three hint fields as
+/// its inputs; `kind: Some(name)` pins a kind by stable name and the
+/// hints are ignored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCollectionSpec {
+    /// Collection name (validated server-side: 1–64 bytes of lowercase
+    /// ASCII letters, digits, `-`, `_`, starting with a letter/digit).
+    pub name: String,
+    /// Stable kind name, or `None` for `kind: auto`.
+    pub kind: Option<String>,
+    /// Planner hint: expected mutations per query, in `[0, 1]`.
+    pub update_rate: f64,
+    /// Planner hint: expected query extent as a domain fraction.
+    pub expected_extent: f64,
+    /// Whether the collection carries per-interval weights.
+    pub weighted: bool,
+    /// Backend shard count (0 is normalised to 1 server-side).
+    pub shards: usize,
+    /// Draw-stream seed.
+    pub seed: u64,
+}
+
+impl Codec for WireCollectionSpec {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.name.encode_into(out);
+        self.kind.encode_into(out);
+        self.update_rate.encode_into(out);
+        self.expected_extent.encode_into(out);
+        self.weighted.encode_into(out);
+        self.shards.encode_into(out);
+        self.seed.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(WireCollectionSpec {
+            name: String::decode(r)?,
+            kind: Option::decode(r)?,
+            update_rate: f64::decode(r)?,
+            expected_extent: f64::decode(r)?,
+            weighted: bool::decode(r)?,
+            shards: usize::decode(r)?,
+            seed: u64::decode(r)?,
+        })
+    }
+}
+
+/// One collection's row in a [`Response::Collections`] answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionSummary {
+    /// Collection name.
+    pub name: String,
+    /// Stable name of the kind currently serving it.
+    pub kind: String,
+    /// Backend shard count.
+    pub shards: usize,
+    /// Live intervals.
+    pub len: usize,
+    /// Whether the collection carries per-interval weights.
+    pub weighted: bool,
+    /// Estimated heap bytes charged against the catalog budget.
+    pub heap_bytes: usize,
+    /// Whether the kind was chosen by the adaptive planner.
+    pub auto: bool,
+}
+
+impl Codec for CollectionSummary {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.name.encode_into(out);
+        self.kind.encode_into(out);
+        self.shards.encode_into(out);
+        self.len.encode_into(out);
+        self.weighted.encode_into(out);
+        self.heap_bytes.encode_into(out);
+        self.auto.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(CollectionSummary {
+            name: String::decode(r)?,
+            kind: String::decode(r)?,
+            shards: usize::decode(r)?,
+            len: usize::decode(r)?,
+            weighted: bool::decode(r)?,
+            heap_bytes: usize::decode(r)?,
+            auto: bool::decode(r)?,
         })
     }
 }
@@ -396,6 +636,36 @@ mod tests {
             Request::InspectSnapshot { dir: "snap".into() },
             Request::Load { dir: "snap".into() },
             Request::Shutdown,
+            Request::CreateCollection {
+                spec: WireCollectionSpec {
+                    name: "trips".into(),
+                    kind: None,
+                    update_rate: 0.25,
+                    expected_extent: 0.01,
+                    weighted: true,
+                    shards: 4,
+                    seed: 99,
+                },
+            },
+            Request::DropCollection {
+                name: "trips".into(),
+            },
+            Request::ListCollections,
+            Request::RunIn {
+                collection: "trips".into(),
+                seed: Some(11),
+                queries: vec![Query::Stab { p: 0 }],
+            },
+            Request::ApplyIn {
+                collection: "trips".into(),
+                muts: vec![Mutation::Delete { id: 7 }],
+            },
+            Request::SaveCatalog { dir: "cat".into() },
+            Request::LoadCatalog { dir: "cat".into() },
+            Request::Reindex {
+                collection: "trips".into(),
+                kind: "ait".into(),
+            },
         ];
         for req in &reqs {
             let payload = encode_message(req);
@@ -444,6 +714,26 @@ mod tests {
                 irs_core::ErrorCode::UnknownMessage,
                 "tag 99",
             )),
+            Response::Collections(vec![
+                CollectionSummary {
+                    name: "trips".into(),
+                    kind: "awit-dynamic".into(),
+                    shards: 4,
+                    len: 1000,
+                    weighted: true,
+                    heap_bytes: 123_456,
+                    auto: true,
+                },
+                CollectionSummary {
+                    name: "zones".into(),
+                    kind: "kds".into(),
+                    shards: 1,
+                    len: 50,
+                    weighted: false,
+                    heap_bytes: 4096,
+                    auto: false,
+                },
+            ]),
         ];
         for resp in &resps {
             let payload = encode_message(resp);
@@ -467,6 +757,17 @@ mod tests {
             }
             other => panic!("expected EndpointMismatch, got {other:?}"),
         }
+        // Collection-scoped batches carry the same stamp.
+        let req: Request<i64> = Request::RunIn {
+            collection: "trips".into(),
+            seed: None,
+            queries: vec![Query::Stab { p: 5 }],
+        };
+        let payload = encode_message(&req);
+        assert!(matches!(
+            decode_message::<Request<u32>>(&payload),
+            Err(PersistError::EndpointMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Multi-tenant serving: one catalog, many collections, one budget.
+//!
+//! A [`Catalog`] hosts three tenants — an AIT-backed trip store, a
+//! KDS-backed read-only archive, and a planner-chosen (`kind: auto`)
+//! sensor feed — behind a single handle with a global memory budget.
+//! The demo serves mixed churn into the update-capable tenants,
+//! migrates one of them to a different index kind *while the churn
+//! runs*, shows budget exhaustion as a typed refusal, and finishes
+//! with a whole-catalog snapshot that restores byte-identically.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use irs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("irs-multi-tenant-{}", std::process::id()));
+    let catalog = Catalog::<i64>::with_budget(256 << 20);
+    println!(
+        "catalog up: budget {} MiB, {} collections",
+        catalog.budget_bytes().unwrap_or(0) >> 20,
+        catalog.list().len()
+    );
+
+    // ---- three tenants, three index choices -------------------------
+    let trips = irs::datagen::TAXI.generate(120_000, 42);
+    let archive = irs::datagen::TAXI.generate(60_000, 7);
+    let info = catalog.create(
+        CollectionSpec::new("trips")
+            .kind(KindSpec::Fixed(IndexKind::Ait))
+            .shards(2)
+            .seed(1)
+            .data(trips.clone()),
+    )?;
+    println!(
+        "created `trips`:   {} / {} intervals (fixed)",
+        info.kind, info.len
+    );
+    let info = catalog.create(
+        CollectionSpec::new("archive")
+            .kind(KindSpec::Fixed(IndexKind::Kds))
+            .seed(2)
+            .data(archive),
+    )?;
+    println!(
+        "created `archive`: {} / {} intervals (fixed)",
+        info.kind, info.len
+    );
+    // `auto`: the planner reads the declared workload — 30% mutations
+    // forces an update-capable kind, whatever the throughput tables say.
+    let info = catalog.create(CollectionSpec::new("sensors").kind(KindSpec::Auto(
+        WorkloadHints {
+            update_rate: 0.3,
+            ..WorkloadHints::default()
+        },
+    )))?;
+    println!(
+        "created `sensors`: {} (planner-chosen for 30% churn)",
+        info.kind
+    );
+
+    // ---- mixed churn across tenants ---------------------------------
+    let mut sensor_ids = Vec::new();
+    for i in 0..2_000i64 {
+        let iv = Interval::new(i * 100, i * 100 + 250);
+        match catalog.apply_in("sensors", &[Mutation::Insert { iv }])?[0] {
+            Ok(UpdateOutput::Inserted(id)) => sensor_ids.push(id),
+            ref other => panic!("sensor insert answered {other:?}"),
+        }
+    }
+    for id in sensor_ids.iter().step_by(3).copied().collect::<Vec<_>>() {
+        catalog.apply_in("sensors", &[Mutation::Delete { id }])?[0]
+            .as_ref()
+            .expect("delete");
+    }
+    let trip_id = match catalog.apply_in(
+        "trips",
+        &[Mutation::Insert {
+            iv: Interval::new(5_000_000, 5_400_000),
+        }],
+    )?[0]
+    {
+        Ok(UpdateOutput::Inserted(id)) => id,
+        ref other => panic!("trip insert answered {other:?}"),
+    };
+    println!(
+        "churned: sensors at {} live, trips at {} (budget used: {} KiB)",
+        catalog.describe("sensors")?.len,
+        catalog.describe("trips")?.len,
+        catalog.used_bytes() >> 10
+    );
+
+    // ---- live re-index under churn ----------------------------------
+    // Migrate `trips` to the dynamic weighted structure while readers
+    // and writers keep flowing; the batch below brackets the swap.
+    let q = Interval::new(5_000_000, 20_000_000);
+    let before = catalog.run_seeded_in("trips", &[Query::Sample { q, s: 8 }], 0xC0FFEE)?;
+    let info = catalog.reindex("trips", IndexKind::AwitDynamic, None)?;
+    let after = catalog.run_seeded_in("trips", &[Query::Sample { q, s: 8 }], 0xC0FFEE)?;
+    println!(
+        "re-indexed `trips` → {} with {} live intervals",
+        info.kind, info.len
+    );
+    // Ids issued before the swap still resolve — the global-id contract
+    // survives the migration.
+    catalog.apply_in("trips", &[Mutation::Delete { id: trip_id }])?[0]
+        .as_ref()
+        .expect("pre-swap id resolves after the swap");
+    for (b, a) in before.iter().zip(&after) {
+        let (b, a) = (b.as_ref().expect("pre"), a.as_ref().expect("post"));
+        assert_eq!(
+            b.samples().map(<[ItemId]>::len),
+            a.samples().map(<[ItemId]>::len),
+            "swap changed the response shape"
+        );
+    }
+    println!("global-id contract across the swap: ids stable ✓");
+
+    // ---- budget exhaustion is a refusal, not an abort ---------------
+    let cramped = Catalog::<i64>::with_budget(64 << 10);
+    match cramped.create(
+        CollectionSpec::new("too-big")
+            .kind(KindSpec::Fixed(IndexKind::Ait))
+            .data(trips.clone()),
+    ) {
+        Err(CatalogError::BudgetExceeded {
+            requested_bytes,
+            budget_bytes,
+            ..
+        }) => println!(
+            "64 KiB catalog refused a {} KiB tenant: typed BudgetExceeded (budget {} KiB) ✓",
+            requested_bytes >> 10,
+            budget_bytes >> 10
+        ),
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+
+    // ---- whole-catalog snapshot and byte-identical restore ----------
+    catalog.save(&dir)?;
+    let restored = Catalog::<i64>::load(&dir)?;
+    for info in catalog.list() {
+        let queries = [Query::Count { q }, Query::Sample { q, s: 4 }];
+        let x = catalog.run_seeded_in(&info.name, &queries, 9)?;
+        let y = restored.run_seeded_in(&info.name, &queries, 9)?;
+        for (xo, yo) in x.iter().zip(&y) {
+            assert_eq!(
+                xo.as_ref().expect("original"),
+                yo.as_ref().expect("restored"),
+                "{} replayed differently after the round-trip",
+                info.name
+            );
+        }
+    }
+    println!(
+        "catalog save → load: {} collections replay byte-identically ✓",
+        restored.list().len()
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    println!("\nmulti_tenant: ok");
+    Ok(())
+}

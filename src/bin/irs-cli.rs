@@ -33,10 +33,13 @@ fn main() -> ExitCode {
     if cmd == "remote" {
         let result = match (args.get(1), args.get(2)) {
             (Some(addr), Some(action)) => Opts::parse(args.get(3..).unwrap_or(&[]))
+                .map_err(RemoteError::from)
                 .and_then(|opts| cmd_remote(addr, action, &opts)),
-            _ => Err("remote needs an address and an action: \
-                      irs-cli remote <HOST:PORT> <ACTION> [options]"
-                .to_string()),
+            _ => Err(RemoteError::from(
+                "remote needs an address and an action: \
+                 irs-cli remote <HOST:PORT> <ACTION> [options]"
+                    .to_string(),
+            )),
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
@@ -44,7 +47,12 @@ fn main() -> ExitCode {
                 // Runtime errors (connection refused, typed wire
                 // refusals) are self-describing; the usage dump is for
                 // argument mistakes only.
-                eprintln!("error: {e}");
+                eprintln!("error: {}", e.message);
+                if let Some(code) = e.code {
+                    // Scriptable: the numeric wire code alone after the
+                    // prefix, greppable as `^wire-code: `.
+                    eprintln!("wire-code: {}", code as u16);
+                }
                 ExitCode::FAILURE
             }
         };
@@ -111,16 +119,20 @@ USAGE:
                            [--weighted] [--seed <S>]
   irs-cli snapshot inspect --dir <DIR>
   irs-cli snapshot load    --dir <DIR> [--lo <LO> --hi <HI> --s <S>]
-  irs-cli serve    (--data <FILE> | --snapshot <DIR>) [--addr <HOST:PORT>]
+  irs-cli serve    (--data <FILE> | --snapshot <DIR> | --catalog <DIR>) [--addr <HOST:PORT>]
                    [--kind <K>] [--shards <N>] [--weighted] [--seed <S>]
   irs-cli remote <HOST:PORT> <ACTION> [options]
      ACTION: health | stats | shutdown
-           | count --lo <LO> --hi <HI>
-           | sample --lo <LO> --hi <HI> --s <S> [--seed <S>] [--weighted]
-           | stab --at <P>
-           | insert --lo <LO> --hi <HI> [--weight <W>]
-           | delete --id <ID>
+           | count --lo <LO> --hi <HI> [--collection <NAME>]
+           | sample --lo <LO> --hi <HI> --s <S> [--seed <S>] [--weighted] [--collection <NAME>]
+           | stab --at <P> [--collection <NAME>]
+           | insert --lo <LO> --hi <HI> [--weight <W>] [--collection <NAME>]
+           | delete --id <ID> [--collection <NAME>]
            | save --out <DIR> | inspect --dir <DIR> | load --dir <DIR>
+           | create --name <NAME> [--kind <K|auto>] [--shards <N>] [--seed <S>]
+                    [--weighted] [--update-rate <R>] [--extent <X>]
+           | drop --name <NAME> | ls | reindex --name <NAME> --kind <K>
+           | save-catalog --out <DIR> | load-catalog --dir <DIR>
 
 bench-engine measures engine queries/sec (sample + search workloads) at
 each shard count × batch size × caller-thread count on a synthetic
@@ -143,12 +155,20 @@ serve (optionally proving it with one sample query). See DESIGN.md,
 \"On-disk snapshot format\".
 
 serve runs the irs-server daemon in-process over a freshly built backend
-(--data, with the same build options as snapshot save) or a loaded
-snapshot (--snapshot); default address 127.0.0.1:7878, port 0 for an
-OS-assigned port. It serves until a remote `shutdown` arrives, then
-drains gracefully. remote speaks the wire protocol to any running
-server — snapshot paths (save/inspect/load) name directories on the
-*server's* filesystem. See DESIGN.md, \"Wire protocol\".
+(--data, with the same build options as snapshot save), a loaded
+snapshot (--snapshot), or a multi-tenant catalog directory (--catalog:
+an existing catalog.irs is loaded, a fresh directory starts empty, and
+the tenancy is saved back on drain); default address 127.0.0.1:7878,
+port 0 for an OS-assigned port. It serves until a remote `shutdown`
+arrives, then drains gracefully. remote speaks the wire protocol to any
+running server — snapshot and catalog paths name directories on the
+*server's* filesystem. On a catalog server, data actions take
+--collection <NAME> (untagged actions address the collection named
+\"default\"), and create/drop/ls/reindex manage the tenancy —
+`--kind auto` (the default) lets the planner pick from --update-rate,
+--extent, and --weighted. A typed server refusal prints its numeric
+code on stderr as `wire-code: <N>` and exits non-zero. See DESIGN.md,
+\"Wire protocol\" and \"Catalog\".
 
 Data files: CSV lines `lo,hi[,weight]`.";
 
@@ -568,6 +588,9 @@ fn serve_backend(opts: &Opts) -> Result<Client<i64>, String> {
 
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = opts.get("addr").unwrap_or("127.0.0.1:7878");
+    if let Some(dir) = opts.get("catalog") {
+        return cmd_serve_catalog(dir, addr);
+    }
     let client = serve_backend(opts)?;
     let stats = client.stats();
     let handle = irs::serve(client, addr).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -585,10 +608,87 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_remote(addr: &str, action: &str, opts: &Opts) -> Result<(), String> {
-    let mut remote =
-        irs::RemoteClient::<i64>::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let wire = |e: irs::WireError| e.to_string();
+/// Serves (and on drain re-saves) a whole catalog directory: an existing
+/// `catalog.irs` manifest is loaded, an empty or fresh directory starts
+/// an empty tenancy that remote `create` calls populate.
+fn cmd_serve_catalog(dir: &str, addr: &str) -> Result<(), String> {
+    let manifest = std::path::Path::new(dir).join(irs::catalog::CATALOG_MANIFEST_FILE);
+    let catalog = if manifest.exists() {
+        irs::Catalog::<i64>::load(dir).map_err(|e| e.to_string())?
+    } else {
+        irs::Catalog::<i64>::new()
+    };
+    let names: Vec<String> = catalog.list().into_iter().map(|i| i.name).collect();
+    let handle = irs::serve_catalog(catalog, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "irs-server listening on {} — catalog of {} collection(s) {:?}",
+        handle.local_addr(),
+        names.len(),
+        names,
+    );
+    println!("serving until a remote `shutdown` arrives (irs-cli remote <addr> shutdown)");
+    // Save the tenancy the server *ends* with (LoadCatalog may have
+    // swapped it), so the directory round-trips across restarts.
+    let catalog = handle.catalog().expect("catalog server");
+    handle.join();
+    catalog.save(dir).map_err(|e| e.to_string())?;
+    println!("drained; catalog saved to {dir}; bye");
+    Ok(())
+}
+
+/// A remote-command failure: the message plus, when the server answered
+/// with a typed refusal, its stable numeric wire code.
+struct RemoteError {
+    code: Option<irs::ErrorCode>,
+    message: String,
+}
+
+impl From<String> for RemoteError {
+    fn from(message: String) -> Self {
+        RemoteError {
+            code: None,
+            message,
+        }
+    }
+}
+
+/// Runs one query, routed to a named collection when one is given.
+fn remote_one(
+    remote: &mut irs::RemoteClient<i64>,
+    collection: Option<&str>,
+    seed: Option<u64>,
+    query: Query<i64>,
+) -> Result<QueryOutput, irs::WireError> {
+    let results = match (collection, seed) {
+        (None, None) => remote.run(&[query]),
+        (None, Some(s)) => remote.run_seeded(&[query], s),
+        (Some(c), None) => remote.run_in(c, &[query]),
+        (Some(c), Some(s)) => remote.run_seeded_in(c, &[query], s),
+    }?;
+    results.into_iter().next().expect("one result per query")
+}
+
+/// Applies one mutation, routed to a named collection when one is given.
+fn remote_one_mut(
+    remote: &mut irs::RemoteClient<i64>,
+    collection: Option<&str>,
+    m: Mutation<i64>,
+) -> Result<UpdateOutput, irs::WireError> {
+    let results = match collection {
+        None => remote.apply(&[m]),
+        Some(c) => remote.apply_in(c, &[m]),
+    }?;
+    results.into_iter().next().expect("one result per mutation")
+}
+
+fn cmd_remote(addr: &str, action: &str, opts: &Opts) -> Result<(), RemoteError> {
+    let mut remote = irs::RemoteClient::<i64>::connect(addr)
+        .map_err(|e| RemoteError::from(format!("connect {addr}: {e}")))?;
+    let wire = |e: irs::WireError| RemoteError {
+        code: Some(e.code),
+        message: e.to_string(),
+    };
+    let collection = opts.get("collection");
     match action {
         "health" => {
             remote.health().map_err(wire)?;
@@ -616,24 +716,25 @@ fn cmd_remote(addr: &str, action: &str, opts: &Opts) -> Result<(), String> {
         }
         "count" => {
             let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
-            println!("{}", remote.count(q).map_err(wire)?);
+            match remote_one(&mut remote, collection, None, Query::Count { q }).map_err(wire)? {
+                QueryOutput::Count(n) => println!("{n}"),
+                other => return Err(format!("unexpected output {other:?}").into()),
+            }
         }
         "sample" => {
             let q = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
             let s: usize = opts.num("s")?;
-            let weighted = opts.get("weighted").is_some();
-            let query = if weighted {
+            let query = if opts.get("weighted").is_some() {
                 Query::SampleWeighted { q, s }
             } else {
                 Query::Sample { q, s }
             };
-            let results = match opts.get("seed") {
-                Some(_) => remote.run_seeded(&[query], opts.num("seed")?),
-                None => remote.run(&[query]),
-            }
-            .map_err(wire)?;
-            match results.into_iter().next().expect("one result per query") {
-                Ok(QueryOutput::Samples(ids)) => {
+            let seed = match opts.get("seed") {
+                Some(_) => Some(opts.num("seed")?),
+                None => None,
+            };
+            match remote_one(&mut remote, collection, seed, query).map_err(wire)? {
+                QueryOutput::Samples(ids) => {
                     if ids.is_empty() {
                         eprintln!("(empty result set)");
                     }
@@ -641,27 +742,101 @@ fn cmd_remote(addr: &str, action: &str, opts: &Opts) -> Result<(), String> {
                         println!("{id}");
                     }
                 }
-                Ok(other) => return Err(format!("unexpected output {other:?}")),
-                Err(e) => return Err(wire(e)),
+                other => return Err(format!("unexpected output {other:?}").into()),
             }
         }
         "stab" => {
-            for id in remote.stab(opts.num::<i64>("at")?).map_err(wire)? {
-                println!("{id}");
+            let p: i64 = opts.num("at")?;
+            match remote_one(&mut remote, collection, None, Query::Stab { p }).map_err(wire)? {
+                QueryOutput::Ids(ids) => {
+                    for id in ids {
+                        println!("{id}");
+                    }
+                }
+                other => return Err(format!("unexpected output {other:?}").into()),
             }
         }
         "insert" => {
             let iv = Interval::new(opts.num::<i64>("lo")?, opts.num::<i64>("hi")?);
-            let id = match opts.get("weight") {
-                Some(_) => remote.insert_weighted(iv, opts.num("weight")?),
-                None => remote.insert(iv),
+            let m = match opts.get("weight") {
+                Some(_) => Mutation::InsertWeighted {
+                    iv,
+                    weight: opts.num("weight")?,
+                },
+                None => Mutation::Insert { iv },
+            };
+            match remote_one_mut(&mut remote, collection, m).map_err(wire)? {
+                UpdateOutput::Inserted(id) => println!("inserted id {id}"),
+                other => return Err(format!("unexpected output {other:?}").into()),
             }
-            .map_err(wire)?;
-            println!("inserted id {id}");
         }
         "delete" => {
-            remote.remove(opts.num("id")?).map_err(wire)?;
+            let id: irs::ItemId = opts.num("id")?;
+            remote_one_mut(&mut remote, collection, Mutation::Delete { id }).map_err(wire)?;
             println!("removed");
+        }
+        "create" => {
+            let spec = irs::WireCollectionSpec {
+                name: opts.req("name")?.to_string(),
+                kind: match opts.get("kind") {
+                    None | Some("auto") => None,
+                    Some(k) => Some(k.to_string()),
+                },
+                update_rate: opts.num_or("update-rate", 0.0)?,
+                expected_extent: opts.num_or("extent", 0.001)?,
+                weighted: opts.get("weighted").is_some(),
+                shards: opts.num_or("shards", 1)?,
+                seed: opts.num_or("seed", 42)?,
+            };
+            let s = remote.create_collection(spec).map_err(wire)?;
+            println!(
+                "created {} — kind {}{}, {} shard(s)",
+                s.name,
+                s.kind,
+                if s.auto { " (planner-chosen)" } else { "" },
+                s.shards,
+            );
+        }
+        "drop" => {
+            let name = opts.req("name")?;
+            remote.drop_collection(name).map_err(wire)?;
+            println!("dropped {name}");
+        }
+        "ls" => {
+            let list = remote.list_collections().map_err(wire)?;
+            if list.is_empty() {
+                println!("(no collections)");
+            } else {
+                println!(
+                    "{:<20} {:>14} {:>7} {:>10} {:>9} {:>12} {:>5}",
+                    "name", "kind", "shards", "len", "weighted", "heap-bytes", "auto"
+                );
+                for s in list {
+                    println!(
+                        "{:<20} {:>14} {:>7} {:>10} {:>9} {:>12} {:>5}",
+                        s.name, s.kind, s.shards, s.len, s.weighted, s.heap_bytes, s.auto
+                    );
+                }
+            }
+        }
+        "reindex" => {
+            let name = opts.req("name")?;
+            let kind = opts.req("kind")?;
+            let s = remote.reindex(name, kind).map_err(wire)?;
+            println!(
+                "reindexed {} — now kind {} ({} intervals)",
+                s.name, s.kind, s.len
+            );
+        }
+        "save-catalog" => {
+            let dir = opts.req("out")?;
+            remote.save_catalog(dir).map_err(wire)?;
+            println!("catalog saved (server-side) to {dir}");
+        }
+        "load-catalog" => {
+            let dir = opts.req("dir")?;
+            remote.load_catalog(dir).map_err(wire)?;
+            println!("server now serves catalog {dir}");
         }
         "save" => {
             let dir = opts.req("out")?;

@@ -87,13 +87,16 @@
 //! methodology.
 
 pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionStats};
+pub use irs_catalog::{
+    Catalog, CollectionInfo, CollectionSpec, KindSpec, WorkloadHints, DEFAULT_COLLECTION,
+};
 pub use irs_client::{Client, ClientWriter, Irs, IrsBuilder, SampleStream};
 pub use irs_core::{
-    domain_bounds, pair_sort_indices, validate_update_weight, validate_weights, BruteForce,
-    BuildError, Capabilities, Codec, Endpoint, GridEndpoint, Interval, Interval64, ItemId,
-    MemoryFootprint, Mutation, Operation, PersistError, PreparedSampler, QueryError, RangeCount,
-    RangeSampler, RangeSearch, StabbingQuery, UpdateError, UpdateOp, UpdateOutput,
-    WeightedRangeSampler,
+    domain_bounds, pair_sort_indices, validate_collection_name, validate_update_weight,
+    validate_weights, BruteForce, BuildError, Capabilities, CatalogError, Codec, Endpoint,
+    GridEndpoint, Interval, Interval64, ItemId, MemoryFootprint, Mutation, Operation, PersistError,
+    PreparedSampler, QueryError, RangeCount, RangeSampler, RangeSearch, StabbingQuery, UpdateError,
+    UpdateOp, UpdateOutput, WeightedRangeSampler,
 };
 pub use irs_engine::{
     inspect_snapshot, DynIndex, Engine, EngineConfig, IndexKind, Manifest, Query, QueryOutput,
@@ -104,9 +107,21 @@ pub use irs_interval_tree::IntervalTree;
 pub use irs_kds::Kds;
 pub use irs_period_index::PeriodIndex;
 pub use irs_segment_tree::SegmentTree;
-pub use irs_server::{serve, serve_with, ServerConfig, ServerHandle};
+pub use irs_server::{
+    serve, serve_catalog, serve_catalog_with, serve_with, ServerConfig, ServerHandle,
+};
 pub use irs_timeline::TimelineIndex;
-pub use irs_wire::{ErrorCode, RemoteClient, ServerStats, SnapshotSummary, WireError};
+pub use irs_wire::{
+    CollectionSummary, ErrorCode, RemoteClient, ServerStats, SnapshotSummary, WireCollectionSpec,
+    WireError,
+};
+
+/// The multi-tenant catalog (re-export of [`irs_catalog`]): named
+/// collections, memory budget, the adaptive kind [`catalog::planner`],
+/// and online re-indexing.
+pub mod catalog {
+    pub use irs_catalog::*;
+}
 
 /// CLI plumbing shared by the repo's binaries.
 pub mod cli;
@@ -137,10 +152,11 @@ pub mod sampling {
 /// One-stop imports for applications.
 pub mod prelude {
     pub use irs_ait::{Ait, AitV, Awit, DynamicAwit};
+    pub use irs_catalog::{Catalog, CollectionSpec, KindSpec, WorkloadHints};
     pub use irs_client::{Client, ClientWriter, Irs, IrsBuilder, SampleStream};
     pub use irs_core::{
-        BuildError, Capabilities, Interval, Interval64, ItemId, MemoryFootprint, Mutation,
-        Operation, PersistError, PreparedSampler, QueryError, RangeCount, RangeSampler,
+        BuildError, Capabilities, CatalogError, Interval, Interval64, ItemId, MemoryFootprint,
+        Mutation, Operation, PersistError, PreparedSampler, QueryError, RangeCount, RangeSampler,
         RangeSearch, StabbingQuery, UpdateError, UpdateOp, UpdateOutput, WeightedRangeSampler,
     };
     pub use irs_engine::{Engine, EngineConfig, IndexKind, Query, QueryOutput};
@@ -149,7 +165,7 @@ pub mod prelude {
     pub use irs_kds::Kds;
     pub use irs_period_index::PeriodIndex;
     pub use irs_segment_tree::SegmentTree;
-    pub use irs_server::{serve, ServerHandle};
+    pub use irs_server::{serve, serve_catalog, ServerHandle};
     pub use irs_timeline::TimelineIndex;
     pub use irs_wire::{ErrorCode, RemoteClient, WireError};
 }

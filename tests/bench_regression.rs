@@ -1,0 +1,164 @@
+//! Bench-regression smoke: re-runs a 3-row subset of the pinned
+//! benchmark matrix and fails on a >20% QPS regression against the
+//! committed baseline (`BENCH_2026-08-07.json`).
+//!
+//! Opt-in: set `IRS_BENCH_REGRESSION=1` (and build `--release` — the
+//! test refuses to compare debug numbers against a release baseline).
+//! CI runs it explicitly; a plain `cargo test` skips it, so timing
+//! noise never fails an unrelated change.
+//!
+//! The measurement mirrors `irs-cli bench-engine` exactly — same
+//! dataset profile, seed, query workload, batch size, and
+//! `threaded_qps` loop — so the comparison is apples to apples.
+
+use irs::prelude::*;
+
+const BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_2026-08-07.json");
+/// Re-measured subset: 1-shard / 1-thread / batch 256 at n = 200k for
+/// one paper structure, one static baseline, one dynamic extension.
+const KINDS: [&str; 3] = ["ait", "kds", "awit-dynamic"];
+const N: usize = 200_000;
+const BATCH: usize = 256;
+const QUERIES: usize = 1024;
+const S: usize = 1000;
+const SEED: u64 = 42;
+/// Allowed slowdown: measured QPS must stay above this fraction of the
+/// pinned baseline.
+const FLOOR: f64 = 0.8;
+
+struct BaselineRow {
+    kind: String,
+    n: usize,
+    shards: usize,
+    threads: usize,
+    batch: usize,
+    sample_qps: f64,
+    search_qps: f64,
+}
+
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = obj[obj.find(&pat)? + pat.len()..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = obj[obj.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// A deliberately narrow JSON reader for the committed baseline file
+/// (the workspace is offline — no serde): splits the `rows` array into
+/// per-object chunks and pulls the fields this test compares.
+fn baseline_rows(doc: &str) -> Vec<BaselineRow> {
+    let rows = &doc[doc.find("\"rows\"").expect("baseline has a rows array")..];
+    rows.split('{')
+        .filter(|chunk| field_str(chunk, "experiment").as_deref() == Some("bench-engine"))
+        .filter_map(|chunk| {
+            Some(BaselineRow {
+                kind: field_str(chunk, "kind")?,
+                n: field_num(chunk, "n")? as usize,
+                shards: field_num(chunk, "shards")? as usize,
+                threads: field_num(chunk, "threads")? as usize,
+                batch: field_num(chunk, "batch")? as usize,
+                sample_qps: field_num(chunk, "sample_qps")?,
+                search_qps: field_num(chunk, "search_qps")?,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn pinned_engine_qps_has_not_regressed() {
+    if std::env::var("IRS_BENCH_REGRESSION").is_err() {
+        eprintln!("IRS_BENCH_REGRESSION not set; skipping the bench-regression smoke");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        panic!(
+            "IRS_BENCH_REGRESSION requires a --release build: debug QPS \
+             cannot be compared against the release baseline"
+        );
+    }
+
+    let doc =
+        std::fs::read_to_string(BASELINE).unwrap_or_else(|e| panic!("cannot read {BASELINE}: {e}"));
+    let rows = baseline_rows(&doc);
+    assert!(!rows.is_empty(), "no bench-engine rows in {BASELINE}");
+
+    // The exact workload `irs-cli bench-engine` measures.
+    let data = irs::datagen::TAXI.generate(N, SEED);
+    let queries =
+        irs::datagen::QueryWorkload::from_data(&data).generate(QUERIES, 1.0, SEED ^ 0xBE7C);
+
+    let mut report = Vec::new();
+    for kind_name in KINDS {
+        let base = rows
+            .iter()
+            .find(|r| {
+                r.kind == kind_name
+                    && r.n == N
+                    && r.shards == 1
+                    && r.threads == 1
+                    && r.batch == BATCH
+            })
+            .unwrap_or_else(|| panic!("no pinned row for {kind_name} n={N} 1-shard 1-thread"));
+        let kind = IndexKind::parse(kind_name).expect("pinned kind parses");
+        let engine = Engine::try_new(&data, EngineConfig::new(kind).shards(1).seed(SEED))
+            .expect("build engine");
+        let sample_qps = irs::engine_throughput::threaded_qps(&engine, &queries, 1, BATCH, |&q| {
+            Query::Sample { q, s: S }
+        });
+        let search_qps = irs::engine_throughput::threaded_qps(&engine, &queries, 1, BATCH, |&q| {
+            Query::Search { q }
+        });
+        eprintln!(
+            "{kind_name}: sample {sample_qps:.0} q/s (baseline {:.0}), \
+             search {search_qps:.0} q/s (baseline {:.0})",
+            base.sample_qps, base.search_qps
+        );
+        for (op, measured, pinned) in [
+            ("sample", sample_qps, base.sample_qps),
+            ("search", search_qps, base.search_qps),
+        ] {
+            if measured < FLOOR * pinned {
+                report.push(format!(
+                    "{kind_name} {op}: {measured:.0} q/s is below {:.0}% of the \
+                     pinned {pinned:.0} q/s",
+                    FLOOR * 100.0
+                ));
+            }
+        }
+    }
+    assert!(
+        report.is_empty(),
+        "QPS regressed past the {:.0}% floor:\n  {}",
+        FLOOR * 100.0,
+        report.join("\n  ")
+    );
+}
+
+#[test]
+fn baseline_file_parses_and_covers_the_smoke_matrix() {
+    // Always-on guard (no env gate): the committed baseline must keep
+    // the rows the smoke compares against, or the opt-in run would
+    // panic on a missing row instead of reporting a regression.
+    let doc =
+        std::fs::read_to_string(BASELINE).unwrap_or_else(|e| panic!("cannot read {BASELINE}: {e}"));
+    let rows = baseline_rows(&doc);
+    for kind in KINDS {
+        assert!(
+            rows.iter().any(|r| r.kind == kind
+                && r.n == N
+                && r.shards == 1
+                && r.threads == 1
+                && r.batch == BATCH),
+            "baseline lost the pinned row for {kind}"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Documentation / code synchronisation gates.
+//!
+//! The wire protocol's error codes are a public, append-only contract;
+//! `DESIGN.md` carries the normative table. These tests fail the build
+//! when a new `ErrorCode` variant lands without its documentation row —
+//! the cheapest possible way to keep the spec from rotting.
+
+use irs::ErrorCode;
+
+fn design_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Every `ErrorCode` variant — including the 6xx catalog block — must
+/// appear in DESIGN.md as `<number> <stable-name>`.
+#[test]
+fn design_md_documents_every_wire_error_code() {
+    let doc = design_md();
+    let mut missing = Vec::new();
+    for code in ErrorCode::ALL {
+        let row = format!("{} {}", code as u16, code.name());
+        if !doc.contains(&row) {
+            missing.push(row);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "DESIGN.md's error-code table is out of date; add rows for: {missing:?}"
+    );
+}
+
+/// The documented names must be the stable `name()` strings — guard
+/// against a rename in code silently diverging from the table (the
+/// table check above would then fail too, but this pins the inverse:
+/// no two variants may collapse onto one name or number).
+#[test]
+fn wire_error_codes_are_distinct() {
+    let mut nums = std::collections::BTreeSet::new();
+    let mut names = std::collections::BTreeSet::new();
+    for code in ErrorCode::ALL {
+        assert!(
+            nums.insert(code as u16),
+            "duplicate code number {}",
+            code as u16
+        );
+        assert!(
+            names.insert(code.name()),
+            "duplicate code name {}",
+            code.name()
+        );
+    }
+    assert_eq!(nums.len(), ErrorCode::ALL.len());
+}

@@ -203,6 +203,80 @@ fn graceful_shutdown_loses_no_acked_mutation() {
 }
 
 #[test]
+fn wire_load_swaps_backends_atomically_under_concurrent_readers() {
+    let tmp = std::env::temp_dir().join(format!("irs-wire-swap-{}", std::process::id()));
+    // Two snapshots with unmistakably different cardinalities: any torn
+    // read (half old backend, half new) would produce a third count.
+    let (_, small) = backend(1000, 2);
+    let (_, large) = backend(2500, 2);
+    let small_dir = tmp.join("small");
+    let large_dir = tmp.join("large");
+    small.save(&small_dir).expect("save small");
+    large.save(&large_dir).expect("save large");
+    // A corrupt directory: framing garbage where a manifest should be.
+    let corrupt_dir = tmp.join("corrupt");
+    std::fs::create_dir_all(&corrupt_dir).expect("mkdir");
+    for entry in std::fs::read_dir(&small_dir).expect("ls") {
+        let entry = entry.expect("entry");
+        std::fs::write(corrupt_dir.join(entry.file_name()), b"not a snapshot").expect("write");
+    }
+
+    let handle = irs::serve(small, ("127.0.0.1", 0)).expect("serve");
+    let addr = handle.local_addr();
+    let all = Interval::new(i64::MIN, i64::MAX);
+    let done = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Readers hammer a full-range count: every answer must be one
+        // of the two snapshot cardinalities — a load is all-or-nothing.
+        for _ in 0..4 {
+            let done = &done;
+            scope.spawn(move || {
+                let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+                while !done.load(Ordering::SeqCst) {
+                    let n = remote.count(all).expect("count during swaps");
+                    assert!(
+                        n == 1000 || n == 2500,
+                        "torn response: count {n} matches neither snapshot"
+                    );
+                }
+            });
+        }
+
+        // The admin alternates backend swaps, with a corrupt load mixed
+        // in: the failure is a typed persist error, the serving backend
+        // stays whole, and the readers never notice.
+        let admin_done = &done;
+        scope.spawn(move || {
+            let mut admin = RemoteClient::<i64>::connect(addr).expect("connect");
+            let small = small_dir.to_str().expect("utf8");
+            let large = large_dir.to_str().expect("utf8");
+            let corrupt = corrupt_dir.to_str().expect("utf8");
+            for round in 0..10 {
+                admin
+                    .load(if round % 2 == 0 { large } else { small })
+                    .expect("load over wire");
+                if round == 5 {
+                    let err = admin.load(corrupt).expect_err("corrupt load must fail");
+                    let code = err.code as u16;
+                    assert!(
+                        (300..400).contains(&code),
+                        "corrupt load answered {code}, not a persist error"
+                    );
+                    // The refusal left the previous backend serving.
+                    assert_eq!(admin.count(all).expect("count after refusal"), 1000);
+                }
+            }
+            admin_done.store(true, Ordering::SeqCst);
+        });
+    });
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
 fn snapshot_saved_over_the_wire_loads_into_an_equivalent_backend() {
     let tmp = std::env::temp_dir().join(format!("irs-wire-snap-{}", std::process::id()));
     let (data, client) = backend(2000, 2);
