@@ -22,6 +22,8 @@
 //! drop-in peers of the baselines in `irs-interval-tree`, `irs-hint`, and
 //! `irs-kds`.
 
+#![deny(missing_docs)]
+
 mod ait;
 mod aitv;
 mod awit;

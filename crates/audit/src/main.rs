@@ -1,0 +1,100 @@
+//! CI entry point for the workspace auditor.
+//!
+//! Exit codes: `0` clean, `1` violations found (one `file:line: [rule]
+//! message` diagnostic per line on stdout), `2` the audit itself could
+//! not run (bad flags, unreadable tree, extraction failure).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+irs-audit — dependency-free workspace auditor
+
+USAGE:
+    irs-audit [--root <dir>] [--print-registry]
+
+OPTIONS:
+    --root <dir>        Workspace root to audit (default: auto-detect)
+    --print-registry    Print the current contract registry extracted
+                        from source, in contracts/registry.txt format,
+                        instead of auditing
+    -h, --help          Show this help
+";
+
+/// The workspace root: the current directory when it looks like one
+/// (has `Cargo.toml` and `crates/`), else the root this binary was
+/// compiled in — so both `cargo run -p irs-audit` and a bare
+/// `target/release/irs-audit` from anywhere do the right thing.
+fn default_root() -> PathBuf {
+    if let Ok(cwd) = std::env::current_dir() {
+        if cwd.join("Cargo.toml").is_file() && cwd.join("crates").is_dir() {
+            return cwd;
+        }
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut print_registry = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--print-registry" => print_registry = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("irs-audit: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("irs-audit: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    if print_registry {
+        return match irs_audit::extract_registry(&root) {
+            Ok(entries) => {
+                print!("{}", irs_audit::render_registry(&entries));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("irs-audit: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match irs_audit::audit_workspace(&root) {
+        Ok(report) if report.violations.is_empty() => {
+            eprintln!(
+                "irs-audit: clean ({} files scanned, {} pragma(s) honored)",
+                report.files_scanned, report.pragmas_honored
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            eprintln!(
+                "irs-audit: {} violation(s) in {} scanned file(s)",
+                report.violations.len(),
+                report.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("irs-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

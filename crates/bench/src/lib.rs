@@ -11,6 +11,8 @@
 //! - `IRS_BENCH_S`       — sample size (default 1,000, as in the paper)
 //! - `IRS_BENCH_SEED`    — RNG seed (default 42)
 
+#![deny(missing_docs)]
+
 use irs_core::{Interval64, PreparedSampler, RangeSampler, WeightedRangeSampler};
 use irs_datagen::{DatasetProfile, QueryWorkload};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -57,7 +59,9 @@ impl BenchConfig {
 
 /// One generated dataset plus its profile metadata.
 pub struct Dataset {
+    /// The published statistics this dataset was calibrated against.
     pub profile: DatasetProfile,
+    /// The generated intervals.
     pub data: Vec<Interval64>,
 }
 

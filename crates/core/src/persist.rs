@@ -212,13 +212,13 @@ impl<'a> Reader<'a> {
 
     /// Consumes the next `n` bytes.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
-        if self.remaining() < n {
-            return Err(PersistError::Truncated {
-                needed: n,
-                remaining: self.remaining(),
-            });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        let out =
+            self.buf
+                .get(self.pos..self.pos.saturating_add(n))
+                .ok_or(PersistError::Truncated {
+                    needed: n,
+                    remaining: self.remaining(),
+                })?;
         self.pos += n;
         Ok(out)
     }
@@ -470,6 +470,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     });
     let mut crc = !0u32;
     for &b in bytes {
+        // audit: allow(no-index): index is masked with & 0xFF into a 256-entry table
         crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc

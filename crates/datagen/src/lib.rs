@@ -13,6 +13,8 @@
 //! 1,000 queries) and the weight generator (uniform integers in
 //! `[1, 100]`).
 
+#![deny(missing_docs)]
+
 pub mod csv;
 pub mod profiles;
 pub mod queries;

@@ -491,8 +491,7 @@ impl<E: GridEndpoint> Engine<E> {
             .zip(txs)
             .zip(deads)
             .map(|((lock, tx), dead)| Shard {
-                // Every slot was filled above (one ready message per
-                // shard id, or we returned `ShardDied`).
+                // audit: allow(no-panic): every slot was filled above (one ready message per shard id, or we returned ShardDied)
                 index: lock.expect("every shard reported ready"),
                 dead,
                 tx,
@@ -688,6 +687,7 @@ impl<E: GridEndpoint> Engine<E> {
             if query.is_sampling() {
                 let s = match *query {
                     Query::Sample { s, .. } | Query::SampleWeighted { s, .. } => s,
+                    // audit: allow(no-panic): is_sampling() above admits only the two Sample variants
                     _ => unreachable!(),
                 };
                 scratch.masses.clear();
@@ -1275,6 +1275,7 @@ fn mutation_worker<E: GridEndpoint>(
                 let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
                 apply_mut_job(guard.as_mut(), shard_id, shards, job);
             }
+            // audit: allow(no-panic): deliberate crash hook, reachable only through the test-only crash_shard entry point
             Ok(MutMsg::Crash) => panic!("shard {shard_id}: crash requested by test hook"),
             Ok(MutMsg::Shutdown) | Err(_) => return,
         }

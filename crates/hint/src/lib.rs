@@ -40,6 +40,8 @@
 //! every partition's four sublists plus the grid geometry (see
 //! `DESIGN.md`, "On-disk snapshot format").
 
+#![deny(missing_docs)]
+
 mod index;
 
 pub use index::{HintM, HintPrepared};

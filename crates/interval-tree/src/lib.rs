@@ -28,6 +28,8 @@
 //! storing the node arena and optional weights verbatim (see
 //! `DESIGN.md`, "On-disk snapshot format").
 
+#![deny(missing_docs)]
+
 mod tree;
 
 pub use tree::{IntervalTree, IntervalTreePrepared};

@@ -31,6 +31,8 @@
 //! the point permutation, node arena, and weight arrays verbatim (see
 //! `DESIGN.md`, "On-disk snapshot format").
 
+#![deny(missing_docs)]
+
 mod tree;
 
 pub use tree::{Kds, KdsPrepared, DEFAULT_LEAF_SIZE};

@@ -32,6 +32,8 @@
 //! | IRS | `Ω(\|q ∩ X\| + s)` | search-then-sample |
 //! | Space | `O(n + buckets · levels)` | leveled start-bucket lists |
 
+#![deny(missing_docs)]
+
 use irs_core::{
     vec_bytes, GridEndpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeCount,
     RangeSampler, RangeSearch, StabbingQuery,

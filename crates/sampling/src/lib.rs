@@ -12,6 +12,8 @@
 //!   inside a node record.
 //! - [`stats`] — chi-square goodness-of-fit used by the statistical tests.
 
+#![deny(missing_docs)]
+
 pub mod alias;
 pub mod cumsum;
 pub mod stats;

@@ -27,6 +27,8 @@
 //! | Range search | `O(K log n)` + dedup | why the paper builds on the interval tree instead (§VI) |
 //! | Space | `O(n log n)` | one copy per canonical node |
 
+#![deny(missing_docs)]
+
 use irs_core::{vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, StabbingQuery};
 
 #[derive(Debug)]

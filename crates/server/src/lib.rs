@@ -210,6 +210,7 @@ impl<E: GridEndpoint> ServerHandle<E> {
     pub fn client(&self) -> Client<E> {
         self.shared
             .single_client()
+            // audit: allow(no-panic): documented `# Panics` contract for embedders; never reachable from network input
             .expect("ServerHandle::client on a catalog server; use ServerHandle::catalog")
     }
 
@@ -533,8 +534,8 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                 .queries
                 .fetch_add(queries.len() as u64, Ordering::Relaxed);
             let response = match &shared.backing {
-                Backing::Single(_) => {
-                    let client = shared.single_client().expect("single backing");
+                Backing::Single(slot) => {
+                    let client = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
                     let results = match seed {
                         Some(seed) => client.run_seeded(&queries, seed),
                         None => client.run(&queries),
@@ -547,8 +548,8 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                     )
                 }
                 // Back-compat: an untagged batch addresses "default".
-                Backing::Catalog(_) => {
-                    let catalog = shared.catalog().expect("catalog backing");
+                Backing::Catalog(slot) => {
+                    let catalog = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
                     run_in_catalog(&catalog, DEFAULT_COLLECTION, seed, &queries)
                 }
             };
@@ -560,8 +561,8 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                 .mutations
                 .fetch_add(muts.len() as u64, Ordering::Relaxed);
             let response = match &shared.backing {
-                Backing::Single(_) => {
-                    let mut client = shared.single_client().expect("single backing");
+                Backing::Single(slot) => {
+                    let mut client = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
                     Response::Apply(
                         client
                             .apply(&muts)
@@ -570,8 +571,8 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                             .collect(),
                     )
                 }
-                Backing::Catalog(_) => {
-                    let catalog = shared.catalog().expect("catalog backing");
+                Backing::Catalog(slot) => {
+                    let catalog = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
                     apply_in_catalog(&catalog, DEFAULT_COLLECTION, &muts)
                 }
             };
@@ -579,18 +580,21 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
         }
         Request::Save { dir } => {
             let result = match &shared.backing {
-                Backing::Single(_) => shared
-                    .single_client()
-                    .expect("single backing")
-                    .save(&dir)
-                    .map_err(|e| WireError::from(&e)),
+                Backing::Single(slot) => {
+                    // Clone the facade, then release the read lock —
+                    // a long snapshot save must not block `Load`'s
+                    // write-locked swap.
+                    let client = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
+                    client.save(&dir).map_err(|e| WireError::from(&e))
+                }
                 // Back-compat: save the default collection in the
                 // single-tenant snapshot layout.
-                Backing::Catalog(_) => shared
-                    .catalog()
-                    .expect("catalog backing")
-                    .save_collection_snapshot(DEFAULT_COLLECTION, &dir)
-                    .map_err(|e| WireError::from(&e)),
+                Backing::Catalog(slot) => {
+                    let catalog = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
+                    catalog
+                        .save_collection_snapshot(DEFAULT_COLLECTION, &dir)
+                        .map_err(|e| WireError::from(&e))
+                }
             };
             match result {
                 Ok(()) => (Response::Ok, Flow::Continue),

@@ -31,6 +31,8 @@
 //! | IRS | `Ω(\|q ∩ X\| + s)` | search-then-sample |
 //! | Space | `O(n + n/c · active)` | event list + snapshots |
 
+#![deny(missing_docs)]
+
 use irs_core::{
     vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeCount,
     RangeSampler, RangeSearch, StabbingQuery,

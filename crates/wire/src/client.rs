@@ -155,7 +155,12 @@ impl<E: GridEndpoint> RemoteClient<E> {
     /// Runs one query and unwraps its single result.
     fn one(&mut self, query: Query<E>) -> Result<QueryOutput, WireError> {
         let mut results = self.run(std::slice::from_ref(&query))?;
-        results.pop().expect("length checked by run")
+        results.pop().ok_or_else(|| {
+            WireError::protocol(
+                ErrorCode::BadMessage,
+                "server answered 0 results for 1 query".to_string(),
+            )
+        })?
     }
 
     /// Counts intervals overlapping `q`.
@@ -235,7 +240,12 @@ impl<E: GridEndpoint> RemoteClient<E> {
     /// Applies one mutation and unwraps its single result.
     fn one_mut(&mut self, m: Mutation<E>) -> Result<UpdateOutput, WireError> {
         let mut results = self.apply(std::slice::from_ref(&m))?;
-        results.pop().expect("length checked by apply")
+        results.pop().ok_or_else(|| {
+            WireError::protocol(
+                ErrorCode::BadMessage,
+                "server answered 0 results for 1 mutation".to_string(),
+            )
+        })?
     }
 
     /// Inserts one interval; reports its engine-assigned global id.
@@ -323,9 +333,9 @@ impl<E: GridEndpoint> RemoteClient<E> {
     /// `Reindex` answer with.
     fn one_summary(&mut self, req: &Request<E>) -> Result<CollectionSummary, WireError> {
         match self.call(req)? {
-            Response::Collections(mut summaries) if summaries.len() == 1 => {
-                Ok(summaries.pop().expect("length checked"))
-            }
+            Response::Collections(mut summaries) if summaries.len() == 1 => summaries
+                .pop()
+                .ok_or_else(|| unexpected("Collections[1]", &Response::Collections(Vec::new()))),
             other => Err(unexpected("Collections[1]", &other)),
         }
     }

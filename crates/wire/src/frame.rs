@@ -177,6 +177,7 @@ impl FrameReader {
                         Err(FrameError::Truncated)
                     };
                 }
+                // audit: allow(no-index): n <= chunk.len() by the Read contract
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e)
@@ -196,33 +197,36 @@ impl FrameReader {
     /// checks (magic, length cap) run as soon as 8 bytes are buffered —
     /// before waiting for (or allocating) any payload.
     fn try_parse(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        if self.buf.len() < HEADER {
+        // Every field is peeled off with `split_first_chunk` / `get`,
+        // so the compiler proves each bound and no slice here can
+        // panic on a short buffer — short just means "keep reading".
+        let Some((magic, after_magic)) = self.buf.split_first_chunk::<4>() else {
             return Ok(None);
+        };
+        if *magic != WIRE_MAGIC {
+            return Err(FrameError::BadMagic { found: *magic });
         }
-        let magic: [u8; 4] = self.buf[..4].try_into().expect("4-byte slice");
-        if magic != WIRE_MAGIC {
-            return Err(FrameError::BadMagic { found: magic });
-        }
-        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4-byte slice"));
+        let Some((len_bytes, rest)) = after_magic.split_first_chunk::<4>() else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(*len_bytes);
         if len > MAX_PAYLOAD {
             return Err(FrameError::TooLarge { declared: len });
         }
-        let total = HEADER + len as usize + TRAILER;
-        if self.buf.len() < total {
+        let len = len as usize;
+        let Some(payload) = rest.get(..len) else {
             return Ok(None);
-        }
-        let payload = &self.buf[HEADER..HEADER + len as usize];
-        let stored = u32::from_le_bytes(
-            self.buf[HEADER + len as usize..total]
-                .try_into()
-                .expect("4-byte slice"),
-        );
+        };
+        let Some((crc_bytes, _)) = rest.get(len..).and_then(|t| t.split_first_chunk::<4>()) else {
+            return Ok(None);
+        };
+        let stored = u32::from_le_bytes(*crc_bytes);
         let computed = crc32(payload);
         if stored != computed {
             return Err(FrameError::Checksum { stored, computed });
         }
         let payload = payload.to_vec();
-        self.buf.drain(..total);
+        self.buf.drain(..HEADER + len + TRAILER);
         Ok(Some(payload))
     }
 }

@@ -86,6 +86,8 @@
 //! `README.md` in the repository for the architecture and reproduction
 //! methodology.
 
+#![deny(missing_docs)]
+
 pub use irs_ait::{Ait, AitV, Awit, DynamicAwit, ListKind, NodeRecord, RejectionStats};
 pub use irs_catalog::{
     Catalog, CollectionInfo, CollectionSpec, KindSpec, WorkloadHints, DEFAULT_COLLECTION,

@@ -1,0 +1,94 @@
+//! Tier-1 gate: `irs-audit` must pass on the committed tree.
+//!
+//! The auditor's rule logic is unit-tested against fixtures inside
+//! `crates/audit`; this suite runs the real rules over the real
+//! workspace so a violation introduced anywhere fails `cargo test`
+//! with the same `file:line: [rule] message` diagnostics the CI step
+//! prints.
+
+use std::path::Path;
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The whole tree is clean: no panic-path violations, no bare lock
+/// unwraps, no undocumented crates, no registry drift, no stale
+/// pragmas.
+#[test]
+fn workspace_is_audit_clean() {
+    let report = irs_audit::audit_workspace(root()).expect("audit must be able to run");
+    assert!(
+        report.violations.is_empty(),
+        "irs-audit found {} violation(s):\n{}",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Guard against the walker silently scanning nothing (e.g. after a
+    // source-tree reshuffle): the workspace has dozens of sources.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+/// `contracts/registry.txt` pins every wire error code, request tag,
+/// response tag, snapshot role byte, and the snapshot format version
+/// currently in source — and the families have their expected sizes,
+/// so an extraction regression cannot silently empty the registry.
+#[test]
+fn registry_pins_every_contract() {
+    let entries = irs_audit::extract_registry(root()).expect("registry extraction");
+    let committed = std::fs::read_to_string(root().join(irs_audit::REGISTRY_PATH))
+        .expect("contracts/registry.txt must be committed");
+    for e in &entries {
+        assert!(
+            committed.contains(&e.to_string()),
+            "registry is missing the line `{e}`"
+        );
+    }
+    let count = |family: &str| entries.iter().filter(|e| e.family == family).count();
+    assert!(
+        count("error-code") >= 35,
+        "error codes: {}",
+        count("error-code")
+    );
+    assert!(
+        count("request-tag") >= 16,
+        "request tags: {}",
+        count("request-tag")
+    );
+    assert!(
+        count("response-tag") >= 7,
+        "response tags: {}",
+        count("response-tag")
+    );
+    assert!(
+        count("snapshot-role") >= 3,
+        "snapshot roles: {}",
+        count("snapshot-role")
+    );
+    assert_eq!(count("format-version"), 1);
+}
+
+/// Diagnostics carry file, line, and rule — the format both CI and
+/// humans grep for.
+#[test]
+fn violations_name_file_line_and_rule() {
+    let (violations, _) = irs_audit::audit_source(
+        "crates/wire/src/frame.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    assert_eq!(violations.len(), 1);
+    let rendered = violations[0].to_string();
+    assert!(
+        rendered.starts_with("crates/wire/src/frame.rs:1: [no-panic] "),
+        "unexpected diagnostic format: {rendered}"
+    );
+}

@@ -7,9 +7,9 @@
 use irs::prelude::*;
 use irs::wire::frame::{read_frame_blocking, write_frame, FrameReader, MAX_PAYLOAD, WIRE_MAGIC};
 use irs::wire::message::{decode_message, encode_message};
-use irs::wire::{Request, Response};
+use irs::wire::{Request, Response, WireCollectionSpec};
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 
 fn serve_small() -> irs::ServerHandle<i64> {
     let data = irs::datagen::TAXI.generate(500, 3);
@@ -157,4 +157,70 @@ fn garbage_and_truncation_get_typed_errors_and_the_server_survives() {
     );
     remote.shutdown().expect("shutdown");
     handle.join();
+}
+
+/// A fake server answering every request on one connection with the
+/// same pre-chosen response — for protocol violations a real
+/// `irs-server` never commits (wrong-arity batch answers).
+fn fake_server(response: Response) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        if let Ok((mut stream, _)) = listener.accept() {
+            let mut reader = FrameReader::new();
+            while read_frame_blocking(&mut reader, &mut stream).is_ok() {
+                let mut frame = Vec::new();
+                write_frame(&mut frame, &encode_message(&response)).expect("frame");
+                if stream.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// A malicious or buggy server answering a 1-element batch with the
+/// wrong number of results must produce a typed `BadMessage` protocol
+/// error on the client — never a panic (these paths feed
+/// `RemoteClient`'s single-result unwrappers).
+#[test]
+fn wrong_arity_responses_are_typed_protocol_errors() {
+    // 0 results for a 1-query Run batch.
+    let (addr, server) = fake_server(Response::Run(Vec::new()));
+    let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+    let err = remote
+        .count(Interval::new(0i64, 10))
+        .expect_err("empty Run answer must be refused");
+    assert_eq!(err.code, ErrorCode::BadMessage, "{err}");
+    drop(remote);
+    server.join().expect("fake server");
+
+    // 0 results for a 1-mutation Apply batch.
+    let (addr, server) = fake_server(Response::Apply(Vec::new()));
+    let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+    let err = remote
+        .insert(Interval::new(0i64, 10))
+        .expect_err("empty Apply answer must be refused");
+    assert_eq!(err.code, ErrorCode::BadMessage, "{err}");
+    drop(remote);
+    server.join().expect("fake server");
+
+    // An empty Collections list where exactly one summary is required.
+    let (addr, server) = fake_server(Response::Collections(Vec::new()));
+    let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+    let err = remote
+        .create_collection(WireCollectionSpec {
+            name: "c".to_string(),
+            kind: None,
+            update_rate: 0.0,
+            expected_extent: 0.08,
+            weighted: false,
+            shards: 1,
+            seed: 7,
+        })
+        .expect_err("empty Collections answer must be refused");
+    assert_eq!(err.code, ErrorCode::BadMessage, "{err}");
+    drop(remote);
+    server.join().expect("fake server");
 }
