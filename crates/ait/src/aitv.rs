@@ -13,7 +13,7 @@
 //! `aitv_rejections` bench).
 
 use crate::ait::Ait;
-use crate::records::NodeRecord;
+use crate::build::Key;
 use irs_core::{
     vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeSampler,
 };
@@ -120,7 +120,10 @@ impl<E: Endpoint> AitV<E> {
 pub struct AitVPrepared<'a, E> {
     aitv: &'a AitV<E>,
     q: Interval<E>,
-    records: Vec<NodeRecord>,
+    /// Each record resolved to its list slice of the virtual AIT, so a
+    /// rejection attempt reads the bucket id straight from the slice
+    /// instead of dereferencing the node per draw.
+    runs: Vec<&'a [Key<E>]>,
     /// Alias table over the records' lengths, built once in phase 1
     /// (`None` iff `records` is empty).
     alias: Option<AliasTable>,
@@ -153,9 +156,9 @@ impl<'a, E: Endpoint> AitVPrepared<'a, E> {
     /// and the basis of the (expected-time) range search below.
     fn enumerate_exact(&self) -> Vec<ItemId> {
         let mut out = Vec::new();
-        for rec in &self.records {
-            for offset in 0..rec.len() {
-                let bucket = self.aitv.virtual_ait.record_id(rec, offset) as usize;
+        for run in &self.runs {
+            for key in *run {
+                let bucket = key.id as usize;
                 for &id in self.aitv.bucket_members(bucket) {
                     if self.aitv.data[id as usize].overlaps(&self.q) {
                         out.push(id);
@@ -171,14 +174,11 @@ impl<E: Endpoint> PreparedSampler for AitVPrepared<'_, E> {
     /// Candidate *slots* (bucket members reachable from the records) — an
     /// upper bound on `|q ∩ X|`, as documented on the trait.
     fn candidate_count(&self) -> usize {
-        self.records
+        self.runs
             .iter()
-            .map(|rec| {
-                (0..rec.len())
-                    .map(|o| {
-                        let b = self.aitv.virtual_ait.record_id(rec, o) as usize;
-                        self.aitv.bucket_members(b).len()
-                    })
+            .map(|run| {
+                run.iter()
+                    .map(|k| self.aitv.bucket_members(k.id as usize).len())
                     .sum::<usize>()
             })
             .sum()
@@ -218,9 +218,9 @@ impl<E: Endpoint> PreparedSampler for AitVPrepared<'_, E> {
             }
             budget -= 1;
             stats.attempts += 1;
-            let rec = &self.records[alias.sample(rng)];
-            let offset = rand::Rng::random_range(&mut *rng, 0..rec.len());
-            let bucket = self.aitv.virtual_ait.record_id(rec, offset) as usize;
+            let run = self.runs[alias.sample(rng)];
+            let offset = rand::Rng::random_range(&mut *rng, 0..run.len());
+            let bucket = run[offset].id as usize;
             let members = self.aitv.bucket_members(bucket);
             // Uniformity requires every bucket slot to carry equal mass, so
             // short tail buckets are topped up with "pseudo-intervals"
@@ -264,10 +264,17 @@ impl<E: Endpoint> RangeSampler<E> for AitV<E> {
             let weights: Vec<f64> = records.iter().map(|r| r.len() as f64).collect();
             AliasTable::new(&weights)
         });
+        let runs = records
+            .iter()
+            .map(|rec| {
+                let list = self.virtual_ait.nodes[rec.node as usize].list(rec.kind);
+                &list[rec.start as usize..=rec.end as usize]
+            })
+            .collect();
         AitVPrepared {
             aitv: self,
             q,
-            records,
+            runs,
             alias,
             attempts: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
@@ -353,7 +360,7 @@ mod tests {
         let samples = aitv.sample(q, draws, &mut rng);
         assert_eq!(samples.len(), draws);
         for id in samples {
-            let pos = support.binary_search(&id).expect("sample outside q ∩ X");
+            let pos = irs_sampling::stats::expect_in_support(&support, &id);
             counts[pos] += 1;
         }
         assert!(

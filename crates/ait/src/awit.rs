@@ -9,13 +9,16 @@
 //! space (Corollaries 4 and 5). Updates are not supported (§IV's
 //! discussion: a single insertion shifts entire prefix arrays).
 
-use crate::build::{build_tree, BuildEntry, Key, NodeFactory, NIL};
+use crate::build::{build_tree, key_layout, BuildEntry, Key, NodeFactory, NIL};
 use crate::records::{ListKind, NodeRecord};
 use irs_core::{
     vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeCount,
     RangeSearch, WeightedRangeSampler,
 };
-use irs_sampling::{sample_prefix_range, AliasTable};
+use irs_sampling::{
+    prefetch_read, sample_prefix_range_eytzinger, sample_prefix_window, sample_prefix_window_fill,
+    AliasTable, Eytzinger, EYTZINGER_WINDOW_MIN,
+};
 
 /// An AWIT node: the four sorted lists plus their cumulative weight
 /// arrays, index-aligned (`w_*[j] = Σ_{k≤j} w(list[k])`).
@@ -55,6 +58,69 @@ impl<E: Endpoint> AwitNode<E> {
             ListKind::AllHi => &self.w_al_hi,
             ListKind::AllLo => &self.w_al_lo,
         }
+    }
+}
+
+/// Derived, never-serialized hot-path companion of one [`AwitNode`]:
+/// the fields Algorithm 1 touches at every level of the descent — split
+/// key and child links — packed at the front of a 64-byte-aligned
+/// struct so one cache line per level carries the whole decision,
+/// followed by Eytzinger layouts of the node's endpoint lists and
+/// cumulative-weight arrays. Rebuilt from the authority arrays by
+/// [`Awit::finalize`] at build and decode time; snapshots never carry
+/// it (see DESIGN.md, "Hot-path memory layout").
+#[derive(Debug)]
+#[repr(align(64))]
+pub(crate) struct AwitHot<E> {
+    center: E,
+    left: u32,
+    right: u32,
+    ey_l_lo: Eytzinger<E>,
+    ey_l_hi: Eytzinger<E>,
+    ey_al_lo: Eytzinger<E>,
+    ey_al_hi: Eytzinger<E>,
+    ey_w_l_lo: Eytzinger<f64>,
+    ey_w_l_hi: Eytzinger<f64>,
+    ey_w_al_lo: Eytzinger<f64>,
+    ey_w_al_hi: Eytzinger<f64>,
+}
+
+impl<E: Endpoint> AwitHot<E> {
+    fn of(node: &AwitNode<E>) -> Self {
+        AwitHot {
+            center: node.center,
+            left: node.left,
+            right: node.right,
+            ey_l_lo: key_layout(&node.l_lo),
+            ey_l_hi: key_layout(&node.l_hi),
+            ey_al_lo: key_layout(&node.al_lo),
+            ey_al_hi: key_layout(&node.al_hi),
+            ey_w_l_lo: Eytzinger::from_sorted(&node.w_l_lo),
+            ey_w_l_hi: Eytzinger::from_sorted(&node.w_l_hi),
+            ey_w_al_lo: Eytzinger::from_sorted(&node.w_al_lo),
+            ey_w_al_hi: Eytzinger::from_sorted(&node.w_al_hi),
+        }
+    }
+
+    /// The weight-prefix layout matching [`AwitNode::prefix`]`(kind)`.
+    fn ey_prefix(&self, kind: ListKind) -> &Eytzinger<f64> {
+        match kind {
+            ListKind::Lo => &self.ey_w_l_lo,
+            ListKind::Hi => &self.ey_w_l_hi,
+            ListKind::AllHi => &self.ey_w_al_hi,
+            ListKind::AllLo => &self.ey_w_al_lo,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.ey_l_lo.heap_bytes()
+            + self.ey_l_hi.heap_bytes()
+            + self.ey_al_lo.heap_bytes()
+            + self.ey_al_hi.heap_bytes()
+            + self.ey_w_l_lo.heap_bytes()
+            + self.ey_w_l_hi.heap_bytes()
+            + self.ey_w_al_lo.heap_bytes()
+            + self.ey_w_al_hi.heap_bytes()
     }
 }
 
@@ -136,6 +202,10 @@ pub struct Awit<E> {
     pub(crate) root: u32,
     pub(crate) len: usize,
     pub(crate) height: usize,
+    /// Derived descent arena, index-aligned with `nodes`. Never
+    /// serialized; every constructor and decode path must call
+    /// [`Awit::finalize`] to (re)build it.
+    pub(crate) hot: Vec<AwitHot<E>>,
 }
 
 impl<E: Endpoint> Awit<E> {
@@ -160,12 +230,22 @@ impl<E: Endpoint> Awit<E> {
             })
             .collect();
         let built = build_tree(&AwitFactory, entries);
-        Awit {
+        let mut awit = Awit {
             nodes: built.nodes,
             root: built.root,
             len: data.len(),
             height: built.height,
-        }
+            hot: Vec::new(),
+        };
+        awit.finalize();
+        awit
+    }
+
+    /// Rebuilds the derived hot-path state (descent arena + Eytzinger
+    /// layouts) from the authority node arrays. `O(n log n)`, same as
+    /// construction; called by [`Awit::new`] and by snapshot decoding.
+    pub(crate) fn finalize(&mut self) {
+        self.hot = self.nodes.iter().map(AwitHot::of).collect();
     }
 
     /// Number of intervals indexed.
@@ -185,12 +265,26 @@ impl<E: Endpoint> Awit<E> {
 
     /// Algorithm 1's record computation — identical traversal to
     /// [`crate::Ait`], duplicated here because the node layout differs.
+    /// Runs over the derived descent arena: one cache line per level for
+    /// the case split, Eytzinger layouts for the per-node searches, and
+    /// both children prefetched while the current search resolves.
     fn collect_records(&self, q: Interval<E>, records: &mut Vec<NodeRecord>) {
+        let hot = self.hot.as_slice();
+        debug_assert_eq!(hot.len(), self.nodes.len());
         let mut at = self.root;
         while at != NIL {
-            let node = &self.nodes[at as usize];
+            let node = &hot[at as usize];
+            // Pull the next level toward L1 while this node's binary
+            // search runs — whichever way the case split goes, the child
+            // header is resident by the time the descent arrives.
+            if node.left != NIL {
+                prefetch_read(&hot[node.left as usize]);
+            }
+            if node.right != NIL {
+                prefetch_read(&hot[node.right as usize]);
+            }
             if q.hi < node.center {
-                let j = node.l_lo.partition_point(|k| k.key <= q.hi);
+                let j = node.ey_l_lo.partition_point(|&k| k <= q.hi);
                 if j >= 1 {
                     records.push(NodeRecord {
                         node: at,
@@ -201,40 +295,40 @@ impl<E: Endpoint> Awit<E> {
                 }
                 at = node.left;
             } else if node.center < q.lo {
-                let j = node.l_hi.partition_point(|k| k.key < q.lo);
-                if j < node.l_hi.len() {
+                let j = node.ey_l_hi.partition_point(|&k| k < q.lo);
+                if j < node.ey_l_hi.len() {
                     records.push(NodeRecord {
                         node: at,
                         kind: ListKind::Hi,
                         start: j as u32,
-                        end: (node.l_hi.len() - 1) as u32,
+                        end: (node.ey_l_hi.len() - 1) as u32,
                     });
                 }
                 at = node.right;
             } else {
-                if !node.l_lo.is_empty() {
+                if !node.ey_l_lo.is_empty() {
                     records.push(NodeRecord {
                         node: at,
                         kind: ListKind::Lo,
                         start: 0,
-                        end: (node.l_lo.len() - 1) as u32,
+                        end: (node.ey_l_lo.len() - 1) as u32,
                     });
                 }
                 if node.left != NIL {
-                    let child = &self.nodes[node.left as usize];
-                    let j = child.al_hi.partition_point(|k| k.key < q.lo);
-                    if j < child.al_hi.len() {
+                    let child = &hot[node.left as usize];
+                    let j = child.ey_al_hi.partition_point(|&k| k < q.lo);
+                    if j < child.ey_al_hi.len() {
                         records.push(NodeRecord {
                             node: node.left,
                             kind: ListKind::AllHi,
                             start: j as u32,
-                            end: (child.al_hi.len() - 1) as u32,
+                            end: (child.ey_al_hi.len() - 1) as u32,
                         });
                     }
                 }
                 if node.right != NIL {
-                    let child = &self.nodes[node.right as usize];
-                    let j = child.al_lo.partition_point(|k| k.key <= q.hi);
+                    let child = &hot[node.right as usize];
+                    let j = child.ey_al_lo.partition_point(|&k| k <= q.hi);
                     if j >= 1 {
                         records.push(NodeRecord {
                             node: node.right,
@@ -293,11 +387,56 @@ impl<E: Endpoint> RangeCount<E> for Awit<E> {
     }
 }
 
-/// Phase-2 handle of the AWIT: records plus their precomputed weights.
+/// How many draws each batched sampling pass resolves at once: enough
+/// to amortize the alias table and RNG plumbing across a chunk, small
+/// enough that the per-chunk scratch lives in two stack cache lines.
+const DRAW_CHUNK: usize = 64;
+
+/// One record's draw context, resolved once per query at prepare time:
+/// the list slice, its prefix window (with the window's base and total
+/// mass hoisted — two random reads into a large prefix array otherwise
+/// paid per draw), the node's full-array Eytzinger layout, and the
+/// record's position. Per draw this saves the node dereference, the
+/// `ListKind` dispatch, both slice computations, and the base/total
+/// loads.
+struct RecordRun<'a, E> {
+    list: &'a [Key<E>],
+    prefix: &'a [f64],
+    ey: &'a Eytzinger<f64>,
+    win: &'a [f64],
+    base: f64,
+    total: f64,
+    lo: u32,
+    hi: u32,
+}
+
+impl<E> RecordRun<'_, E> {
+    /// One weight-proportional draw from this record: windowed scalar
+    /// search for narrow windows (resident after the first draw),
+    /// branchless full-array Eytzinger for wide ones. Both sides
+    /// consume exactly one RNG draw.
+    #[inline]
+    fn draw<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.win.len() < EYTZINGER_WINDOW_MIN {
+            self.lo as usize + sample_prefix_window(self.win, self.base, self.total, rng)
+        } else {
+            sample_prefix_range_eytzinger(
+                self.ey,
+                self.prefix,
+                self.lo as usize,
+                self.hi as usize,
+                rng,
+            )
+        }
+    }
+}
+
+/// Phase-2 handle of the AWIT: records plus their precomputed weights
+/// and per-record draw contexts.
 pub struct AwitPrepared<'a, E> {
-    awit: &'a Awit<E>,
     pub(crate) records: Vec<NodeRecord>,
     pub(crate) record_weights: Vec<f64>,
+    runs: Vec<RecordRun<'a, E>>,
 }
 
 impl<'a, E: Endpoint> AwitPrepared<'a, E> {
@@ -305,11 +444,8 @@ impl<'a, E: Endpoint> AwitPrepared<'a, E> {
     /// [`AwitPrepared::records`]), via the cumulative-sum method on the
     /// prebuilt prefix array. `O(log n)`.
     pub(crate) fn sample_record<R: rand::RngCore + ?Sized>(&self, k: usize, rng: &mut R) -> ItemId {
-        let rec = &self.records[k];
-        let node = &self.awit.nodes[rec.node as usize];
-        let prefix = node.prefix(rec.kind);
-        let idx = sample_prefix_range(prefix, rec.start as usize, rec.end as usize, rng);
-        node.list(rec.kind)[idx].id
+        let run = &self.runs[k];
+        run.list[run.draw(rng)].id
     }
 
     /// The node records (white-box inspection).
@@ -336,13 +472,69 @@ impl<E: Endpoint> PreparedSampler for AwitPrepared<'_, E> {
         // method *within* the chosen record against the prebuilt prefix
         // array — building an alias over the record's intervals would cost
         // O(|X(Ri)|) per query, which §IV explicitly rules out.
+        //
+        // Draws run in three batched passes. A query typically touches
+        // hundreds of records while drawing only a few samples from each,
+        // so draw-order execution pays a cold window plus a cold list line
+        // on nearly every draw — random accesses across enough pages that
+        // software prefetch can't hide them (a prefetch that misses the
+        // TLB is dropped). Instead: (1) all record choices up front (the
+        // alias cells stay hot), (2) a counting sort grouping draws by
+        // record, (3) the in-record searches record by record in index
+        // order — each record's window, base, and total are loaded once
+        // for its whole group, and consecutive records' windows are
+        // adjacent slices of the same node arrays, so the hardware
+        // prefetcher streams them. Each result is scattered back to its
+        // draw's original output slot, so the per-slot distribution is
+        // exactly what draw-order execution produces: slot j still holds
+        // an independent draw from record `ks[j]`.
         let alias = AliasTable::new(&self.record_weights);
-        for _ in 0..s {
-            let rec = &self.records[alias.sample(rng)];
-            let node = &self.awit.nodes[rec.node as usize];
-            let prefix = node.prefix(rec.kind);
-            let idx = sample_prefix_range(prefix, rec.start as usize, rec.end as usize, rng);
-            out.push(node.list(rec.kind)[idx].id);
+        let base = out.len();
+        out.resize(base + s, 0);
+        let mut ks = vec![0u32; s];
+        alias.sample_fill(rng, &mut ks);
+        // Counting sort: `order` lists draw indices grouped by record,
+        // record groups in ascending record order.
+        let mut starts = vec![0u32; self.runs.len() + 1];
+        for &k in &ks {
+            starts[k as usize + 1] += 1;
+        }
+        for r in 0..self.runs.len() {
+            starts[r + 1] += starts[r];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0u32; s];
+        for (j, &k) in ks.iter().enumerate() {
+            let c = &mut cursor[k as usize];
+            order[*c as usize] = j as u32;
+            *c += 1;
+        }
+        // Batched in-record searches, one record group at a time: all of a
+        // group's draws come from the same window, so its cache lines,
+        // base, and total are paid once per group instead of once per
+        // draw. `idxs` is aligned with `order`: position p holds the
+        // in-window offset of draw `order[p]`.
+        let mut idxs = vec![0u32; s];
+        for (r, run) in self.runs.iter().enumerate() {
+            let group = &mut idxs[starts[r] as usize..starts[r + 1] as usize];
+            if !group.is_empty() {
+                sample_prefix_window_fill(run.win, run.base, run.total, rng, group);
+            }
+        }
+        // Gather in two chunked passes: prefetch each resolved key, then
+        // read the ids over lines the prefetches already pulled in.
+        let mut pos = 0usize;
+        while pos < s {
+            let c = (s - pos).min(DRAW_CHUNK);
+            for (&idx, &j) in idxs[pos..pos + c].iter().zip(&order[pos..pos + c]) {
+                let run = &self.runs[ks[j as usize] as usize];
+                prefetch_read(&run.list[run.lo as usize + idx as usize]);
+            }
+            for (&idx, &j) in idxs[pos..pos + c].iter().zip(&order[pos..pos + c]) {
+                let run = &self.runs[ks[j as usize] as usize];
+                out[base + j as usize] = run.list[run.lo as usize + idx as usize].id;
+            }
+            pos += c;
         }
     }
 }
@@ -353,11 +545,41 @@ impl<E: Endpoint> WeightedRangeSampler<E> for Awit<E> {
     fn prepare_weighted(&self, q: Interval<E>) -> AwitPrepared<'_, E> {
         let mut records = Vec::new();
         self.collect_records(q, &mut records);
-        let record_weights = records.iter().map(|r| self.record_weight(r)).collect();
+        // Each record's weight needs two random reads into its node's
+        // prefix array. Issue every prefetch first so the ~|R| cache
+        // misses overlap instead of serializing through the map below.
+        for rec in &records {
+            let prefix = self.nodes[rec.node as usize].prefix(rec.kind);
+            prefetch_read(&prefix[rec.end as usize]);
+            prefetch_read(&prefix[rec.start as usize]);
+        }
+        let runs: Vec<RecordRun<'_, E>> = records
+            .iter()
+            .map(|rec| {
+                let node = &self.nodes[rec.node as usize];
+                let prefix = node.prefix(rec.kind);
+                let base = if rec.start == 0 {
+                    0.0
+                } else {
+                    prefix[rec.start as usize - 1]
+                };
+                RecordRun {
+                    list: node.list(rec.kind),
+                    prefix,
+                    ey: self.hot[rec.node as usize].ey_prefix(rec.kind),
+                    win: &prefix[rec.start as usize..=rec.end as usize],
+                    base,
+                    total: prefix[rec.end as usize] - base,
+                    lo: rec.start,
+                    hi: rec.end,
+                }
+            })
+            .collect();
+        let record_weights = runs.iter().map(|run| run.total).collect();
         AwitPrepared {
-            awit: self,
             records,
             record_weights,
+            runs,
         }
     }
 }
@@ -374,6 +596,10 @@ impl<E: Endpoint> MemoryFootprint for Awit<E> {
                 + vec_bytes(&node.w_l_hi)
                 + vec_bytes(&node.w_al_lo)
                 + vec_bytes(&node.w_al_hi);
+        }
+        bytes += self.hot.capacity() * std::mem::size_of::<AwitHot<E>>();
+        for hot in &self.hot {
+            bytes += hot.heap_bytes();
         }
         bytes
     }
@@ -461,7 +687,7 @@ mod tests {
         let draws = 300_000usize;
         let mut counts = vec![0u64; support.len()];
         for id in awit.sample_weighted(q, draws, &mut rng) {
-            let pos = support.binary_search(&id).expect("sample outside q ∩ X");
+            let pos = irs_sampling::stats::expect_in_support(&support, &id);
             counts[pos] += 1;
         }
         assert!(

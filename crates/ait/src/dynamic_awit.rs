@@ -500,7 +500,7 @@ mod tests {
             let pos = ids
                 .iter()
                 .position(|&x| x == id)
-                .expect("sample outside live q ∩ X");
+                .unwrap_or_else(|| panic!("sample {id} outside live q ∩ X"));
             counts[pos] += 1;
         }
         assert!(

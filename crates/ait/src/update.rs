@@ -2,7 +2,7 @@
 //! deletion, with a height-triggered rebuild that preserves the `O(log n)`
 //! height bound Algorithm 1's analysis depends on.
 
-use crate::ait::{Ait, AitNode};
+use crate::ait::{Ait, AitHot, AitNode};
 use crate::build::{BuildEntry, Key, NIL};
 use irs_core::{Endpoint, Interval, ItemId};
 
@@ -63,12 +63,15 @@ impl<E: Endpoint> Ait<E> {
         }
         dirty.sort_unstable();
         dirty.dedup();
-        for at in dirty {
+        for &at in &dirty {
             let node = &mut self.nodes[at as usize];
             node.l_lo.sort_unstable_by_key(|a| (a.key, a.id));
             node.l_hi.sort_unstable_by_key(|a| (a.key, a.id));
             node.al_lo.sort_unstable_by_key(|a| (a.key, a.id));
             node.al_hi.sort_unstable_by_key(|a| (a.key, a.id));
+        }
+        for &at in &dirty {
+            self.refresh_hot(at);
         }
         if self.height > self.height_limit() {
             self.rebuild();
@@ -82,14 +85,17 @@ impl<E: Endpoint> Ait<E> {
     }
 
     fn insert_with_id(&mut self, iv: Interval<E>, id: ItemId) {
-        let mut dirty = Vec::new();
-        self.place(iv, id, false, &mut dirty);
-        debug_assert!(dirty.is_empty());
+        let mut touched = Vec::new();
+        self.place(iv, id, false, &mut touched);
+        for &at in &touched {
+            self.refresh_hot(at);
+        }
     }
 
-    /// Routes `(iv, id)` to its node. With `defer_sort` the keys are
-    /// appended and the touched nodes recorded in `dirty`; otherwise keys
-    /// are inserted at their sorted position.
+    /// Routes `(iv, id)` to its node, recording every touched node in
+    /// `dirty` so the caller can re-derive its hot entry. With
+    /// `defer_sort` the keys are appended (the caller re-sorts);
+    /// otherwise keys are inserted at their sorted position.
     fn place(&mut self, iv: Interval<E>, id: ItemId, defer_sort: bool, dirty: &mut Vec<u32>) {
         self.len += 1;
         if self.root == NIL {
@@ -105,9 +111,7 @@ impl<E: Endpoint> Ait<E> {
             // keep covering its own L lists for parent-fork queries.
             Self::add_key(&mut self.nodes[at as usize].al_lo, iv.lo, id, defer_sort);
             Self::add_key(&mut self.nodes[at as usize].al_hi, iv.hi, id, defer_sort);
-            if defer_sort {
-                dirty.push(at);
-            }
+            dirty.push(at);
             let node = &self.nodes[at as usize];
             if iv.hi < node.center {
                 if node.left == NIL {
@@ -157,6 +161,9 @@ impl<E: Endpoint> Ait<E> {
             right: NIL,
         };
         let idx = self.nodes.len() as u32;
+        // The hot arena stays index-aligned: derive the leaf's entry
+        // now; the parent link change is refreshed by the caller.
+        self.hot.push(AitHot::of(&node));
         self.nodes.push(node);
         idx
     }
@@ -208,6 +215,11 @@ impl<E: Endpoint> Ait<E> {
         self.len -= 1;
 
         self.prune_path(&path);
+        if !self.nodes.is_empty() {
+            for &n in &path {
+                self.refresh_hot(n);
+            }
+        }
         true
     }
 
@@ -254,6 +266,7 @@ impl<E: Endpoint> Ait<E> {
             if self.nodes[root as usize].al_lo.is_empty() {
                 self.root = NIL;
                 self.nodes.clear();
+                self.hot.clear();
                 self.height = 0;
             }
         }

@@ -66,8 +66,9 @@ pub const SNAPSHOT_SOURCE: &str = "crates/core/src/persist.rs";
 
 /// Files whose whole body must be panic-free (`no-panic`): the
 /// byte-decode layer, the wire framing and message vocabulary, the
-/// remote client, the server connection loop, and the engine's
-/// query/persist paths. `impl Codec for` blocks anywhere in the
+/// remote client, the server connection loop, the engine's
+/// query/persist paths, the sampling primitives, and the index
+/// structures' query paths. `impl Codec for` blocks anywhere in the
 /// workspace are covered in addition to this list.
 pub const NO_PANIC_FILES: &[&str] = &[
     "crates/core/src/persist.rs",
@@ -79,6 +80,14 @@ pub const NO_PANIC_FILES: &[&str] = &[
     "crates/engine/src/engine.rs",
     "crates/engine/src/query.rs",
     "crates/engine/src/persist.rs",
+    "crates/sampling/src/alias.rs",
+    "crates/sampling/src/cumsum.rs",
+    "crates/sampling/src/eytzinger.rs",
+    "crates/ait/src/ait.rs",
+    "crates/ait/src/awit.rs",
+    "crates/ait/src/aitv.rs",
+    "crates/ait/src/records.rs",
+    "crates/kds/src/tree.rs",
 ];
 
 /// Files whose whole body must avoid direct slice indexing

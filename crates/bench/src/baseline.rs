@@ -1,0 +1,366 @@
+//! Minimal JSON reader for pinned baseline files.
+//!
+//! The offline build environment has no serde, so `bench-engine
+//! --compare` parses its baseline with this hand-rolled recursive
+//! descent parser. It accepts the committed baseline shape (one JSON
+//! document with a `rows` array, e.g. `BENCH_2026-08-07.json`), a bare
+//! array of rows, or JSONL (one row object per line, as emitted by
+//! [`crate::JsonRow`] and collected with `grep '^{'`).
+
+use std::fmt;
+
+/// A parsed JSON value. Numbers are kept as `f64` — baseline fields are
+/// either counts (exactly representable) or throughput floats.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object by key (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as a count (rejects negatives and non-integers
+    /// beyond float rounding).
+    pub fn as_usize(&self) -> Option<usize> {
+        let x = self.as_f64()?;
+        if x < 0.0 || x.fract() != 0.0 || x > u32::MAX as f64 {
+            return None;
+        }
+        Some(x as usize)
+    }
+}
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the document.
+    pub at: usize,
+    /// What went wrong.
+    pub what: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(doc: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: doc.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// Extracts baseline rows from any of the accepted shapes: an object
+/// with a `rows` array, a bare array, or JSONL.
+pub fn baseline_rows(doc: &str) -> Result<Vec<JsonValue>, JsonError> {
+    if let Ok(v) = parse(doc) {
+        return match v {
+            JsonValue::Arr(rows) => Ok(rows),
+            JsonValue::Obj(_) => match v.get("rows") {
+                Some(JsonValue::Arr(rows)) => Ok(rows.clone()),
+                // A single JSONL-style row object is itself the list.
+                _ => Ok(vec![v]),
+            },
+            _ => Err(JsonError {
+                at: 0,
+                what: "baseline document is not an object or array",
+            }),
+        };
+    }
+    // Not one document: try JSONL, keeping only object lines so the
+    // file may carry human-readable table output around the rows.
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        rows.push(parse(line)?);
+    }
+    if rows.is_empty() {
+        return Err(JsonError {
+            at: 0,
+            what: "no JSON rows found (expected `rows` array or JSONL)",
+        });
+    }
+    Ok(rows)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &'static str) -> JsonError {
+        JsonError { at: self.pos, what }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("unrecognized literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Baseline fields are ASCII identifiers;
+                            // surrogate pairs are out of scope, so lone
+                            // or paired surrogates become U+FFFD.
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let step = match rest[0] {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = std::str::from_utf8(&rest[..step.min(rest.len())])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let v = (d as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            cp = cp * 16 + v;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a": 1.5, "b": [true, null, "x\n"], "c": {"d": -2e3}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.5));
+        let JsonValue::Arr(items) = v.get("b").unwrap() else {
+            panic!("b not an array");
+        };
+        assert_eq!(items[0], JsonValue::Bool(true));
+        assert_eq!(items[1], JsonValue::Null);
+        assert_eq!(items[2], JsonValue::Str("x\n".into()));
+        assert_eq!(
+            v.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-2000.0)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn baseline_rows_accepts_all_shapes() {
+        let doc = r#"{"date": "d", "rows": [{"experiment": "bench-engine", "n": 10}]}"#;
+        assert_eq!(baseline_rows(doc).unwrap().len(), 1);
+        let arr = r#"[{"n": 1}, {"n": 2}]"#;
+        assert_eq!(baseline_rows(arr).unwrap().len(), 2);
+        let jsonl = "# table noise\n{\"n\": 1}\nrows above\n{\"n\": 2}\n";
+        let rows = baseline_rows(jsonl).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("n").unwrap().as_usize(), Some(2));
+    }
+
+    #[test]
+    fn counts_reject_fractions() {
+        assert_eq!(JsonValue::Num(3.0).as_usize(), Some(3));
+        assert_eq!(JsonValue::Num(3.5).as_usize(), None);
+        assert_eq!(JsonValue::Num(-1.0).as_usize(), None);
+    }
+}

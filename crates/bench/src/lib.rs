@@ -18,6 +18,8 @@ use irs_datagen::{DatasetProfile, QueryWorkload};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::time::{Duration, Instant};
 
+pub mod baseline;
+
 /// Knobs shared by every experiment binary.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchConfig {

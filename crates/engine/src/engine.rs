@@ -243,6 +243,14 @@ impl Scratch {
         if total <= 0.0 {
             return; // empty result set: no draws anywhere
         }
+        // Single-recipient fast path: with one shard (or one shard
+        // holding all the mass) every categorical draw lands in the same
+        // bucket, so skip the `s` RNG draws outright. The multinomial
+        // degenerates to a point mass; no distribution changes.
+        if let Some(k) = sole_positive(&self.masses) {
+            self.allocs[k * nq + i] = s;
+            return;
+        }
         self.counts.clear();
         self.counts.resize(self.masses.len(), 0);
         for _ in 0..s {
@@ -259,6 +267,21 @@ impl Scratch {
             }
         }
     }
+}
+
+/// Returns `Some(k)` iff shard `k` is the only one with positive
+/// allocation mass (trivially true for one shard).
+fn sole_positive(masses: &[f64]) -> Option<usize> {
+    let mut found = None;
+    for (k, &m) in masses.iter().enumerate() {
+        if m > 0.0 {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(k);
+        }
+    }
+    found
 }
 
 /// A small free-list of [`Scratch`] sets, so concurrent batches reuse
@@ -715,7 +738,8 @@ impl<E: GridEndpoint> Engine<E> {
                 if slot.is_some() {
                     continue;
                 }
-                let mut merged = Vec::new();
+                let total_n: usize = (0..shards).map(|k| scratch.allocs[k * nq + i]).sum();
+                let mut merged = Vec::with_capacity(total_n);
                 for (k, (rng_k, handles)) in shard_rngs.iter_mut().zip(&prepared).enumerate() {
                     let n = scratch.allocs[k * nq + i];
                     let Some(handle) = handles[i].as_ref() else {
@@ -741,8 +765,11 @@ impl<E: GridEndpoint> Engine<E> {
                 }
                 // Draws land grouped by shard; shuffle so the output
                 // order carries no shard signal. (The draws are i.i.d.,
-                // so this is cosmetic, not corrective.)
-                shuffle(&mut rng, &mut merged);
+                // so this is cosmetic, not corrective — and with a
+                // single shard there is no signal to erase.)
+                if shards > 1 {
+                    shuffle(&mut rng, &mut merged);
+                }
                 *slot = Some(Ok(QueryOutput::Samples(merged)));
             }
         }

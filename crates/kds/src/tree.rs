@@ -4,7 +4,12 @@ use irs_core::{
     vec_bytes, Endpoint, Interval, ItemId, MemoryFootprint, PreparedSampler, RangeCount,
     RangeSampler, RangeSearch, WeightedRangeSampler,
 };
-use irs_sampling::{sample_prefix_range, AliasTable};
+use irs_sampling::{prefetch_read, sample_prefix_range_eytzinger, AliasTable, Eytzinger};
+
+/// How many draws each batched sampling pass resolves at once: enough
+/// to amortize the alias table and RNG plumbing across a chunk, small
+/// enough that the per-chunk scratch lives in two stack cache lines.
+const DRAW_CHUNK: usize = 64;
 
 /// A 2-D point `(lo, hi)` with its dataset id.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +80,11 @@ pub struct Kds<E> {
     weight_prefix: Vec<f64>,
     /// Per-point weights in `points` order, for boundary-leaf filtering.
     point_weights: Vec<f64>,
+    /// Derived Eytzinger layout of `weight_prefix` for branchless
+    /// cumulative-weight searches. Never serialized: rebuilt from the
+    /// prefix array at build and decode time (see DESIGN.md, "Hot-path
+    /// memory layout"). Empty iff the index is unweighted.
+    ey_weight_prefix: Eytzinger<f64>,
 }
 
 impl<E: Endpoint> Kds<E> {
@@ -103,7 +113,15 @@ impl<E: Endpoint> Kds<E> {
         }
         kds.point_weights = point_weights;
         kds.weight_prefix = prefix;
+        kds.finalize();
         kds
+    }
+
+    /// Rebuilds the derived hot-path state (the Eytzinger layout of the
+    /// weight prefix array). `O(n)`; called after weighted construction
+    /// and by snapshot decoding.
+    fn finalize(&mut self) {
+        self.ey_weight_prefix = Eytzinger::from_sorted(&self.weight_prefix);
     }
 
     /// Builds with an explicit leaf bucket size (ablation hook).
@@ -125,6 +143,7 @@ impl<E: Endpoint> Kds<E> {
             leaf_size,
             weight_prefix: Vec::new(),
             point_weights: Vec::new(),
+            ey_weight_prefix: Eytzinger::default(),
         };
         if !points.is_empty() {
             let n = points.len();
@@ -166,6 +185,12 @@ impl<E: Endpoint> Kds<E> {
         let mut stack = vec![self.root];
         while let Some(at) = stack.pop() {
             let node = &self.nodes[at as usize];
+            // Pull both children toward L1 while this node's box tests
+            // run; boundary descents visit most pushed nodes anyway.
+            if node.left != NIL {
+                prefetch_read(&self.nodes[node.left as usize]);
+                prefetch_read(&self.nodes[node.right as usize]);
+            }
             if node.disjoint(&q) {
                 continue;
             }
@@ -343,24 +368,62 @@ impl<E: Endpoint> PreparedSampler for KdsPrepared<'_, E> {
             }
         }
         let alias = AliasTable::new(&weights);
-        for _ in 0..s {
-            let k = alias.sample(rng);
-            if k < n_full {
-                let (b, e) = self.full[k];
-                let pos = if self.weighted {
-                    sample_prefix_range(&self.kds.weight_prefix, b as usize, e as usize - 1, rng)
+        // Per-query layout over the pooled boundary matches: O(|partial|)
+        // to build, and every draw that lands in the pseudo-piece becomes
+        // a branchless search instead of a branchy binary search.
+        let ey_partial = if self.weighted && has_partial {
+            Eytzinger::from_sorted(&partial_cum)
+        } else {
+            Eytzinger::default()
+        };
+        out.reserve(s);
+        // Chunked three-pass draw loop: (1) batched alias draws while the
+        // table's cells are hot, (2) per-draw position resolution issuing
+        // a prefetch for the point each draw resolved, (3) id gather in
+        // draw order. RNG consumption order is identical to a draw-at-a-
+        // time loop, so seeded replay is chunk-size independent.
+        let mut ks = [0u32; DRAW_CHUNK];
+        let mut poss = [0usize; DRAW_CHUNK];
+        let mut done = 0;
+        while done < s {
+            let c = DRAW_CHUNK.min(s - done);
+            alias.sample_fill(rng, &mut ks[..c]);
+            for i in 0..c {
+                let k = ks[i] as usize;
+                let pos = if k < n_full {
+                    let (b, e) = self.full[k];
+                    if self.weighted {
+                        sample_prefix_range_eytzinger(
+                            &self.kds.ey_weight_prefix,
+                            &self.kds.weight_prefix,
+                            b as usize,
+                            e as usize - 1,
+                            rng,
+                        )
+                    } else {
+                        rand::Rng::random_range(&mut *rng, b as usize..e as usize)
+                    }
                 } else {
-                    rand::Rng::random_range(&mut *rng, b as usize..e as usize)
+                    let j = if self.weighted {
+                        sample_prefix_range_eytzinger(
+                            &ey_partial,
+                            &partial_cum,
+                            0,
+                            partial_cum.len() - 1,
+                            rng,
+                        )
+                    } else {
+                        rand::Rng::random_range(&mut *rng, 0..self.partial.len())
+                    };
+                    self.partial[j] as usize
                 };
-                out.push(self.kds.points[pos].id);
-            } else {
-                let j = if self.weighted {
-                    sample_prefix_range(&partial_cum, 0, partial_cum.len() - 1, rng)
-                } else {
-                    rand::Rng::random_range(&mut *rng, 0..self.partial.len())
-                };
-                out.push(self.kds.points[self.partial[j] as usize].id);
+                prefetch_read(&self.kds.points[pos]);
+                poss[i] = pos;
             }
+            for &pos in &poss[..c] {
+                out.push(self.kds.points[pos].id);
+            }
+            done += c;
         }
     }
 }
@@ -407,6 +470,7 @@ impl<E: Endpoint> MemoryFootprint for Kds<E> {
             + vec_bytes(&self.nodes)
             + vec_bytes(&self.weight_prefix)
             + vec_bytes(&self.point_weights)
+            + self.ey_weight_prefix.heap_bytes()
     }
 }
 
@@ -504,14 +568,19 @@ impl<E: Endpoint + Codec> Codec for Kds<E> {
                 what: "kd-tree weight arrays do not match the point array",
             });
         }
-        Ok(Kds {
+        // Hot-path layouts are derived in memory on decode; the snapshot
+        // stays layout-independent.
+        let mut kds = Kds {
             points,
             nodes,
             root,
             leaf_size,
             weight_prefix,
             point_weights,
-        })
+            ey_weight_prefix: Eytzinger::default(),
+        };
+        kds.finalize();
+        Ok(kds)
     }
 }
 
@@ -585,7 +654,7 @@ mod tests {
         let draws = 200_000usize;
         let mut counts = vec![0u64; support.len()];
         for id in kds.sample(q, draws, &mut rng) {
-            counts[support.binary_search(&id).expect("sample outside q ∩ X")] += 1;
+            counts[irs_sampling::stats::expect_in_support(&support, &id)] += 1;
         }
         assert!(
             chi_square_uniformity_ok(&counts, draws as u64),
@@ -610,7 +679,7 @@ mod tests {
         let draws = 250_000usize;
         let mut counts = vec![0u64; support.len()];
         for id in kds.sample_weighted(q, draws, &mut rng) {
-            counts[support.binary_search(&id).expect("sample outside q ∩ X")] += 1;
+            counts[irs_sampling::stats::expect_in_support(&support, &id)] += 1;
         }
         assert!(
             chi_square_ok(&counts, &expected, draws as u64),

@@ -7,15 +7,23 @@
 
 use rand::{Rng, RngCore};
 
+/// One alias cell: acceptance probability and fallback outcome together,
+/// so a draw touches exactly one cache line instead of one line in each
+/// of two parallel arrays.
+#[derive(Clone, Copy, Debug)]
+struct AliasCell {
+    /// Probability of returning the cell's own index, pre-scaled to
+    /// `[0, 1]`.
+    prob: f64,
+    /// The outcome returned when the coin flip fails.
+    alias: u32,
+}
+
 /// Precomputed alias table over `n` weighted outcomes `0..n`.
 #[derive(Clone, Debug)]
 pub struct AliasTable {
-    /// `prob[i]`: probability of returning `i` itself when cell `i` is hit,
-    /// pre-scaled to `[0, 1]`.
-    prob: Vec<f64>,
-    /// `alias[i]`: the outcome returned when the coin flip in cell `i`
-    /// fails.
-    alias: Vec<u32>,
+    /// Interleaved `(prob, alias)` cells (see [`AliasCell`]).
+    cells: Vec<AliasCell>,
     total: f64,
 }
 
@@ -71,13 +79,18 @@ impl AliasTable {
             prob[i as usize] = 1.0;
         }
 
-        Self { prob, alias, total }
+        let cells = prob
+            .into_iter()
+            .zip(alias)
+            .map(|(prob, alias)| AliasCell { prob, alias })
+            .collect();
+        Self { cells, total }
     }
 
     /// Number of outcomes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.prob.len()
+        self.cells.len()
     }
 
     /// Always `false`: construction rejects empty weight sets.
@@ -95,20 +108,40 @@ impl AliasTable {
     /// Draws one outcome in `O(1)`.
     #[inline]
     pub fn sample(&self, rng: &mut (impl RngCore + ?Sized)) -> usize {
-        let n = self.prob.len();
-        let cell = rng.random_range(0..n);
+        let n = self.cells.len();
+        let at = rng.random_range(0..n);
         let coin: f64 = rng.random_range(0.0..1.0);
-        if coin < self.prob[cell] {
-            cell
+        let cell = self.cells[at];
+        if coin < cell.prob {
+            at
         } else {
-            self.alias[cell] as usize
+            cell.alias as usize
+        }
+    }
+
+    /// Draws `out.len()` outcomes in one pass (the batched form every
+    /// per-query draw loop uses): the cell array stays hot across the
+    /// whole run, and the compiler keeps the bounds/uniformity plumbing
+    /// out of the loop. Consumes the RNG exactly like `out.len()`
+    /// successive [`AliasTable::sample`] calls.
+    #[inline]
+    pub fn sample_fill(&self, rng: &mut (impl RngCore + ?Sized), out: &mut [u32]) {
+        let n = self.cells.len();
+        for slot in out.iter_mut() {
+            let at = rng.random_range(0..n);
+            let coin: f64 = rng.random_range(0.0..1.0);
+            let cell = self.cells[at];
+            *slot = if coin < cell.prob {
+                at as u32
+            } else {
+                cell.alias
+            };
         }
     }
 
     /// Heap bytes retained by the table.
     pub fn heap_bytes(&self) -> usize {
-        self.prob.capacity() * std::mem::size_of::<f64>()
-            + self.alias.capacity() * std::mem::size_of::<u32>()
+        self.cells.capacity() * std::mem::size_of::<AliasCell>()
     }
 }
 

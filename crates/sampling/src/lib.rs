@@ -10,13 +10,22 @@
 //!   draw from a *contiguous slice* of a prebuilt prefix-sum array without
 //!   building anything at query time — exactly what AWIT needs to sample
 //!   inside a node record.
+//! - [`Eytzinger`] — a branchless BFS-layout `partition_point`, the
+//!   cache-conscious form of every cumulative-weight and endpoint binary
+//!   search on the read hot path. Derived from the sorted authority
+//!   arrays at build/load time, never serialized.
 //! - [`stats`] — chi-square goodness-of-fit used by the statistical tests.
 
 #![deny(missing_docs)]
 
 pub mod alias;
 pub mod cumsum;
+pub mod eytzinger;
 pub mod stats;
 
 pub use alias::AliasTable;
-pub use cumsum::{sample_prefix_range, CumulativeSum};
+pub use cumsum::{
+    sample_prefix_range, sample_prefix_range_eytzinger, sample_prefix_window,
+    sample_prefix_window_fill, CumulativeSum, EYTZINGER_WINDOW_MIN,
+};
+pub use eytzinger::{prefetch_read, Eytzinger};

@@ -57,6 +57,21 @@ pub fn total_variation(counts: &[u64], expected_probs: &[f64], draws: u64) -> f6
         / 2.0
 }
 
+/// Rank of `id` in the sorted `support` slice, for sampler validation:
+/// every draw must land inside `q ∩ X`. Panics with a diagnostic that
+/// names the stray value and the support size — unlike a bare
+/// `.expect(..)` on `binary_search`, whose message loses the witness.
+#[track_caller]
+pub fn expect_in_support<T: Ord + std::fmt::Debug>(support: &[T], id: &T) -> usize {
+    match support.binary_search(id) {
+        Ok(pos) => pos,
+        Err(_) => panic!(
+            "sample {id:?} outside q ∩ X (support has {} members)",
+            support.len()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,7 @@ USAGE:
   irs-cli bench-engine [--profile <P>] [--n <N>] [--kind <ait|ait-v|awit|awit-dynamic|kds|hint-m|interval-tree>]
                        [--shards <K1,K2,..>] [--batches <B1,B2,..>] [--threads <T1,T2,..>]
                        [--s <S>] [--queries <Q>] [--extent <PCT>] [--seed <S>]
+                       [--compare <BASELINE.json>]
   irs-cli bench-updates [--profile <P>] [--n <N>] [--kind <ait|awit-dynamic>] [--weighted]
                         [--updates <U>] [--shards <K1,K2,..>] [--seed <S>]
   irs-cli snapshot save    --data <FILE> --out <DIR> [--kind <K>] [--shards <N>]
@@ -141,7 +142,11 @@ dataset (default: 1,000,000 taxi-profile intervals, shard counts
 --threads axis drives the shared engine from that many concurrent
 caller threads — the multi-caller scaling curve of the concurrent read
 path — and every cell is also emitted as a machine-readable JSONL row
-(`grep '^{'` to collect).
+(`grep '^{'` to collect). With --compare <BASELINE.json> it instead
+re-runs every bench-engine row of a pinned baseline file (the committed
+BENCH_*.json shape, a bare row array, or collected JSONL) and prints
+per-row sample/search QPS deltas plus a geometric-mean summary; the
+matrix comes from the baseline rows, only --seed/--extent apply.
 
 bench-updates measures live-update throughput (Table VII's axes: one-by-one
 insertion, pooled batch insertion, deletion) through the unified client at
@@ -350,6 +355,9 @@ fn num_list(opts: &Opts, key: &str, default: Vec<usize>) -> Result<Vec<usize>, S
 }
 
 fn cmd_bench_engine(opts: &Opts) -> Result<(), String> {
+    if let Some(path) = opts.get("compare") {
+        return cmd_bench_engine_compare(opts, path);
+    }
     let profile = match opts.get("profile").unwrap_or("taxi") {
         "book" => irs::datagen::BOOK,
         "btc" => irs::datagen::BTC,
@@ -455,6 +463,155 @@ fn cmd_bench_engine(opts: &Opts) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// `bench-engine --compare <baseline.json>`: re-runs every
+/// `bench-engine` row of a pinned baseline file (the committed
+/// `BENCH_*.json` shape, a bare row array, or JSONL) on this machine
+/// and prints per-row QPS deltas. Rows keep the baseline's own matrix
+/// (kind, n, shards, batch, threads, s, queries); only `--seed` and
+/// `--extent` come from the command line, defaulting to the pinned
+/// values.
+fn cmd_bench_engine_compare(opts: &Opts, path: &str) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("--compare: {path}: {e}"))?;
+    let rows =
+        irs_bench::baseline::baseline_rows(&doc).map_err(|e| format!("--compare: {path}: {e}"))?;
+    let seed: u64 = opts.num_or("seed", 42)?;
+    let extent: f64 = opts.num_or("extent", 1.0)?;
+
+    let field = |row: &irs_bench::baseline::JsonValue, key: &'static str| {
+        row.get(key)
+            .cloned()
+            .ok_or_else(|| format!("--compare: row missing `{key}`"))
+    };
+    println!("# engine throughput vs baseline {path} (seed = {seed})");
+    println!(
+        "{:>13} {:>8} {:>7} {:>7} {:>8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "kind",
+        "n",
+        "shards",
+        "batch",
+        "threads",
+        "base smp/s",
+        "now smp/s",
+        "Δsmp",
+        "base srch/s",
+        "now srch/s",
+        "Δsrch"
+    );
+    // Builds are the expensive part; baselines group rows by (kind, n,
+    // shards), so caching the last dataset and engine re-runs the whole
+    // pinned matrix with one build per group.
+    let mut data_key: Option<(String, usize)> = None;
+    let mut data: Vec<Interval64> = Vec::new();
+    let mut engine_key: Option<(String, String, usize, usize)> = None;
+    let mut engine: Option<Engine<i64>> = None;
+    let mut sample_ratios: Vec<f64> = Vec::new();
+    let mut search_ratios: Vec<f64> = Vec::new();
+    for row in &rows {
+        if row.get("experiment").and_then(|v| v.as_str()) != Some("bench-engine") {
+            continue;
+        }
+        let kind_name = field(row, "kind")?
+            .as_str()
+            .map(str::to_string)
+            .ok_or("--compare: `kind` is not a string")?;
+        let kind = IndexKind::parse(&kind_name)
+            .ok_or_else(|| format!("--compare: unknown kind `{kind_name}`"))?;
+        let profile_name = field(row, "profile")?
+            .as_str()
+            .map(str::to_lowercase)
+            .ok_or("--compare: `profile` is not a string")?;
+        let profile = match profile_name.as_str() {
+            "book" => irs::datagen::BOOK,
+            "btc" => irs::datagen::BTC,
+            "renfe" => irs::datagen::RENFE,
+            "taxi" => irs::datagen::TAXI,
+            other => return Err(format!("--compare: unknown profile `{other}`")),
+        };
+        let as_count = |key: &'static str| -> Result<usize, String> {
+            field(row, key)?
+                .as_usize()
+                .ok_or_else(|| format!("--compare: `{key}` is not a count"))
+        };
+        let n = as_count("n")?;
+        let shards = as_count("shards")?;
+        let batch = as_count("batch")?;
+        let threads = as_count("threads")?;
+        let s = as_count("s")?;
+        let query_count = as_count("queries")?;
+        let base_sample = field(row, "sample_qps")?
+            .as_f64()
+            .ok_or("--compare: `sample_qps` is not a number")?;
+        let base_search = field(row, "search_qps")?
+            .as_f64()
+            .ok_or("--compare: `search_qps` is not a number")?;
+
+        let dkey = (profile_name.clone(), n);
+        if data_key.as_ref() != Some(&dkey) {
+            data = profile.generate(n, seed);
+            data_key = Some(dkey);
+            engine_key = None;
+        }
+        let ekey = (kind_name.clone(), profile_name.clone(), n, shards);
+        if engine_key.as_ref() != Some(&ekey) {
+            engine = Some(
+                Engine::try_new(&data, EngineConfig::new(kind).shards(shards).seed(seed))
+                    .map_err(|e| e.to_string())?,
+            );
+            engine_key = Some(ekey);
+        }
+        let engine = engine.as_ref().expect("engine built above");
+        let queries = irs::datagen::QueryWorkload::from_data(&data).generate(
+            query_count,
+            extent,
+            seed ^ 0xBE7C,
+        );
+        let threads = threads.min(queries.len().max(1));
+        let sample_qps =
+            irs::engine_throughput::threaded_qps(engine, &queries, threads, batch, |&q| {
+                Query::Sample { q, s }
+            });
+        let search_qps =
+            irs::engine_throughput::threaded_qps(engine, &queries, threads, batch, |&q| {
+                Query::Search { q }
+            });
+        let pct = |now: f64, base: f64| (now / base - 1.0) * 100.0;
+        println!(
+            "{:>13} {:>8} {:>7} {:>7} {:>8} {:>12.0} {:>12.0} {:>+7.1}% {:>12.0} {:>12.0} {:>+7.1}%",
+            kind_name, n, shards, batch, threads,
+            base_sample, sample_qps, pct(sample_qps, base_sample),
+            base_search, search_qps, pct(search_qps, base_search),
+        );
+        sample_ratios.push(sample_qps / base_sample);
+        search_ratios.push(search_qps / base_search);
+        irs_bench::JsonRow::new("bench-engine-compare")
+            .str("kind", kind.name())
+            .str("profile", profile.name)
+            .int("n", n)
+            .int("shards", shards)
+            .int("batch", batch)
+            .int("threads", threads)
+            .int("s", s)
+            .int("queries", query_count)
+            .num("baseline_sample_qps", base_sample)
+            .num("sample_qps", sample_qps)
+            .num("baseline_search_qps", base_search)
+            .num("search_qps", search_qps)
+            .emit();
+    }
+    if sample_ratios.is_empty() {
+        return Err(format!("--compare: no bench-engine rows in {path}"));
+    }
+    let geomean =
+        |ratios: &[f64]| (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!(
+        "# geometric mean vs baseline over {} rows: sample {:.2}x, search {:.2}x",
+        sample_ratios.len(),
+        geomean(&sample_ratios),
+        geomean(&search_ratios),
+    );
     Ok(())
 }
 

@@ -289,6 +289,55 @@ fn batches_are_ordered_and_seeded_replay_is_exact() {
     assert_ne!(a, b, "independent batches drew identical samples");
 }
 
+/// `run_seeded` replay must be byte-identical no matter how many caller
+/// threads share the engine: the draw streams depend only on the seed,
+/// the batch, and the shard count — never on scheduling. Run the same
+/// seeded batch from 1, 2, and 4 concurrent callers (for every sampling
+/// kind) and require every result to equal the single-threaded
+/// reference. The snapshot half of the replay contract — a loaded
+/// engine replays the same bytes — lives in
+/// `tests/persistence_roundtrip.rs`.
+#[test]
+fn seeded_replay_is_identical_across_caller_thread_counts() {
+    let data = dataset(2_000, 61);
+    let qs = queries(&data, 2, 0xC0);
+    for kind in [
+        IndexKind::Ait,
+        IndexKind::AitV,
+        IndexKind::Awit,
+        IndexKind::AwitDynamic,
+        IndexKind::Kds,
+    ] {
+        let engine = Engine::try_new(&data, EngineConfig::new(kind).shards(3).seed(17)).unwrap();
+        let mut batch = Vec::new();
+        for &q in &qs {
+            // 100 draws crosses the sampler's draw-chunk boundary, so a
+            // chunk-size-dependent RNG consumption bug would show here.
+            batch.push(Query::Sample { q, s: 100 });
+            batch.push(Query::Count { q });
+        }
+        let reference = engine.run_seeded(&batch, 0xFEED_F00D);
+        for callers in [1usize, 2, 4] {
+            let outs: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..callers)
+                    .map(|_| {
+                        let engine = engine.clone();
+                        let batch = &batch;
+                        scope.spawn(move || engine.run_seeded(batch, 0xFEED_F00D))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for out in outs {
+                assert_eq!(
+                    out, reference,
+                    "{kind}: seeded replay diverged with {callers} concurrent callers"
+                );
+            }
+        }
+    }
+}
+
 /// A shared engine must survive concurrent `run` callers — batches now
 /// execute concurrently on the calling threads under shared read locks
 /// (the deeper stress lives in `tests/concurrent_stress.rs`).
