@@ -78,6 +78,7 @@ mod stream;
 pub use stream::SampleStream;
 
 use irs_core::persist::{PersistError, Reader};
+use irs_core::wal::{self, ReplicationError, WalReplay, WalWriter};
 use irs_core::{
     splitmix64 as mix, validate_update_weight, validate_weights, BuildError, Capabilities,
     GridEndpoint, Interval, ItemId, Mutation, Operation, QueryError, UpdateError, UpdateOutput,
@@ -667,6 +668,38 @@ impl<E: GridEndpoint> Client<E> {
                 writer: Mutex::new(()),
             }),
         })
+    }
+
+    /// Restores a client to an exact write-ahead-log position: loads
+    /// the snapshot in `snapshot_dir`, recovers the log at `wal_path`
+    /// (truncating any torn tail back to the last valid record), and
+    /// re-applies every logged batch the snapshot predates — batches at
+    /// or before the snapshot's checkpoint sidecar are skipped, so
+    /// nothing is applied twice. Point-in-time recovery is this same
+    /// walk over a shorter log prefix.
+    ///
+    /// Returns the recovered client, the log writer positioned to
+    /// append (hand it to `irs_server::serve_primary` to resume the
+    /// writer seat), and the replay itself — inspect
+    /// [`WalReplay::stopped`] to learn whether (and exactly how) the
+    /// log's tail was damaged. Replay is deterministic: a batch that
+    /// failed when first acked fails identically here.
+    pub fn recover(
+        snapshot_dir: impl AsRef<std::path::Path>,
+        wal_path: impl AsRef<std::path::Path>,
+    ) -> Result<(Self, WalWriter<E>, WalReplay<E>), ReplicationError> {
+        let dir = snapshot_dir.as_ref();
+        let mut client = Client::load(dir).map_err(ReplicationError::Persist)?;
+        let checkpoint = wal::read_checkpoint(dir)
+            .map_err(ReplicationError::Persist)?
+            .unwrap_or(0);
+        let (wal, replay) = WalWriter::recover(wal_path)?;
+        for record in &replay.records {
+            if record.seq > checkpoint {
+                let _ = client.apply(&record.muts);
+            }
+        }
+        Ok((client, wal, replay))
     }
 
     /// The backend, for the stream module.

@@ -24,6 +24,11 @@
 //!   [`Codec`] trait every index structure implements, CRC-framed
 //!   sections, and the [`PersistError`] taxonomy behind the engine's
 //!   and client's `save(dir)` / `load(dir)`.
+//! - [`wal`] — the append-only write-ahead mutation log behind
+//!   replication and point-in-time recovery: CRC-framed [`LogRecord`]s
+//!   with monotone sequence numbers, fsync-on-append writers, tailing
+//!   readers, and the [`ReplicationError`] taxonomy mapped into the
+//!   `7xx` wire-code block.
 //! - [`wire`] — the error↔wire mapping behind `irs-server`/`irs-wire`:
 //!   every [`QueryError`]/[`UpdateError`]/[`PersistError`] variant is
 //!   assigned a stable numeric [`ErrorCode`], and [`WireError`] carries
@@ -54,6 +59,7 @@ pub mod persist;
 pub mod query;
 pub mod seed;
 pub mod traits;
+pub mod wal;
 pub mod wire;
 
 pub use catalog::{validate_collection_name, CatalogError};
@@ -69,4 +75,5 @@ pub use seed::splitmix64;
 pub use traits::{
     PreparedSampler, RangeCount, RangeSampler, RangeSearch, StabbingQuery, WeightedRangeSampler,
 };
+pub use wal::{LogRecord, ReplicationError, WalReplay, WalTailer, WalWriter};
 pub use wire::{ErrorCode, WireError};

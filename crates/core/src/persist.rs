@@ -50,6 +50,9 @@ pub const ROLE_SHARD: u8 = 0x02;
 /// File role byte: the catalog manifest covering every collection
 /// (`irs-catalog`'s `catalog.irs`).
 pub const ROLE_CATALOG: u8 = 0x03;
+/// File role byte: the append-only write-ahead mutation log (and its
+/// checkpoint sidecar) defined in [`wal`](crate::wal).
+pub const ROLE_LOG: u8 = 0x04;
 
 /// Why a snapshot could not be written or read back.
 ///

@@ -22,6 +22,7 @@ use crate::catalog::CatalogError;
 use crate::mutation::UpdateError;
 use crate::persist::{Codec, PersistError, Reader};
 use crate::query::QueryError;
+use crate::wal::ReplicationError;
 use std::fmt;
 
 /// Stable numeric identity of one error variant, as sent over the wire.
@@ -34,6 +35,8 @@ use std::fmt;
 /// - `4xx` — protocol-level failures (framing, decoding, routing)
 /// - `5xx` — server-side failures
 /// - `6xx` — [`CatalogError`] variants (multi-tenant catalog refusals)
+/// - `7xx` — [`ReplicationError`] variants (write-ahead log and
+///   primary/replica role refusals)
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u16)]
 pub enum ErrorCode {
@@ -125,11 +128,25 @@ pub enum ErrorCode {
     CatalogInvalidSpec = 606,
     /// [`CatalogError::NotServingCatalog`].
     CatalogNotServing = 607,
+
+    // --- 7xx: ReplicationError ---
+    /// [`ReplicationError::OutOfOrderSequence`].
+    ReplicationOutOfOrder = 700,
+    /// [`ReplicationError::ReadOnlyReplica`].
+    ReplicationReadOnly = 701,
+    /// [`ReplicationError::NotPrimary`].
+    ReplicationNotPrimary = 702,
+    /// [`ReplicationError::NotReplica`].
+    ReplicationNotReplica = 703,
+    /// [`ReplicationError::StaleSubscribe`].
+    ReplicationStaleSubscribe = 704,
+    /// [`ReplicationError::Unsupported`].
+    ReplicationUnsupported = 705,
 }
 
 impl ErrorCode {
     /// Every assigned code, for exhaustiveness tests and docs tables.
-    pub const ALL: [ErrorCode; 35] = [
+    pub const ALL: [ErrorCode; 41] = [
         ErrorCode::QueryUnsupportedOperation,
         ErrorCode::QueryNotWeighted,
         ErrorCode::QueryShardFailed,
@@ -165,6 +182,12 @@ impl ErrorCode {
         ErrorCode::CatalogIncompatibleKind,
         ErrorCode::CatalogInvalidSpec,
         ErrorCode::CatalogNotServing,
+        ErrorCode::ReplicationOutOfOrder,
+        ErrorCode::ReplicationReadOnly,
+        ErrorCode::ReplicationNotPrimary,
+        ErrorCode::ReplicationNotReplica,
+        ErrorCode::ReplicationStaleSubscribe,
+        ErrorCode::ReplicationUnsupported,
     ];
 
     /// The wire representation.
@@ -217,6 +240,12 @@ impl ErrorCode {
             ErrorCode::CatalogIncompatibleKind => "catalog-incompatible-kind",
             ErrorCode::CatalogInvalidSpec => "catalog-invalid-spec",
             ErrorCode::CatalogNotServing => "catalog-not-serving",
+            ErrorCode::ReplicationOutOfOrder => "replication-out-of-order",
+            ErrorCode::ReplicationReadOnly => "replication-read-only",
+            ErrorCode::ReplicationNotPrimary => "replication-not-primary",
+            ErrorCode::ReplicationNotReplica => "replication-not-replica",
+            ErrorCode::ReplicationStaleSubscribe => "replication-stale-subscribe",
+            ErrorCode::ReplicationUnsupported => "replication-unsupported",
         }
     }
 }
@@ -290,6 +319,23 @@ impl From<&CatalogError> for ErrorCode {
     }
 }
 
+impl From<&ReplicationError> for ErrorCode {
+    fn from(e: &ReplicationError) -> ErrorCode {
+        match e {
+            // The wrapper surfaces the persistence taxonomy's own
+            // stable code — a corrupt log record reports as the exact
+            // corruption shape, not a generic replication failure.
+            ReplicationError::Persist(inner) => inner.into(),
+            ReplicationError::OutOfOrderSequence { .. } => ErrorCode::ReplicationOutOfOrder,
+            ReplicationError::ReadOnlyReplica => ErrorCode::ReplicationReadOnly,
+            ReplicationError::NotPrimary => ErrorCode::ReplicationNotPrimary,
+            ReplicationError::NotReplica => ErrorCode::ReplicationNotReplica,
+            ReplicationError::StaleSubscribe { .. } => ErrorCode::ReplicationStaleSubscribe,
+            ReplicationError::Unsupported { .. } => ErrorCode::ReplicationUnsupported,
+        }
+    }
+}
+
 /// A typed error in transportable form: the variant's stable
 /// [`ErrorCode`] plus the original error's one-sentence rendering.
 ///
@@ -345,6 +391,15 @@ impl From<&PersistError> for WireError {
 
 impl From<&CatalogError> for WireError {
     fn from(e: &CatalogError) -> WireError {
+        WireError {
+            code: e.into(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<&ReplicationError> for WireError {
+    fn from(e: &ReplicationError) -> WireError {
         WireError {
             code: e.into(),
             message: e.to_string(),
@@ -665,6 +720,57 @@ mod tests {
             (
                 CatalogError::Update(UpdateError::UnknownId { id: 3 }),
                 ErrorCode::UpdateUnknownId,
+            ),
+        ];
+        for (err, code) in cases {
+            let wire = WireError::from(&err);
+            assert_eq!(wire.code, code, "{err}");
+            assert_eq!(wire.message, err.to_string());
+        }
+    }
+
+    #[test]
+    fn every_replication_error_variant_has_a_code() {
+        use crate::wal::ReplicationError;
+        let cases = [
+            (
+                ReplicationError::OutOfOrderSequence {
+                    expected: 4,
+                    found: 9,
+                },
+                ErrorCode::ReplicationOutOfOrder,
+            ),
+            (
+                ReplicationError::ReadOnlyReplica,
+                ErrorCode::ReplicationReadOnly,
+            ),
+            (
+                ReplicationError::NotPrimary,
+                ErrorCode::ReplicationNotPrimary,
+            ),
+            (
+                ReplicationError::NotReplica,
+                ErrorCode::ReplicationNotReplica,
+            ),
+            (
+                ReplicationError::StaleSubscribe {
+                    requested: 1,
+                    start: 5,
+                },
+                ErrorCode::ReplicationStaleSubscribe,
+            ),
+            (
+                ReplicationError::Unsupported { reason: "r" },
+                ErrorCode::ReplicationUnsupported,
+            ),
+            // The wrapper keeps the persistence taxonomy's code.
+            (
+                ReplicationError::Persist(PersistError::ChecksumMismatch {
+                    section: "log-record",
+                    stored: 1,
+                    computed: 2,
+                }),
+                ErrorCode::PersistChecksumMismatch,
             ),
         ];
         for (err, code) in cases {

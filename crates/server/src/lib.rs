@@ -28,11 +28,26 @@
 //! within one [`ServerConfig::poll_interval`]. [`ServerHandle::join`]
 //! returns only after every connection thread has exited, so an acked
 //! mutation is never lost.
+//!
+//! ## Replication
+//!
+//! A server started with [`serve_primary`] (or
+//! [`serve_primary_catalog`]) keeps a write-ahead mutation log
+//! ([`irs_core::wal`]): every acked mutation batch is appended and
+//! fsynced **before** it is applied, so a crash after the ack never
+//! loses the batch. Such a primary also serves two streaming requests —
+//! snapshot-fetch (replica bootstrap) and subscribe-from-seq (live log
+//! following). A server started with [`serve_replica`] bootstraps from
+//! the primary's snapshot, replays the shipped log tail, then follows
+//! live; it refuses client mutations with a typed code until a
+//! `Promote` request hands it the writer seat. The protocol and failure
+//! model are specified in `DESIGN.md`, "Replication".
 
 #![deny(missing_docs)]
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -44,13 +59,15 @@ use irs_catalog::{
 };
 use irs_client::Client;
 use irs_core::persist::PersistError;
-use irs_core::{ErrorCode, GridEndpoint, WireError};
+use irs_core::wal::{self, ReplicationError, WalTailer, WalWriter};
+use irs_core::{ErrorCode, GridEndpoint, Mutation, WireError};
 use irs_engine::IndexKind;
 use irs_wire::frame::{write_frame, FrameReader, ReadEvent};
 use irs_wire::message::{
-    decode_message, encode_message, CollectionSummary, Request, Response, ServerStats,
-    SnapshotSummary,
+    decode_message, encode_message, CollectionSummary, LogRecordFrame, ReplicationStatus, Request,
+    Response, ServerStats, SnapshotChunk, SnapshotSummary,
 };
+use irs_wire::RemoteClient;
 
 /// Tunables for a serving loop. The default suits tests and production
 /// alike; the knob exists so tests can tighten drain latency.
@@ -92,10 +109,41 @@ enum Backing<E: GridEndpoint> {
     Catalog(RwLock<Catalog<E>>),
 }
 
+/// Replication state on a log-keeping server (`None` on a plain one).
+///
+/// The `wal` mutex is the replication writer seat: the primary's
+/// log-before-apply sequence, the follower's ingest, and snapshot
+/// staging all hold it, so the log order *is* the apply order and a
+/// staged snapshot names one exact log position. Nothing ever holds
+/// another lock while acquiring it.
+struct ReplicationState<E> {
+    /// `true` while this server follows a primary; flips to `false`
+    /// exactly once, on `Promote`.
+    following: AtomicBool,
+    /// The primary this server bootstrapped from (replicas only).
+    primary: Option<String>,
+    wal: Mutex<WalWriter<E>>,
+    /// Last sequence number both logged and applied — what
+    /// `ReplicationStatus` reports.
+    last_seq: AtomicU64,
+}
+
+impl<E: GridEndpoint> ReplicationState<E> {
+    fn primary_seat(wal: WalWriter<E>) -> Self {
+        ReplicationState {
+            following: AtomicBool::new(false),
+            primary: None,
+            last_seq: AtomicU64::new(wal.last_seq()),
+            wal: Mutex::new(wal),
+        }
+    }
+}
+
 /// State shared by the accept loop, every connection thread, and the
 /// handle.
 struct Shared<E: GridEndpoint> {
     backing: Backing<E>,
+    replication: Option<ReplicationState<E>>,
     /// Flips once; never clears. Connection threads poll it on read
     /// timeouts, the accept loop checks it per accept.
     draining: AtomicBool,
@@ -189,6 +237,9 @@ impl<E: GridEndpoint> Shared<E> {
 pub struct ServerHandle<E: GridEndpoint> {
     shared: Arc<Shared<E>>,
     accept: Option<JoinHandle<()>>,
+    /// The live log-following thread, on a server started with
+    /// [`serve_replica`]. Exits on drain or promotion.
+    follower: Option<JoinHandle<()>>,
 }
 
 impl<E: GridEndpoint> ServerHandle<E> {
@@ -234,12 +285,15 @@ impl<E: GridEndpoint> ServerHandle<E> {
         self.shared.begin_drain();
     }
 
-    /// Waits until the accept loop and every connection thread have
-    /// exited. Does not itself request shutdown — call
-    /// [`ServerHandle::shutdown`] first (or let a wire `Shutdown`
-    /// request arrive).
+    /// Waits until the accept loop, every connection thread, and (on a
+    /// replica) the follower thread have exited. Does not itself
+    /// request shutdown — call [`ServerHandle::shutdown`] first (or let
+    /// a wire `Shutdown` request arrive).
     pub fn join(mut self) {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.follower.take() {
             let _ = h.join();
         }
     }
@@ -262,7 +316,7 @@ pub fn serve_with<E: GridEndpoint>(
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> io::Result<ServerHandle<E>> {
-    serve_backing(Backing::Single(RwLock::new(client)), addr, config)
+    serve_backing(Backing::Single(RwLock::new(client)), addr, config, None)
 }
 
 /// Serves a multi-tenant [`Catalog`] on `addr` with default
@@ -283,18 +337,155 @@ pub fn serve_catalog_with<E: GridEndpoint>(
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> io::Result<ServerHandle<E>> {
-    serve_backing(Backing::Catalog(RwLock::new(catalog)), addr, config)
+    serve_backing(Backing::Catalog(RwLock::new(catalog)), addr, config, None)
+}
+
+/// Serves `client` as a log-keeping replication **primary**: every
+/// acked mutation batch is appended to `wal` and fsynced before it is
+/// applied, and the server answers `Subscribe` / `FetchSnapshot` so
+/// replicas can bootstrap and follow.
+///
+/// The caller owns log recovery: on restart, recover the log
+/// ([`WalWriter::recover`], or `Client::recover` which also re-applies
+/// the tail) and hand the recovered writer in — `client` must already
+/// reflect every record in the log.
+pub fn serve_primary<E: GridEndpoint>(
+    client: Client<E>,
+    addr: impl ToSocketAddrs,
+    wal: WalWriter<E>,
+) -> io::Result<ServerHandle<E>> {
+    serve_primary_with(client, addr, wal, ServerConfig::default())
+}
+
+/// [`serve_primary`] with explicit tunables.
+pub fn serve_primary_with<E: GridEndpoint>(
+    client: Client<E>,
+    addr: impl ToSocketAddrs,
+    wal: WalWriter<E>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle<E>> {
+    serve_backing(
+        Backing::Single(RwLock::new(client)),
+        addr,
+        config,
+        Some(ReplicationState::primary_seat(wal)),
+    )
+}
+
+/// [`serve_primary`] fronting a multi-tenant [`Catalog`]. Log records
+/// carry the collection name, so a catalog replica replays each batch
+/// into the right collection. Catalog DDL (create/drop/reindex) is
+/// refused while the log is kept — the mutation log cannot carry it.
+pub fn serve_primary_catalog<E: GridEndpoint>(
+    catalog: Catalog<E>,
+    addr: impl ToSocketAddrs,
+    wal: WalWriter<E>,
+) -> io::Result<ServerHandle<E>> {
+    serve_primary_catalog_with(catalog, addr, wal, ServerConfig::default())
+}
+
+/// [`serve_primary_catalog`] with explicit tunables.
+pub fn serve_primary_catalog_with<E: GridEndpoint>(
+    catalog: Catalog<E>,
+    addr: impl ToSocketAddrs,
+    wal: WalWriter<E>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle<E>> {
+    serve_backing(
+        Backing::Catalog(RwLock::new(catalog)),
+        addr,
+        config,
+        Some(ReplicationState::primary_seat(wal)),
+    )
+}
+
+/// Boots and serves a **replica** of the primary at `primary` (a
+/// `host:port` string): fetches a consistent snapshot into
+/// `dir/snapshot`, loads it (single-tenant or catalog, detected from
+/// the snapshot's manifest files), starts its own write-ahead log at
+/// `dir/wal.irs`, then follows the primary's log live on a background
+/// thread. Until promoted, client mutations are refused with
+/// [`ErrorCode::ReplicationReadOnly`]; queries are served from the
+/// replicated state.
+pub fn serve_replica<E: GridEndpoint>(
+    addr: impl ToSocketAddrs,
+    primary: &str,
+    dir: impl AsRef<Path>,
+) -> Result<ServerHandle<E>, WireError> {
+    serve_replica_with(addr, primary, dir, ServerConfig::default())
+}
+
+/// [`serve_replica`] with explicit tunables.
+pub fn serve_replica_with<E: GridEndpoint>(
+    addr: impl ToSocketAddrs,
+    primary: &str,
+    dir: impl AsRef<Path>,
+    config: ServerConfig,
+) -> Result<ServerHandle<E>, WireError> {
+    let dir = dir.as_ref();
+    let snap_dir = dir.join("snapshot");
+    // A previous bootstrap's partial state must not mix into this one.
+    if snap_dir.exists() {
+        std::fs::remove_dir_all(&snap_dir)
+            .map_err(|e| WireError::from(&PersistError::io(&snap_dir, &e)))?;
+    }
+    let mut boot = RemoteClient::<E>::connect(primary).map_err(|e| {
+        WireError::protocol(
+            ErrorCode::Internal,
+            format!("connect to primary {primary}: {e}"),
+        )
+    })?;
+    let ack = boot.fetch_snapshot(&snap_dir)?;
+    drop(boot);
+    // The checkpoint sidecar shipped inside the snapshot is the source
+    // of truth for where replay resumes; the ack mirrors it.
+    let snap_seq = match wal::read_checkpoint(&snap_dir).map_err(|e| WireError::from(&e))? {
+        Some(seq) => seq,
+        None => ack.last_seq,
+    };
+    let backing = if snap_dir.join("catalog.irs").exists() {
+        let catalog = Catalog::<E>::load(&snap_dir).map_err(|e| WireError::from(&e))?;
+        Backing::Catalog(RwLock::new(catalog))
+    } else {
+        let client = Client::<E>::load(&snap_dir).map_err(|e| WireError::from(&e))?;
+        Backing::Single(RwLock::new(client))
+    };
+    let wal_writer = WalWriter::<E>::create(dir.join("wal.irs"), snap_seq.saturating_add(1))
+        .map_err(|e| WireError::from(&e))?;
+    let replication = ReplicationState {
+        following: AtomicBool::new(true),
+        primary: Some(primary.to_string()),
+        last_seq: AtomicU64::new(snap_seq),
+        wal: Mutex::new(wal_writer),
+    };
+    let mut handle = serve_backing(backing, addr, config, Some(replication)).map_err(|e| {
+        WireError::protocol(ErrorCode::Internal, format!("bind replica listener: {e}"))
+    })?;
+    let follower = {
+        let shared = Arc::clone(&handle.shared);
+        let primary = primary.to_string();
+        std::thread::Builder::new()
+            .name("irs-server-follow".to_string())
+            .spawn(move || follower_loop(shared, primary))
+            .map_err(|e| {
+                WireError::protocol(ErrorCode::Internal, format!("spawn follower thread: {e}"))
+            })?
+    };
+    handle.follower = Some(follower);
+    Ok(handle)
 }
 
 fn serve_backing<E: GridEndpoint>(
     backing: Backing<E>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
+    replication: Option<ReplicationState<E>>,
 ) -> io::Result<ServerHandle<E>> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         backing,
+        replication,
         draining: AtomicBool::new(false),
         counters: Counters::default(),
         started: Instant::now(),
@@ -310,6 +501,7 @@ fn serve_backing<E: GridEndpoint>(
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
+        follower: None,
     })
 }
 
@@ -360,6 +552,19 @@ enum Flow {
     Continue,
     /// The peer asked the whole server to shut down (already acked).
     Drain,
+    /// The peer subscribed to the write-ahead log (ack already sent):
+    /// push records from `from_seq` until drain or hang-up, then close.
+    StreamLog {
+        /// First sequence number the subscriber wants.
+        from_seq: u64,
+    },
+    /// Stream the snapshot staged at `dir` as chunk frames plus an `Ok`
+    /// terminator (ack already sent), delete the staging directory, and
+    /// keep serving.
+    SendSnapshot {
+        /// The staging directory dispatch saved the snapshot into.
+        dir: PathBuf,
+    },
 }
 
 /// One connection, start to finish. All protocol errors are answered
@@ -411,6 +616,22 @@ fn serve_connection_inner<E: GridEndpoint>(mut stream: TcpStream, shared: &Share
                         shared.begin_drain();
                         return;
                     }
+                    Flow::StreamLog { from_seq } => {
+                        // The connection becomes a log push stream; it
+                        // never returns to request/response.
+                        stream_log(&mut stream, &mut reader, shared, from_seq);
+                        return;
+                    }
+                    Flow::SendSnapshot { dir } => {
+                        let sent = stream_snapshot(&mut stream, &dir);
+                        let _ = std::fs::remove_dir_all(&dir);
+                        if !sent {
+                            return; // peer gone mid-stream
+                        }
+                        if shared.draining.load(Ordering::SeqCst) && !reader.mid_frame() {
+                            return;
+                        }
+                    }
                 }
             }
             Ok(ReadEvent::Eof) => return,
@@ -452,6 +673,322 @@ fn decode_error_to_wire(e: &PersistError) -> WireError {
             format!("undecodable request: {other}"),
         ),
     }
+}
+
+// ----------------------------------------------------------------------
+// Replication plumbing
+// ----------------------------------------------------------------------
+
+/// Runs a mutation batch under the replication contract: refused with a
+/// typed code on a following replica; on a primary the batch is
+/// appended to the write-ahead log and **fsynced before `apply` runs**
+/// (log-before-apply, fsync-before-ack); on an unreplicated server
+/// `apply` runs directly. The wal seat is held across append + apply,
+/// so the log order is the apply order.
+fn with_wal<E: GridEndpoint>(
+    shared: &Shared<E>,
+    collection: Option<&str>,
+    muts: &[Mutation<E>],
+    apply: impl FnOnce() -> Response,
+) -> Response {
+    let Some(rep) = shared.replication.as_ref() else {
+        return apply();
+    };
+    if rep.following.load(Ordering::SeqCst) {
+        return Response::Error(WireError::from(&ReplicationError::ReadOnlyReplica));
+    }
+    let mut wal = rep.wal.lock().unwrap_or_else(|e| e.into_inner());
+    match wal.append(collection, muts) {
+        Ok(seq) => {
+            let response = apply();
+            rep.last_seq.store(seq, Ordering::SeqCst);
+            response
+        }
+        Err(e) => Response::Error(WireError::from(&e)),
+    }
+}
+
+/// The server's replication role and log position; role `"none"` on a
+/// server that keeps no log.
+fn replication_status<E: GridEndpoint>(shared: &Shared<E>) -> ReplicationStatus {
+    match &shared.replication {
+        None => ReplicationStatus {
+            role: "none".to_string(),
+            last_seq: 0,
+            log_start_seq: 0,
+            primary: None,
+        },
+        Some(rep) => {
+            let following = rep.following.load(Ordering::SeqCst);
+            let log_start_seq = rep
+                .wal
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .start_seq();
+            ReplicationStatus {
+                role: if following { "replica" } else { "primary" }.to_string(),
+                last_seq: rep.last_seq.load(Ordering::SeqCst),
+                log_start_seq,
+                primary: if following { rep.primary.clone() } else { None },
+            }
+        }
+    }
+}
+
+/// The typed refusal every replication-only request gets on a server
+/// that is not currently a primary.
+fn not_primary() -> Response {
+    Response::Error(WireError::from(&ReplicationError::NotPrimary))
+}
+
+/// The typed refusal catalog DDL gets on a log-keeping server — the
+/// mutation log carries mutations only, so create/drop/reindex would
+/// silently diverge replicas.
+fn refuse_ddl<E: GridEndpoint>(shared: &Shared<E>) -> Option<Response> {
+    shared.replication.as_ref().map(|_| {
+        Response::Error(WireError::from(&ReplicationError::Unsupported {
+            reason: "the mutation log cannot carry catalog DDL; shape the \
+                     catalog before enabling replication",
+        }))
+    })
+}
+
+/// Saves the whole backing (full catalog under catalog backing) to
+/// `dir` — the snapshot-staging half of `FetchSnapshot`.
+fn save_backing_to<E: GridEndpoint>(backing: &Backing<E>, dir: &Path) -> Result<(), WireError> {
+    match backing {
+        Backing::Single(slot) => {
+            let client = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
+            client.save(dir).map_err(|e| WireError::from(&e))
+        }
+        Backing::Catalog(slot) => {
+            let catalog = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
+            catalog.save(dir).map_err(|e| WireError::from(&e))
+        }
+    }
+}
+
+/// Monotonic tag so concurrent `FetchSnapshot` requests never share a
+/// staging directory.
+static SNAPSHOT_STAGE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn snapshot_stage_dir() -> PathBuf {
+    let n = SNAPSHOT_STAGE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("irs-snapshot-stage-{}-{n}", std::process::id()))
+}
+
+/// Chunk size for snapshot shipping — comfortably under the frame
+/// layer's payload cap with message framing around it.
+const SNAPSHOT_CHUNK_BYTES: usize = 1 << 20;
+
+fn collect_snapshot_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, PathBuf)>,
+) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_snapshot_files(root, &path, out)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            // Forward-slash relative paths: the client validates and
+            // re-joins them under its bootstrap directory.
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Streams every file under `dir` as `SnapshotChunk` frames, then the
+/// `Ok` terminator. Returns `false` when the peer is gone (the
+/// connection should close).
+fn stream_snapshot(stream: &mut TcpStream, dir: &Path) -> bool {
+    let mut files = Vec::new();
+    if let Err(e) = collect_snapshot_files(dir, dir, &mut files) {
+        let err = Response::Error(WireError::from(&PersistError::io(dir, &e)));
+        return write_frame(stream, &encode_message(&err)).is_ok();
+    }
+    files.sort();
+    for (rel, path) in files {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                let err = Response::Error(WireError::from(&PersistError::io(&path, &e)));
+                return write_frame(stream, &encode_message(&err)).is_ok();
+            }
+        };
+        let total_len = bytes.len() as u64;
+        let mut chunks: Vec<&[u8]> = bytes.chunks(SNAPSHOT_CHUNK_BYTES).collect();
+        if chunks.is_empty() {
+            chunks.push(&[]); // an empty file must still exist on the replica
+        }
+        let mut offset = 0u64;
+        for chunk in chunks {
+            let resp = Response::SnapshotChunk(SnapshotChunk {
+                path: rel.clone(),
+                offset,
+                total_len,
+                bytes: chunk.to_vec(),
+            });
+            if write_frame(stream, &encode_message(&resp)).is_err() {
+                return false;
+            }
+            offset = offset.saturating_add(chunk.len() as u64);
+        }
+    }
+    write_frame(stream, &encode_message(&Response::Ok)).is_ok()
+}
+
+/// Streams the write-ahead log to a subscribed connection: each
+/// complete record becomes one `LogRecord` push frame, in sequence
+/// order, as the writer appends them. Ends when the server drains, the
+/// log errors, or the peer hangs up — the subscriber never sends again,
+/// so any read event other than a timeout ends the stream (and the read
+/// timeout doubles as the poll tick).
+fn stream_log<E: GridEndpoint>(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    shared: &Shared<E>,
+    from_seq: u64,
+) {
+    let Some(rep) = shared.replication.as_ref() else {
+        return; // dispatch never routes here without replication
+    };
+    let path = {
+        let wal = rep.wal.lock().unwrap_or_else(|e| e.into_inner());
+        wal.path().to_path_buf()
+    };
+    let mut tailer = match WalTailer::<E>::open(&path, from_seq) {
+        Ok(t) => t,
+        Err(e) => {
+            let resp = Response::Error(WireError::from(&e));
+            let _ = write_frame(stream, &encode_message(&resp));
+            return;
+        }
+    };
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match tailer.poll() {
+            Ok(records) => {
+                for (seq, payload) in records {
+                    let resp = Response::LogRecord(LogRecordFrame { seq, payload });
+                    if write_frame(stream, &encode_message(&resp)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                let resp = Response::Error(WireError::from(&e));
+                let _ = write_frame(stream, &encode_message(&resp));
+                return;
+            }
+        }
+        match reader.read_event(stream) {
+            Ok(ReadEvent::Timeout { .. }) => {}
+            _ => return,
+        }
+    }
+}
+
+/// The replica's follower thread: subscribe to the primary from the
+/// local log's next sequence number, ingest pushed records, reconnect
+/// on any stream failure (resubscribing from wherever the local log
+/// got to), and exit on drain or promotion.
+fn follower_loop<E: GridEndpoint>(shared: Arc<Shared<E>>, primary: String) {
+    loop {
+        let Some(rep) = shared.replication.as_ref() else {
+            return;
+        };
+        if shared.draining.load(Ordering::SeqCst) || !rep.following.load(Ordering::SeqCst) {
+            return;
+        }
+        let from_seq = rep.wal.lock().unwrap_or_else(|e| e.into_inner()).next_seq();
+        let subscribed = RemoteClient::<E>::connect(primary.as_str())
+            .ok()
+            .and_then(|c| c.subscribe(from_seq).ok());
+        let Some(mut stream) = subscribed else {
+            // Primary unreachable (dead, or not yet up): retry after a
+            // poll tick, still serving reads meanwhile.
+            std::thread::sleep(shared.config.poll_interval);
+            continue;
+        };
+        loop {
+            if shared.draining.load(Ordering::SeqCst) || !rep.following.load(Ordering::SeqCst) {
+                return;
+            }
+            match stream.poll(shared.config.poll_interval) {
+                Ok(Some(frames)) => {
+                    let mut resubscribe = false;
+                    for frame in frames {
+                        if !ingest_frame(&shared, frame) {
+                            resubscribe = true;
+                            break;
+                        }
+                    }
+                    if resubscribe {
+                        break;
+                    }
+                }
+                // EOF (primary drained or died) or a protocol error:
+                // drop the stream and reconnect from the local log.
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Appends one streamed record to the replica's own log (fsynced) and
+/// applies it — the same log-before-apply order the primary used.
+/// Returns `false` when the follower should resubscribe (sequence gap,
+/// undecodable payload) or stop (promoted mid-stream); records the
+/// local log already holds are skipped, never reapplied.
+fn ingest_frame<E: GridEndpoint>(shared: &Shared<E>, frame: LogRecordFrame) -> bool {
+    let Some(rep) = shared.replication.as_ref() else {
+        return false;
+    };
+    let Ok(record) = wal::decode_record_payload::<E>(&frame.payload) else {
+        return false;
+    };
+    let mut wal_seat = rep.wal.lock().unwrap_or_else(|e| e.into_inner());
+    if !rep.following.load(Ordering::SeqCst) {
+        return false; // promoted while this batch was in flight
+    }
+    if record.seq < wal_seat.next_seq() {
+        return true; // duplicate after a resubscribe — already ingested
+    }
+    if record.seq > wal_seat.next_seq()
+        || wal_seat
+            .append(record.collection.as_deref(), &record.muts)
+            .is_err()
+    {
+        return false;
+    }
+    shared
+        .counters
+        .mutations
+        .fetch_add(record.muts.len() as u64, Ordering::Relaxed);
+    match &shared.backing {
+        Backing::Single(slot) => {
+            let mut client = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
+            // Per-mutation failures replay deterministically; the
+            // primary already reported them to its caller.
+            let _ = client.apply(&record.muts);
+        }
+        Backing::Catalog(slot) => {
+            let catalog = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
+            let name = record.collection.as_deref().unwrap_or(DEFAULT_COLLECTION);
+            let _ = catalog.apply_in(name, &record.muts);
+        }
+    }
+    rep.last_seq.store(record.seq, Ordering::SeqCst);
+    true
 }
 
 /// One collection's wire summary.
@@ -561,7 +1098,7 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                 .mutations
                 .fetch_add(muts.len() as u64, Ordering::Relaxed);
             let response = match &shared.backing {
-                Backing::Single(slot) => {
+                Backing::Single(slot) => with_wal(shared, None, &muts, || {
                     let mut client = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
                     Response::Apply(
                         client
@@ -570,15 +1107,24 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                             .map(|r| r.as_ref().map_err(WireError::from).cloned())
                             .collect(),
                     )
-                }
-                Backing::Catalog(slot) => {
+                }),
+                // The untagged batch routes to "default" — logged under
+                // that name so a catalog replica replays it there too.
+                Backing::Catalog(slot) => with_wal(shared, Some(DEFAULT_COLLECTION), &muts, || {
                     let catalog = slot.read().unwrap_or_else(|e| e.into_inner()).clone();
                     apply_in_catalog(&catalog, DEFAULT_COLLECTION, &muts)
-                }
+                }),
             };
             (response, Flow::Continue)
         }
         Request::Save { dir } => {
+            // On a log-keeping server the wal seat is held across save
+            // + checkpoint, so the snapshot and its sidecar name the
+            // same log position (mutations wait; reads do not).
+            let wal_guard = shared
+                .replication
+                .as_ref()
+                .map(|rep| rep.wal.lock().unwrap_or_else(|e| e.into_inner()));
             let result = match &shared.backing {
                 Backing::Single(slot) => {
                     // Clone the facade, then release the read lock —
@@ -596,6 +1142,14 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                         .map_err(|e| WireError::from(&e))
                 }
             };
+            let result = result.and_then(|()| match &shared.replication {
+                Some(rep) => {
+                    wal::write_checkpoint(Path::new(&dir), rep.last_seq.load(Ordering::SeqCst))
+                        .map_err(|e| WireError::from(&e))
+                }
+                None => Ok(()),
+            });
+            drop(wal_guard);
             match result {
                 Ok(()) => (Response::Ok, Flow::Continue),
                 Err(e) => (Response::Error(e), Flow::Continue),
@@ -616,25 +1170,40 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
             ),
             Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
         },
-        Request::Load { dir } => match &shared.backing {
-            Backing::Single(slot) => match Client::<E>::load(&dir) {
-                Ok(fresh) => {
-                    *slot.write().unwrap_or_else(|e| e.into_inner()) = fresh;
-                    (Response::Ok, Flow::Continue)
-                }
-                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
-            },
-            Backing::Catalog(_) => (
-                Response::Error(WireError::from(&CatalogError::InvalidSpec {
-                    reason: "this server fronts a catalog; single-collection Load \
-                             would discard the other tenants — use LoadCatalog"
-                        .to_string(),
-                })),
-                Flow::Continue,
-            ),
-        },
+        Request::Load { dir } => {
+            if shared.replication.is_some() {
+                return (
+                    Response::Error(WireError::from(&ReplicationError::Unsupported {
+                        reason: "swapping the serving backend underneath a write-ahead \
+                                 log would desynchronize it; restart the server on the \
+                                 target snapshot instead",
+                    })),
+                    Flow::Continue,
+                );
+            }
+            match &shared.backing {
+                Backing::Single(slot) => match Client::<E>::load(&dir) {
+                    Ok(fresh) => {
+                        *slot.write().unwrap_or_else(|e| e.into_inner()) = fresh;
+                        (Response::Ok, Flow::Continue)
+                    }
+                    Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+                },
+                Backing::Catalog(_) => (
+                    Response::Error(WireError::from(&CatalogError::InvalidSpec {
+                        reason: "this server fronts a catalog; single-collection Load \
+                                 would discard the other tenants — use LoadCatalog"
+                            .to_string(),
+                    })),
+                    Flow::Continue,
+                ),
+            }
+        }
         Request::Shutdown => (Response::Ok, Flow::Drain),
         Request::CreateCollection { spec } => {
+            if let Some(refusal) = refuse_ddl(shared) {
+                return (refusal, Flow::Continue);
+            }
             let catalog = match shared.catalog() {
                 Ok(c) => c,
                 Err(e) => return (Response::Error(e), Flow::Continue),
@@ -673,6 +1242,9 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
             }
         }
         Request::DropCollection { name } => {
+            if let Some(refusal) = refuse_ddl(shared) {
+                return (refusal, Flow::Continue);
+            }
             let catalog = match shared.catalog() {
                 Ok(c) => c,
                 Err(e) => return (Response::Error(e), Flow::Continue),
@@ -713,7 +1285,9 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                 .fetch_add(muts.len() as u64, Ordering::Relaxed);
             match shared.catalog() {
                 Ok(catalog) => (
-                    apply_in_catalog(&catalog, &collection, &muts),
+                    with_wal(shared, Some(&collection), &muts, || {
+                        apply_in_catalog(&catalog, &collection, &muts)
+                    }),
                     Flow::Continue,
                 ),
                 Err(e) => (Response::Error(e), Flow::Continue),
@@ -726,20 +1300,35 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
             },
             Err(e) => (Response::Error(e), Flow::Continue),
         },
-        Request::LoadCatalog { dir } => match &shared.backing {
-            Backing::Catalog(slot) => match Catalog::<E>::load(&dir) {
-                Ok(fresh) => {
-                    *slot.write().unwrap_or_else(|e| e.into_inner()) = fresh;
-                    (Response::Ok, Flow::Continue)
-                }
-                Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
-            },
-            Backing::Single(_) => (
-                Response::Error(WireError::from(&CatalogError::NotServingCatalog)),
-                Flow::Continue,
-            ),
-        },
+        Request::LoadCatalog { dir } => {
+            if shared.replication.is_some() {
+                return (
+                    Response::Error(WireError::from(&ReplicationError::Unsupported {
+                        reason: "swapping the serving catalog underneath a write-ahead \
+                                 log would desynchronize it; restart the server on the \
+                                 target snapshot instead",
+                    })),
+                    Flow::Continue,
+                );
+            }
+            match &shared.backing {
+                Backing::Catalog(slot) => match Catalog::<E>::load(&dir) {
+                    Ok(fresh) => {
+                        *slot.write().unwrap_or_else(|e| e.into_inner()) = fresh;
+                        (Response::Ok, Flow::Continue)
+                    }
+                    Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
+                },
+                Backing::Single(_) => (
+                    Response::Error(WireError::from(&CatalogError::NotServingCatalog)),
+                    Flow::Continue,
+                ),
+            }
+        }
         Request::Reindex { collection, kind } => {
+            if let Some(refusal) = refuse_ddl(shared) {
+                return (refusal, Flow::Continue);
+            }
             let catalog = match shared.catalog() {
                 Ok(c) => c,
                 Err(e) => return (Response::Error(e), Flow::Continue),
@@ -763,6 +1352,75 @@ fn dispatch<E: GridEndpoint>(payload: &[u8], shared: &Shared<E>) -> (Response, F
                 Err(e) => (Response::Error(WireError::from(&e)), Flow::Continue),
             }
         }
+        Request::ReplicationStatus => (
+            Response::Replication(replication_status(shared)),
+            Flow::Continue,
+        ),
+        Request::Promote => match &shared.replication {
+            // `swap` hands out the writer seat exactly once: a second
+            // promote (or one aimed at a primary) is a typed refusal.
+            Some(rep) if rep.following.swap(false, Ordering::SeqCst) => (
+                Response::Replication(replication_status(shared)),
+                Flow::Continue,
+            ),
+            _ => (
+                Response::Error(WireError::from(&ReplicationError::NotReplica)),
+                Flow::Continue,
+            ),
+        },
+        Request::Subscribe { from_seq } => match &shared.replication {
+            Some(rep) if !rep.following.load(Ordering::SeqCst) => {
+                let start_seq = rep
+                    .wal
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .start_seq();
+                if from_seq < start_seq {
+                    return (
+                        Response::Error(WireError::from(&ReplicationError::StaleSubscribe {
+                            requested: from_seq,
+                            start: start_seq,
+                        })),
+                        Flow::Continue,
+                    );
+                }
+                (
+                    Response::Replication(replication_status(shared)),
+                    Flow::StreamLog { from_seq },
+                )
+            }
+            _ => (not_primary(), Flow::Continue),
+        },
+        Request::FetchSnapshot => match &shared.replication {
+            Some(rep) if !rep.following.load(Ordering::SeqCst) => {
+                let stage = snapshot_stage_dir();
+                // Under the wal seat: the staged snapshot and its
+                // checkpoint name the same log position.
+                let wal_seat = rep.wal.lock().unwrap_or_else(|e| e.into_inner());
+                let seq = rep.last_seq.load(Ordering::SeqCst);
+                let staged = save_backing_to(&shared.backing, &stage).and_then(|()| {
+                    wal::write_checkpoint(&stage, seq).map_err(|e| WireError::from(&e))
+                });
+                drop(wal_seat);
+                match staged {
+                    Ok(()) => {
+                        let mut status = replication_status(shared);
+                        // The position the snapshot captures, which may
+                        // trail the live log by now.
+                        status.last_seq = seq;
+                        (
+                            Response::Replication(status),
+                            Flow::SendSnapshot { dir: stage },
+                        )
+                    }
+                    Err(e) => {
+                        let _ = std::fs::remove_dir_all(&stage);
+                        (Response::Error(e), Flow::Continue)
+                    }
+                }
+            }
+            _ => (not_primary(), Flow::Continue),
+        },
     }
 }
 

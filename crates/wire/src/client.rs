@@ -15,16 +15,19 @@
 //! many connections compose exactly like `Client::writer` callers in
 //! one process).
 
+use irs_core::persist::PersistError;
 use irs_core::{ErrorCode, GridEndpoint, Interval, ItemId, Mutation, UpdateOutput, WireError};
 use irs_engine::{Query, QueryOutput};
 use std::io;
 use std::marker::PhantomData;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Component, Path, PathBuf};
+use std::time::Duration;
 
-use crate::frame::{read_frame_blocking, write_frame, FrameReader};
+use crate::frame::{read_frame_blocking, write_frame, FrameReader, ReadEvent};
 use crate::message::{
-    decode_message, encode_message, CollectionSummary, Request, Response, ServerStats,
-    SnapshotSummary, WireCollectionSpec,
+    decode_message, encode_message, CollectionSummary, LogRecordFrame, ReplicationStatus, Request,
+    Response, ServerStats, SnapshotChunk, SnapshotSummary, WireCollectionSpec,
 };
 
 /// A blocking connection to an `irs-server`, typed by the endpoint
@@ -483,5 +486,187 @@ impl<E: GridEndpoint> RemoteClient<E> {
             },
             "Ok",
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    /// The server's replication role and log position (`role` is
+    /// `"none"` on a server that keeps no log).
+    pub fn replication_status(&mut self) -> Result<ReplicationStatus, WireError> {
+        match self.call(&Request::ReplicationStatus)? {
+            Response::Replication(status) => Ok(status),
+            other => Err(unexpected("Replication", &other)),
+        }
+    }
+
+    /// Promotes a following replica to primary; reports the
+    /// post-promotion status. A server that is not a following replica
+    /// refuses with [`ErrorCode::ReplicationNotReplica`].
+    pub fn promote(&mut self) -> Result<ReplicationStatus, WireError> {
+        match self.call(&Request::Promote)? {
+            Response::Replication(status) => Ok(status),
+            other => Err(unexpected("Replication", &other)),
+        }
+    }
+
+    /// Fetches a consistent snapshot of the primary into the local
+    /// directory `dir` (created if absent) — replica bootstrap's first
+    /// step. Returns the status frame acked before the stream; its
+    /// `last_seq` is the snapshot's checkpoint, so replay continues at
+    /// `last_seq + 1`. Chunk paths are validated: a hostile peer cannot
+    /// write outside `dir`.
+    pub fn fetch_snapshot(&mut self, dir: &Path) -> Result<ReplicationStatus, WireError> {
+        let ack = match self.call(&Request::FetchSnapshot)? {
+            Response::Replication(status) => status,
+            other => return Err(unexpected("Replication", &other)),
+        };
+        std::fs::create_dir_all(dir).map_err(|e| io_wire(dir, &e))?;
+        loop {
+            let payload = read_frame_blocking(&mut self.reader, &mut self.stream)
+                .map_err(|e| e.to_wire_error())?;
+            let resp: Response = decode_message(&payload).map_err(|e| {
+                WireError::protocol(ErrorCode::BadMessage, format!("undecodable response: {e}"))
+            })?;
+            match resp {
+                Response::SnapshotChunk(chunk) => write_chunk(dir, &chunk)?,
+                Response::Ok => return Ok(ack),
+                Response::Error(e) => return Err(e),
+                other => return Err(unexpected("SnapshotChunk", &other)),
+            }
+        }
+    }
+
+    /// Subscribes this connection to the primary's write-ahead log from
+    /// `from_seq`, converting it into a [`LogStream`] of pushed
+    /// records. The server refuses on a non-primary
+    /// ([`ErrorCode::ReplicationNotPrimary`]) and when `from_seq`
+    /// predates its log ([`ErrorCode::ReplicationStaleSubscribe`]).
+    pub fn subscribe(mut self, from_seq: u64) -> Result<LogStream<E>, WireError> {
+        let ack = match self.call(&Request::Subscribe { from_seq })? {
+            Response::Replication(status) => status,
+            other => return Err(unexpected("Replication", &other)),
+        };
+        Ok(LogStream {
+            stream: self.stream,
+            reader: self.reader,
+            ack,
+            next_seq: from_seq,
+            _endpoint: PhantomData,
+        })
+    }
+}
+
+fn io_wire(path: &Path, e: &io::Error) -> WireError {
+    WireError::from(&PersistError::io(path, e))
+}
+
+/// Refuses chunk paths that could escape the bootstrap directory
+/// (absolute paths, `..`, drive/root components).
+fn sanitize_chunk_path(dir: &Path, rel: &str) -> Result<PathBuf, WireError> {
+    let p = Path::new(rel);
+    let escapes = rel.is_empty()
+        || p.components()
+            .any(|c| !matches!(c, Component::Normal(_) | Component::CurDir));
+    if escapes {
+        return Err(WireError::protocol(
+            ErrorCode::BadMessage,
+            format!("snapshot chunk path `{rel}` escapes the bootstrap directory"),
+        ));
+    }
+    Ok(dir.join(p))
+}
+
+fn write_chunk(dir: &Path, chunk: &SnapshotChunk) -> Result<(), WireError> {
+    use std::io::{Seek as _, Write as _};
+    let path = sanitize_chunk_path(dir, &chunk.path)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| io_wire(parent, &e))?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&path)
+        .map_err(|e| io_wire(&path, &e))?;
+    file.seek(std::io::SeekFrom::Start(chunk.offset))
+        .and_then(|_| file.write_all(&chunk.bytes))
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io_wire(&path, &e))
+}
+
+/// A subscribed connection: the push stream of write-ahead-log records
+/// a [`RemoteClient::subscribe`] call turns into. Sequence continuity
+/// is verified on every pushed record, so a reordering (or skipping)
+/// peer surfaces as a typed error, never as silent divergence.
+#[derive(Debug)]
+pub struct LogStream<E> {
+    stream: TcpStream,
+    reader: FrameReader,
+    ack: ReplicationStatus,
+    next_seq: u64,
+    _endpoint: PhantomData<fn() -> E>,
+}
+
+impl<E: GridEndpoint> LogStream<E> {
+    /// The status frame the server acked the subscription with.
+    pub fn ack(&self) -> &ReplicationStatus {
+        &self.ack
+    }
+
+    /// The sequence number the next pushed record must carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Collects records pushed within `timeout` (an empty vector when
+    /// the tick elapses quietly); `Ok(None)` when the primary closed
+    /// the stream (drained or died) and a reconnect is needed.
+    pub fn poll(&mut self, timeout: Duration) -> Result<Option<Vec<LogRecordFrame>>, WireError> {
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| WireError::protocol(ErrorCode::Internal, e.to_string()))?;
+        let mut out = Vec::new();
+        loop {
+            match self.reader.read_event(&mut self.stream) {
+                Ok(ReadEvent::Frame(payload)) => {
+                    let resp: Response = decode_message(&payload).map_err(|e| {
+                        WireError::protocol(
+                            ErrorCode::BadMessage,
+                            format!("undecodable response: {e}"),
+                        )
+                    })?;
+                    match resp {
+                        Response::LogRecord(frame) => {
+                            if frame.seq != self.next_seq {
+                                return Err(WireError::protocol(
+                                    ErrorCode::ReplicationOutOfOrder,
+                                    format!(
+                                        "log stream sequence out of order: expected {}, got {}",
+                                        self.next_seq, frame.seq
+                                    ),
+                                ));
+                            }
+                            self.next_seq = self.next_seq.saturating_add(1);
+                            out.push(frame);
+                        }
+                        Response::Error(e) => return Err(e),
+                        other => return Err(unexpected("LogRecord", &other)),
+                    }
+                }
+                Ok(ReadEvent::Timeout { .. }) => break,
+                Ok(ReadEvent::Eof) => {
+                    return if out.is_empty() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(out))
+                    };
+                }
+                Err(e) => return Err(e.to_wire_error()),
+            }
+        }
+        Ok(Some(out))
     }
 }

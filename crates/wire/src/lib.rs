@@ -42,9 +42,10 @@ pub mod client;
 pub mod frame;
 pub mod message;
 
-pub use client::RemoteClient;
+pub use client::{LogStream, RemoteClient};
 pub use frame::{FrameError, FrameReader, ReadEvent, MAX_PAYLOAD, WIRE_MAGIC};
 pub use irs_core::{ErrorCode, WireError};
 pub use message::{
-    CollectionSummary, Request, Response, ServerStats, SnapshotSummary, WireCollectionSpec,
+    CollectionSummary, LogRecordFrame, ReplicationStatus, Request, Response, ServerStats,
+    SnapshotChunk, SnapshotSummary, WireCollectionSpec,
 };

@@ -125,6 +125,35 @@ pub enum Request<E> {
         /// The new kind's stable name.
         kind: String,
     },
+    /// Subscribes this connection to the primary's write-ahead log.
+    /// Answered with [`Response::Replication`] (the ack), after which
+    /// the connection becomes a push stream of [`Response::LogRecord`]
+    /// frames for every record with sequence ≥ `from_seq` — the log
+    /// tail first, then live appends. A non-primary refuses with the
+    /// replication-not-primary code; a `from_seq` older than the log's
+    /// start with replication-stale-subscribe (re-bootstrap from a
+    /// snapshot).
+    Subscribe {
+        /// First sequence number wanted (usually `snapshot_seq + 1`).
+        from_seq: u64,
+    },
+    /// Fetches a consistent snapshot of the primary for replica
+    /// bootstrap. Answered first with [`Response::Replication`] whose
+    /// `last_seq` is the snapshot's checkpoint, then a stream of
+    /// [`Response::SnapshotChunk`] frames (every file of a snapshot
+    /// taken under the writer seat, including the sequence-number
+    /// checkpoint sidecar), terminated by [`Response::Ok`].
+    FetchSnapshot,
+    /// Reports the server's replication role and log position; answered
+    /// with [`Response::Replication`]. Works on any server (role
+    /// `"none"` when no log is kept).
+    ReplicationStatus,
+    /// Promotes a following replica to primary: it stops following,
+    /// keeps its own log, and starts accepting mutations. Answered with
+    /// [`Response::Replication`] (the post-promotion status); a server
+    /// that is not a following replica refuses with the
+    /// replication-not-replica code.
+    Promote,
 }
 
 const REQ_HEALTH: u8 = 1;
@@ -143,6 +172,10 @@ const REQ_APPLY_IN: u8 = 13;
 const REQ_SAVE_CATALOG: u8 = 14;
 const REQ_LOAD_CATALOG: u8 = 15;
 const REQ_REINDEX: u8 = 16;
+const REQ_SUBSCRIBE: u8 = 17;
+const REQ_FETCH_SNAPSHOT: u8 = 18;
+const REQ_REPLICATION_STATUS: u8 = 19;
+const REQ_PROMOTE: u8 = 20;
 
 /// Decodes the endpoint type name stamped into a `Run`/`Apply` body and
 /// refuses a mismatch — the wire twin of the snapshot manifest check.
@@ -225,6 +258,14 @@ impl<E: GridEndpoint> Codec for Request<E> {
                 collection.encode_into(out);
                 kind.encode_into(out);
             }
+            Request::Subscribe { from_seq } => {
+                out.push(REQ_SUBSCRIBE);
+                E::type_name().to_string().encode_into(out);
+                from_seq.encode_into(out);
+            }
+            Request::FetchSnapshot => out.push(REQ_FETCH_SNAPSHOT),
+            Request::ReplicationStatus => out.push(REQ_REPLICATION_STATUS),
+            Request::Promote => out.push(REQ_PROMOTE),
         }
     }
 
@@ -287,6 +328,15 @@ impl<E: GridEndpoint> Codec for Request<E> {
                 collection: String::decode(r)?,
                 kind: String::decode(r)?,
             }),
+            REQ_SUBSCRIBE => {
+                check_endpoint::<E>(r)?;
+                Ok(Request::Subscribe {
+                    from_seq: u64::decode(r)?,
+                })
+            }
+            REQ_FETCH_SNAPSHOT => Ok(Request::FetchSnapshot),
+            REQ_REPLICATION_STATUS => Ok(Request::ReplicationStatus),
+            REQ_PROMOTE => Ok(Request::Promote),
             _ => Err(PersistError::Corrupt {
                 what: "unknown request tag",
             }),
@@ -317,6 +367,15 @@ pub enum Response {
     /// by name) and to [`Request::CreateCollection`]/[`Request::Reindex`]
     /// (a single-element vector describing the affected collection).
     Collections(Vec<CollectionSummary>),
+    /// One pushed write-ahead-log record on a subscribed connection.
+    LogRecord(LogRecordFrame),
+    /// One span of one snapshot file, streamed in answer to
+    /// [`Request::FetchSnapshot`].
+    SnapshotChunk(SnapshotChunk),
+    /// The server's replication role and log position: the answer to
+    /// [`Request::ReplicationStatus`]/[`Request::Promote`], the
+    /// subscribe ack, and the snapshot-stream terminator.
+    Replication(ReplicationStatus),
 }
 
 const RESP_OK: u8 = 1;
@@ -326,6 +385,9 @@ const RESP_APPLY: u8 = 4;
 const RESP_SNAPSHOT: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_COLLECTIONS: u8 = 7;
+const RESP_LOG_RECORD: u8 = 8;
+const RESP_SNAPSHOT_CHUNK: u8 = 9;
+const RESP_REPLICATION: u8 = 10;
 
 impl Codec for Response {
     fn encode_into(&self, out: &mut Vec<u8>) {
@@ -355,6 +417,18 @@ impl Codec for Response {
                 out.push(RESP_COLLECTIONS);
                 summaries.encode_into(out);
             }
+            Response::LogRecord(frame) => {
+                out.push(RESP_LOG_RECORD);
+                frame.encode_into(out);
+            }
+            Response::SnapshotChunk(chunk) => {
+                out.push(RESP_SNAPSHOT_CHUNK);
+                chunk.encode_into(out);
+            }
+            Response::Replication(status) => {
+                out.push(RESP_REPLICATION);
+                status.encode_into(out);
+            }
         }
     }
 
@@ -367,6 +441,9 @@ impl Codec for Response {
             RESP_SNAPSHOT => Ok(Response::Snapshot(SnapshotSummary::decode(r)?)),
             RESP_ERROR => Ok(Response::Error(WireError::decode(r)?)),
             RESP_COLLECTIONS => Ok(Response::Collections(Vec::decode(r)?)),
+            RESP_LOG_RECORD => Ok(Response::LogRecord(LogRecordFrame::decode(r)?)),
+            RESP_SNAPSHOT_CHUNK => Ok(Response::SnapshotChunk(SnapshotChunk::decode(r)?)),
+            RESP_REPLICATION => Ok(Response::Replication(ReplicationStatus::decode(r)?)),
             _ => Err(PersistError::Corrupt {
                 what: "unknown response tag",
             }),
@@ -582,6 +659,101 @@ impl Codec for SnapshotSummary {
     }
 }
 
+/// One write-ahead-log record as pushed to a subscriber. The payload is
+/// the record's on-disk section payload verbatim (an
+/// `irs_core::wal::LogRecord` encoding, already CRC-verified by the
+/// primary's tailer and re-framed by the wire's own CRC), so a replica
+/// appends it to its own log and decodes it with
+/// `irs_core::wal::decode_record_payload` — no re-encoding anywhere.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecordFrame {
+    /// The record's sequence number (also inside `payload`; duplicated
+    /// here so routing never needs to decode the body).
+    pub seq: u64,
+    /// The encoded `LogRecord`, exactly as on the primary's disk.
+    pub payload: Vec<u8>,
+}
+
+impl Codec for LogRecordFrame {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.seq.encode_into(out);
+        self.payload.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(LogRecordFrame {
+            seq: u64::decode(r)?,
+            payload: Vec::decode(r)?,
+        })
+    }
+}
+
+/// One span of one snapshot file, streamed during replica bootstrap.
+/// `path` is relative to the snapshot directory; receivers must refuse
+/// absolute paths and `..` components (a hostile primary must not be
+/// able to write outside the bootstrap directory).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// File path relative to the snapshot directory (`/`-separated).
+    pub path: String,
+    /// Byte offset of this span within the file.
+    pub offset: u64,
+    /// The file's total length, so the receiver can detect a short
+    /// stream.
+    pub total_len: u64,
+    /// The span's bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl Codec for SnapshotChunk {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.path.encode_into(out);
+        self.offset.encode_into(out);
+        self.total_len.encode_into(out);
+        self.bytes.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SnapshotChunk {
+            path: String::decode(r)?,
+            offset: u64::decode(r)?,
+            total_len: u64::decode(r)?,
+            bytes: Vec::decode(r)?,
+        })
+    }
+}
+
+/// A server's replication role and log position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicationStatus {
+    /// `"primary"`, `"replica"`, or `"none"` (no log kept).
+    pub role: String,
+    /// Last log sequence number applied (0 when nothing ever was).
+    pub last_seq: u64,
+    /// Sequence number the server's log starts at (0 when no log).
+    pub log_start_seq: u64,
+    /// The primary a replica follows, when `role == "replica"`.
+    pub primary: Option<String>,
+}
+
+impl Codec for ReplicationStatus {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.role.encode_into(out);
+        self.last_seq.encode_into(out);
+        self.log_start_seq.encode_into(out);
+        self.primary.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ReplicationStatus {
+            role: String::decode(r)?,
+            last_seq: u64::decode(r)?,
+            log_start_seq: u64::decode(r)?,
+            primary: Option::decode(r)?,
+        })
+    }
+}
+
 /// Encodes any message into a fresh frame payload.
 pub fn encode_message<T: Codec>(msg: &T) -> Vec<u8> {
     let mut out = Vec::new();
@@ -666,6 +838,10 @@ mod tests {
                 collection: "trips".into(),
                 kind: "ait".into(),
             },
+            Request::Subscribe { from_seq: 42 },
+            Request::FetchSnapshot,
+            Request::ReplicationStatus,
+            Request::Promote,
         ];
         for req in &reqs {
             let payload = encode_message(req);
@@ -734,6 +910,22 @@ mod tests {
                     auto: false,
                 },
             ]),
+            Response::LogRecord(LogRecordFrame {
+                seq: 17,
+                payload: vec![1, 2, 3, 0xFF],
+            }),
+            Response::SnapshotChunk(SnapshotChunk {
+                path: "shard-0000.irs".into(),
+                offset: 4096,
+                total_len: 8192,
+                bytes: vec![0, 9, 8],
+            }),
+            Response::Replication(ReplicationStatus {
+                role: "replica".into(),
+                last_seq: 41,
+                log_start_seq: 12,
+                primary: Some("127.0.0.1:9009".into()),
+            }),
         ];
         for resp in &resps {
             let payload = encode_message(resp);
@@ -763,6 +955,13 @@ mod tests {
             seed: None,
             queries: vec![Query::Stab { p: 5 }],
         };
+        let payload = encode_message(&req);
+        assert!(matches!(
+            decode_message::<Request<u32>>(&payload),
+            Err(PersistError::EndpointMismatch { .. })
+        ));
+        // Subscriptions carry it too: the pushed log records are typed.
+        let req: Request<i64> = Request::Subscribe { from_seq: 1 };
         let payload = encode_message(&req);
         assert!(matches!(
             decode_message::<Request<u32>>(&payload),

@@ -121,9 +121,10 @@ USAGE:
   irs-cli snapshot inspect --dir <DIR>
   irs-cli snapshot load    --dir <DIR> [--lo <LO> --hi <HI> --s <S>]
   irs-cli serve    (--data <FILE> | --snapshot <DIR> | --catalog <DIR>) [--addr <HOST:PORT>]
-                   [--kind <K>] [--shards <N>] [--weighted] [--seed <S>]
+                   [--kind <K>] [--shards <N>] [--weighted] [--seed <S>] [--wal <FILE>]
+  irs-cli serve    --replica-of <HOST:PORT> --replica-dir <DIR> [--addr <HOST:PORT>]
   irs-cli remote <HOST:PORT> <ACTION> [options]
-     ACTION: health | stats | shutdown
+     ACTION: health | stats | shutdown | promote | replication-status
            | count --lo <LO> --hi <HI> [--collection <NAME>]
            | sample --lo <LO> --hi <HI> --s <S> [--seed <S>] [--weighted] [--collection <NAME>]
            | stab --at <P> [--collection <NAME>]
@@ -174,6 +175,17 @@ running server — snapshot and catalog paths name directories on the
 --extent, and --weighted. A typed server refusal prints its numeric
 code on stderr as `wire-code: <N>` and exits non-zero. See DESIGN.md,
 \"Wire protocol\" and \"Catalog\".
+
+--wal <FILE> puts the server on the replication writer seat: every
+acked mutation batch is appended to the write-ahead log (fsynced
+before the ack leaves) so replicas can bootstrap and follow, and a
+crash recovers to the last acked batch. On startup an existing log is
+recovered — with --snapshot the checkpoint sidecar picks the replay
+start (point-in-time recovery); a torn trailing record is truncated.
+serve --replica-of bootstraps a *read-only* replica into --replica-dir
+(snapshot fetch, then live log tailing); `remote promote` hands it the
+writer seat, and `remote replication-status` prints any node's role
+and log position. See DESIGN.md, \"Replication\".
 
 Data files: CSV lines `lo,hi[,weight]`.";
 
@@ -745,8 +757,14 @@ fn serve_backend(opts: &Opts) -> Result<Client<i64>, String> {
 
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = opts.get("addr").unwrap_or("127.0.0.1:7878");
+    if let Some(primary) = opts.get("replica-of") {
+        return cmd_serve_replica(primary, opts.req("replica-dir")?, addr);
+    }
     if let Some(dir) = opts.get("catalog") {
-        return cmd_serve_catalog(dir, addr);
+        return cmd_serve_catalog(dir, addr, opts.get("wal"));
+    }
+    if let Some(wal_path) = opts.get("wal") {
+        return cmd_serve_primary(opts, wal_path, addr);
     }
     let client = serve_backend(opts)?;
     let stats = client.stats();
@@ -765,10 +783,88 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// What the write-ahead log recovery found, on stdout/stderr before the
+/// server banner (a truncated tail is recovery *working*, but the
+/// operator should still see it happened).
+fn report_recovery(replay: &irs::WalReplay<i64>) {
+    if !replay.records.is_empty() {
+        println!(
+            "wal: recovered {} logged record(s) through seq {}",
+            replay.records.len(),
+            replay.last_seq(),
+        );
+    }
+    if let Some(stopped) = &replay.stopped {
+        eprintln!("wal: log tail truncated at the last valid record ({stopped})");
+    }
+}
+
+/// `serve --wal`: takes the replication writer seat over a single
+/// backend. With `--snapshot` this is point-in-time recovery — the
+/// checkpoint sidecar picks where log replay resumes; with `--data`
+/// the whole log replays onto the freshly built index.
+fn cmd_serve_primary(opts: &Opts, wal_path: &str, addr: &str) -> Result<(), String> {
+    let (client, wal) = match (opts.get("snapshot"), opts.get("data")) {
+        (Some(dir), None) => {
+            let (client, wal, replay) =
+                Client::<i64>::recover(dir, wal_path).map_err(|e| e.to_string())?;
+            report_recovery(&replay);
+            (client, wal)
+        }
+        (None, Some(_)) => {
+            let mut client = serve_backend(opts)?;
+            let (wal, replay) =
+                irs::WalWriter::<i64>::recover(wal_path).map_err(|e| e.to_string())?;
+            for record in &replay.records {
+                let _ = client.apply(&record.muts);
+            }
+            report_recovery(&replay);
+            (client, wal)
+        }
+        _ => {
+            return Err("serve needs exactly one of --data <FILE> or --snapshot <DIR>".to_string())
+        }
+    };
+    let stats = client.stats();
+    let handle = irs::serve_primary(client, addr, wal).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "irs-server (primary, wal {wal_path}) listening on {} — {} × {} shard(s), {} intervals{}",
+        handle.local_addr(),
+        stats.kind,
+        stats.shards,
+        stats.len,
+        if stats.weighted { ", weighted" } else { "" },
+    );
+    println!("serving until a remote `shutdown` arrives (irs-cli remote <addr> shutdown)");
+    handle.join();
+    println!("drained; bye");
+    Ok(())
+}
+
+/// `serve --replica-of`: bootstraps from the primary's snapshot into
+/// `dir`, replays the log tail, then follows live — read-only until a
+/// remote `promote`.
+fn cmd_serve_replica(primary: &str, dir: &str, addr: &str) -> Result<(), String> {
+    let handle = irs::serve_replica::<i64>(addr, primary, dir).map_err(|e| e.to_string())?;
+    println!(
+        "irs-server (replica of {primary}) listening on {} — bootstrap dir {dir}",
+        handle.local_addr(),
+    );
+    println!(
+        "read-only until promoted (irs-cli remote <addr> promote); \
+         serving until a remote `shutdown` arrives"
+    );
+    handle.join();
+    println!("drained; bye");
+    Ok(())
+}
+
 /// Serves (and on drain re-saves) a whole catalog directory: an existing
 /// `catalog.irs` manifest is loaded, an empty or fresh directory starts
-/// an empty tenancy that remote `create` calls populate.
-fn cmd_serve_catalog(dir: &str, addr: &str) -> Result<(), String> {
+/// an empty tenancy that remote `create` calls populate. With a
+/// `--wal` path the server takes the replication writer seat and log
+/// replay resumes past the directory's checkpoint sidecar.
+fn cmd_serve_catalog(dir: &str, addr: &str, wal_path: Option<&str>) -> Result<(), String> {
     let manifest = std::path::Path::new(dir).join(irs::catalog::CATALOG_MANIFEST_FILE);
     let catalog = if manifest.exists() {
         irs::Catalog::<i64>::load(dir).map_err(|e| e.to_string())?
@@ -776,7 +872,28 @@ fn cmd_serve_catalog(dir: &str, addr: &str) -> Result<(), String> {
         irs::Catalog::<i64>::new()
     };
     let names: Vec<String> = catalog.list().into_iter().map(|i| i.name).collect();
-    let handle = irs::serve_catalog(catalog, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let handle = match wal_path {
+        None => irs::serve_catalog(catalog, addr).map_err(|e| format!("bind {addr}: {e}"))?,
+        Some(wal_path) => {
+            let (wal, replay) =
+                irs::WalWriter::<i64>::recover(wal_path).map_err(|e| e.to_string())?;
+            let checkpoint = irs::read_checkpoint(std::path::Path::new(dir))
+                .map_err(|e| e.to_string())?
+                .unwrap_or(0);
+            for record in &replay.records {
+                if record.seq > checkpoint {
+                    let name = record
+                        .collection
+                        .as_deref()
+                        .unwrap_or(irs::DEFAULT_COLLECTION);
+                    let _ = catalog.apply_in(name, &record.muts);
+                }
+            }
+            report_recovery(&replay);
+            irs::serve_primary_catalog(catalog, addr, wal)
+                .map_err(|e| format!("bind {addr}: {e}"))?
+        }
+    };
     println!(
         "irs-server listening on {} — catalog of {} collection(s) {:?}",
         handle.local_addr(),
@@ -1014,6 +1131,19 @@ fn cmd_remote(addr: &str, action: &str, opts: &Opts) -> Result<(), RemoteError> 
             let dir = opts.req("dir")?;
             remote.load(dir).map_err(wire)?;
             println!("server now serves snapshot {dir}");
+        }
+        "replication-status" => {
+            let s = remote.replication_status().map_err(wire)?;
+            println!("role:          {}", s.role);
+            println!("last-seq:      {}", s.last_seq);
+            println!("log-start-seq: {}", s.log_start_seq);
+            if let Some(p) = &s.primary {
+                println!("primary:       {p}");
+            }
+        }
+        "promote" => {
+            let s = remote.promote().map_err(wire)?;
+            println!("promoted; now {} at seq {}", s.role, s.last_seq);
         }
         "shutdown" => {
             remote.shutdown().map_err(wire)?;

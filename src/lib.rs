@@ -93,6 +93,10 @@ pub use irs_catalog::{
     Catalog, CollectionInfo, CollectionSpec, KindSpec, WorkloadHints, DEFAULT_COLLECTION,
 };
 pub use irs_client::{Client, ClientWriter, Irs, IrsBuilder, SampleStream};
+pub use irs_core::wal::{
+    read_checkpoint, read_log, write_checkpoint, LogRecord, ReplicationError, WalReplay, WalTailer,
+    WalWriter,
+};
 pub use irs_core::{
     domain_bounds, pair_sort_indices, validate_collection_name, validate_update_weight,
     validate_weights, BruteForce, BuildError, Capabilities, CatalogError, Codec, Endpoint,
@@ -110,12 +114,14 @@ pub use irs_kds::Kds;
 pub use irs_period_index::PeriodIndex;
 pub use irs_segment_tree::SegmentTree;
 pub use irs_server::{
-    serve, serve_catalog, serve_catalog_with, serve_with, ServerConfig, ServerHandle,
+    serve, serve_catalog, serve_catalog_with, serve_primary, serve_primary_catalog,
+    serve_primary_catalog_with, serve_primary_with, serve_replica, serve_replica_with, serve_with,
+    ServerConfig, ServerHandle,
 };
 pub use irs_timeline::TimelineIndex;
 pub use irs_wire::{
-    CollectionSummary, ErrorCode, RemoteClient, ServerStats, SnapshotSummary, WireCollectionSpec,
-    WireError,
+    CollectionSummary, ErrorCode, LogRecordFrame, LogStream, RemoteClient, ReplicationStatus,
+    ServerStats, SnapshotChunk, SnapshotSummary, WireCollectionSpec, WireError,
 };
 
 /// The multi-tenant catalog (re-export of [`irs_catalog`]): named

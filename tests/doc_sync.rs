@@ -12,6 +12,11 @@ fn design_md() -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
 }
 
+fn registry() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/contracts/registry.txt");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
 /// Every `ErrorCode` variant — including the 6xx catalog block — must
 /// appear in DESIGN.md as `<number> <stable-name>`.
 #[test]
@@ -51,4 +56,53 @@ fn wire_error_codes_are_distinct() {
         );
     }
     assert_eq!(nums.len(), ErrorCode::ALL.len());
+}
+
+/// Every `ErrorCode` variant — the 7xx replication block included — is
+/// pinned in the append-only registry under its stable number, so a
+/// renumber (or a silent removal) fails here even before `irs-audit`
+/// runs.
+#[test]
+fn registry_pins_every_wire_error_code() {
+    let reg = registry();
+    let mut missing = Vec::new();
+    for code in ErrorCode::ALL {
+        let pin = format!("error-code {:?} = {}", code, code as u16);
+        if !reg.contains(&pin) {
+            missing.push(pin);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "contracts/registry.txt is missing pins (append them, never renumber): {missing:?}"
+    );
+}
+
+/// The replication wire surface — request tags, streamed response tags,
+/// and the log's file-role byte — is pinned append-only alongside the
+/// pre-existing entries (which must all still be present).
+#[test]
+fn registry_pins_the_replication_wire_contract() {
+    let reg = registry();
+    for pin in [
+        // Pre-replication anchors: appending must never displace these.
+        "request-tag REQ_HEALTH = 1",
+        "response-tag RESP_OK = 1",
+        "snapshot-role ROLE_MANIFEST = 1",
+        "format-version FORMAT_VERSION = 1",
+        // The replication block.
+        "request-tag REQ_SUBSCRIBE = 17",
+        "request-tag REQ_FETCH_SNAPSHOT = 18",
+        "request-tag REQ_REPLICATION_STATUS = 19",
+        "request-tag REQ_PROMOTE = 20",
+        "response-tag RESP_LOG_RECORD = 8",
+        "response-tag RESP_SNAPSHOT_CHUNK = 9",
+        "response-tag RESP_REPLICATION = 10",
+        "snapshot-role ROLE_LOG = 4",
+    ] {
+        assert!(
+            reg.contains(pin),
+            "contracts/registry.txt lost the pin `{pin}` (the registry is append-only)"
+        );
+    }
 }

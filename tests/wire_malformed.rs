@@ -159,6 +159,111 @@ fn garbage_and_truncation_get_typed_errors_and_the_server_survives() {
     handle.join();
 }
 
+/// Replication requests against a server that keeps no log (and raw
+/// garbage on the replication tags) are typed refusals — never a
+/// wedge, never a panic — and the server keeps serving afterwards.
+#[test]
+fn replication_requests_on_a_plain_server_are_typed_refusals() {
+    let handle = serve_small();
+    let addr = handle.local_addr();
+
+    // A plain server reports its role instead of refusing status.
+    let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+    assert_eq!(
+        remote.replication_status().expect("status").role,
+        "none",
+        "a log-less server has no replication role"
+    );
+
+    // Promote needs a following replica; snapshot-fetch and subscribe
+    // need a log-keeping primary.
+    let err = remote.promote().expect_err("promote must be refused");
+    assert_eq!(err.code, ErrorCode::ReplicationNotReplica, "{err}");
+    let dl = std::env::temp_dir().join(format!("irs-wm-fetch-{}", std::process::id()));
+    let err = remote
+        .fetch_snapshot(&dl)
+        .expect_err("fetch-snapshot must be refused");
+    assert_eq!(err.code, ErrorCode::ReplicationNotPrimary, "{err}");
+    let _ = std::fs::remove_dir_all(&dl);
+    let err = RemoteClient::<i64>::connect(addr)
+        .expect("connect")
+        .subscribe(1)
+        .expect_err("subscribe must be refused");
+    assert_eq!(err.code, ErrorCode::ReplicationNotPrimary, "{err}");
+    assert_healthy(addr);
+
+    // Truncated Subscribe body: the tag alone, no endpoint, no seq.
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &[17]).expect("frame");
+    expect_error(
+        send_raw(addr, &frame),
+        ErrorCode::BadMessage,
+        "truncated subscribe body",
+    );
+    assert_healthy(addr);
+
+    let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+    remote.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// A malicious "primary" streaming a snapshot chunk whose path climbs
+/// out of the bootstrap directory must be refused by the client with a
+/// typed protocol error — and nothing may be written outside the
+/// directory.
+#[test]
+fn snapshot_chunk_path_escape_is_refused_by_the_client() {
+    use irs::wire::{ReplicationStatus, SnapshotChunk};
+
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        if let Ok((mut stream, _)) = listener.accept() {
+            let mut reader = FrameReader::new();
+            // One FetchSnapshot request, answered with a well-formed ack
+            // followed by a chunk aimed at the parent directory.
+            let _ = read_frame_blocking(&mut reader, &mut stream);
+            for resp in [
+                Response::Replication(ReplicationStatus {
+                    role: "primary".to_string(),
+                    last_seq: 1,
+                    log_start_seq: 1,
+                    primary: None,
+                }),
+                Response::SnapshotChunk(SnapshotChunk {
+                    path: "../evil.irs".to_string(),
+                    offset: 0,
+                    total_len: 4,
+                    bytes: vec![1, 2, 3, 4],
+                }),
+            ] {
+                let mut frame = Vec::new();
+                write_frame(&mut frame, &encode_message(&resp)).expect("frame");
+                if stream.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+
+    let base = std::env::temp_dir().join(format!("irs-wm-escape-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dl = base.join("bootstrap");
+    std::fs::create_dir_all(&dl).expect("mkdir");
+    let mut remote = RemoteClient::<i64>::connect(addr).expect("connect");
+    let err = remote
+        .fetch_snapshot(&dl)
+        .expect_err("escaping chunk path must be refused");
+    assert_eq!(err.code, ErrorCode::BadMessage, "{err}");
+    assert!(
+        !base.join("evil.irs").exists(),
+        "the escaping path was written outside the bootstrap directory"
+    );
+    drop(remote);
+    server.join().expect("fake server");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// A fake server answering every request on one connection with the
 /// same pre-chosen response — for protocol violations a real
 /// `irs-server` never commits (wrong-arity batch answers).
